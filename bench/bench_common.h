@@ -1,0 +1,68 @@
+// Shared workload construction for the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/analysis.h"
+#include "graph/graph.h"
+#include "graphgen/costs.h"
+#include "graphgen/fixtures.h"
+#include "graphgen/random.h"
+#include "util/rng.h"
+
+namespace fpss::bench {
+
+struct Workload {
+  std::string name;
+  graph::Graph g;
+};
+
+/// An Internet-like tiered topology of roughly `n` ASs with degree-
+/// correlated costs (cheap well-provisioned core, expensive stubs).
+inline graph::Graph internet_like(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  graphgen::TieredParams params;
+  params.core_count = std::max<std::size_t>(4, n / 25);
+  params.mid_count = n / 4;
+  params.stub_count = n - params.core_count - params.mid_count;
+  graph::Graph g = graphgen::tiered_internet(params, rng);
+  graphgen::assign_degree_costs(g, 1, 10);
+  return g;
+}
+
+/// Power-law (Barabasi-Albert) topology with uniform random costs.
+inline graph::Graph power_law(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::Graph g = graphgen::barabasi_albert(n, 2, rng);
+  graphgen::make_biconnected(g, rng);
+  graphgen::assign_random_costs(g, 1, 10, rng);
+  return g;
+}
+
+/// Erdos-Renyi with average degree ~4 and uniform random costs.
+inline graph::Graph random_er(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::Graph g =
+      graphgen::erdos_renyi(n, 4.0 / static_cast<double>(n), rng);
+  graphgen::make_biconnected(g, rng);
+  graphgen::assign_random_costs(g, 1, 10, rng);
+  return g;
+}
+
+/// The standard family sweep used by several experiments.
+inline std::vector<Workload> family_sweep(std::size_t n, std::uint64_t seed) {
+  std::vector<Workload> out;
+  out.push_back({"tiered", internet_like(n, seed)});
+  out.push_back({"power-law", power_law(n, seed + 1)});
+  out.push_back({"erdos-renyi", random_er(n, seed + 2)});
+  {
+    auto ring = graphgen::ring_graph(n);
+    util::Rng rng(seed + 3);
+    graphgen::assign_random_costs(ring, 1, 10, rng);
+    out.push_back({"ring", std::move(ring)});
+  }
+  return out;
+}
+
+}  // namespace fpss::bench

@@ -1,0 +1,74 @@
+// E8 — overcharging (Sect. 4 & 7): VCG payments systematically exceed the
+// true cost of the paths used; the paper's Y->Z example pays 9 for a
+// cost-1 path. We quantify the effect across topologies, cost models, and
+// traffic matrices: total payment / total true transit cost, the per-pair
+// ratio distribution, and the worst pair.
+#include <iostream>
+
+#include "bench_common.h"
+#include "graphgen/costs.h"
+#include "mechanism/vcg.h"
+#include "mechanism/welfare.h"
+#include "payments/traffic.h"
+#include "stats/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace fpss;
+  stats::Experiment exp("E8", "Overcharging: VCG payments vs true path "
+                              "costs (Sect. 4 & 7)");
+
+  util::Table table({"family", "n", "costs", "payment/cost", "pair ratio "
+                     "p50", "pair ratio p95", "worst pair"});
+  double min_aggregate = 1e18;
+  bool dense_cheaper_than_sparse = true;
+
+  double ring_ratio = 0, tiered_ratio = 0;
+  for (std::size_t n : {32u, 64u}) {
+    for (auto& workload : bench::family_sweep(n, 5000 + n)) {
+      for (const char* cost_model : {"uniform", "pareto"}) {
+        graph::Graph g = workload.g;
+        util::Rng rng(42 + n);
+        if (std::string(cost_model) == "pareto")
+          graphgen::assign_pareto_costs(g, 1.2, 40, rng);
+        const mechanism::VcgMechanism mech(g);
+        const auto traffic =
+            payments::TrafficMatrix::uniform(g.node_count(), 1);
+        const auto report = mechanism::measure_overcharge(mech, traffic);
+        min_aggregate = std::min(min_aggregate, report.aggregate_ratio());
+        if (n == 64 && std::string(cost_model) == "uniform") {
+          if (workload.name == "ring") ring_ratio = report.aggregate_ratio();
+          if (workload.name == "tiered")
+            tiered_ratio = report.aggregate_ratio();
+        }
+        table.add(workload.name, n, cost_model,
+                  util::format_double(report.aggregate_ratio(), 2),
+                  util::format_double(
+                      report.pair_ratio.empty() ? 1.0
+                                                : report.pair_ratio.median(),
+                      2),
+                  util::format_double(report.pair_ratio.empty()
+                                          ? 1.0
+                                          : report.pair_ratio.quantile(0.95),
+                                      2),
+                  util::format_double(report.worst_ratio, 2));
+      }
+    }
+  }
+  dense_cheaper_than_sparse = tiered_ratio < ring_ratio;
+  exp.table("Overcharge ratios (payments / true transit cost)", table);
+
+  exp.claim("the total payments to nodes on the path exceed the actual "
+            "cost of the path",
+            "aggregate payment/cost ratio >= 1 on every instance (min " +
+                util::format_double(min_aggregate, 2) + ")",
+            min_aggregate >= 1.0);
+  exp.claim("overcharging is driven by poor alternatives: sparse rings "
+            "overcharge more than richly-connected tiered graphs",
+            "ring " + util::format_double(ring_ratio, 2) + "x vs tiered " +
+                util::format_double(tiered_ratio, 2) + "x (n=64, uniform)",
+            dense_cheaper_than_sparse);
+  exp.note("Per-pair ratio counts only pairs with a positive-cost LCP; a "
+           "ratio of 9 reproduces the paper's Y->Z anecdote at scale.");
+  return stats::finish(exp);
+}

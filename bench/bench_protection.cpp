@@ -1,0 +1,92 @@
+// E18 (extension) — path diversity, 1+1 protection, and what premiums are
+// made of.
+//
+// The biconnectivity that Theorem 1 requires is exactly the property that
+// every AS pair owns a node-disjoint primary/backup pair (1+1 protection).
+// This bench computes the cheapest such pair (Suurballe) for every sampled
+// pair and relates it to the mechanism:
+//   * protection overhead: cost of primary+backup vs the bare LCP;
+//   * the premium bound: a backup path avoids *every* transit node of the
+//     primary, so Cost(P_k) <= backup cost for each k, giving the exact,
+//     locally checkable bound  p^k <= c_k + (backup - LCP)  — a node's VCG
+//     premium can never exceed the pair's 1+1 protection premium;
+//   * topology dependence: rings pay enormous protection and overcharge
+//     premiums, meshy graphs small ones — the same diversity signal as E8.
+#include <iostream>
+
+#include "bench_common.h"
+#include "mechanism/vcg.h"
+#include "routing/disjoint.h"
+#include "stats/experiment.h"
+#include "util/summary.h"
+#include "util/table.h"
+
+int main() {
+  using namespace fpss;
+  stats::Experiment exp("E18", "1+1 protection and the premium bound "
+                               "(path diversity behind Theorem 1)");
+
+  util::Table table({"family", "n", "pairs", "mean LCP", "mean 1+1 total",
+                     "protection x", "bound violations"});
+  bool pair_always_exists = true;
+  bool bound_always_holds = true;
+  double ring_overhead = 0, tiered_overhead = 0;
+
+  for (auto& workload : bench::family_sweep(48, 16000)) {
+    const auto& g = workload.g;
+    const mechanism::VcgMechanism mech(g);
+    util::Summary lcp_cost, pair_cost;
+    std::size_t pairs = 0, violations = 0;
+
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      // Sample destinations to keep the bench quick.
+      for (NodeId t = s + 1; t < g.node_count(); t += 3) {
+        ++pairs;
+        const auto pair = routing::disjoint_path_pair(g, s, t);
+        if (!pair.has_value()) {
+          pair_always_exists = false;
+          continue;
+        }
+        const Cost lcp = mech.routes().cost(s, t);
+        lcp_cost.add(static_cast<double>(lcp.value()));
+        pair_cost.add(static_cast<double>(pair->total_cost().value()));
+
+        // The premium bound, checked exactly for every transit node.
+        const graph::Path path = mech.routes().path(s, t);
+        for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+          const NodeId k = path[i];
+          const Cost::rep bound =
+              g.cost(k).value() + (pair->backup_cost - lcp);
+          if (mech.price(k, s, t).value() > bound) ++violations;
+        }
+      }
+    }
+    bound_always_holds &= violations == 0;
+
+    const double overhead =
+        lcp_cost.sum() == 0 ? 0 : pair_cost.sum() / lcp_cost.sum();
+    if (workload.name == "ring") ring_overhead = overhead;
+    if (workload.name == "tiered") tiered_overhead = overhead;
+    table.add(workload.name, g.node_count(), pairs,
+              util::format_double(lcp_cost.mean(), 2),
+              util::format_double(pair_cost.mean(), 2),
+              util::format_double(overhead, 2), violations);
+  }
+  exp.table("Cheapest node-disjoint pairs vs bare LCPs", table);
+
+  exp.claim("biconnectivity = universal 1+1 protection: every pair owns a "
+            "node-disjoint primary/backup pair",
+            "a pair was found for every sampled (s, t)",
+            pair_always_exists);
+  exp.claim("the premium bound p^k <= c_k + (backup - LCP) holds exactly "
+            "(a backup avoids every transit node, so it witnesses every "
+            "P_k)",
+            "0 violations over all sampled pairs and transit nodes",
+            bound_always_holds);
+  exp.claim("protection and overcharge price the same scarcity: rings pay "
+            "a far larger 1+1 multiple than tiered meshes",
+            "ring " + util::format_double(ring_overhead, 2) + "x vs tiered " +
+                util::format_double(tiered_overhead, 2) + "x",
+            ring_overhead > tiered_overhead);
+  return stats::finish(exp);
+}

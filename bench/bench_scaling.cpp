@@ -1,0 +1,93 @@
+// Microbenchmarks of the core computational kernels, for performance
+// regressions and to back DESIGN.md's complexity notes:
+//   * per-destination LCP Dijkstra (node costs, canonical tie-break);
+//   * k-avoiding table construction, naive vs subtree engine;
+//   * one synchronous protocol stage (route + price work across all ASs);
+//   * strategyproofness sweep for one node (whole-mechanism recomputation
+//     per deviation — the cost of auditing incentives centrally).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "mechanism/strategyproof.h"
+#include "payments/traffic.h"
+#include "pricing/session.h"
+#include "routing/dijkstra.h"
+#include "routing/replacement.h"
+
+namespace {
+
+using namespace fpss;
+
+void BM_SinkTree(benchmark::State& state) {
+  const auto g = bench::power_law(static_cast<std::size_t>(state.range(0)),
+                                  11000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::compute_sink_tree(g, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SinkTree)->RangeMultiplier(2)->Range(64, 1024)->Complexity();
+
+void BM_AvoidanceNaive(benchmark::State& state) {
+  const auto g = bench::power_law(static_cast<std::size_t>(state.range(0)),
+                                  11001);
+  const auto tree = routing::compute_sink_tree(g, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::AvoidanceTable::compute_naive(g, tree));
+  }
+}
+BENCHMARK(BM_AvoidanceNaive)->RangeMultiplier(2)->Range(64, 512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AvoidanceSubtree(benchmark::State& state) {
+  const auto g = bench::power_law(static_cast<std::size_t>(state.range(0)),
+                                  11001);
+  const auto tree = routing::compute_sink_tree(g, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::AvoidanceTable::compute(g, tree));
+  }
+}
+BENCHMARK(BM_AvoidanceSubtree)->RangeMultiplier(2)->Range(64, 512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ProtocolColdStart(benchmark::State& state) {
+  const auto g = bench::internet_like(
+      static_cast<std::size_t>(state.range(0)), 11002);
+  for (auto _ : state) {
+    pricing::Session session(g, pricing::Protocol::kPriceVector);
+    benchmark::DoNotOptimize(session.run());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ProtocolColdStart)->RangeMultiplier(2)->Range(32, 256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ProtocolColdStartParallel(benchmark::State& state) {
+  const auto g = bench::internet_like(
+      static_cast<std::size_t>(state.range(0)), 11002);
+  for (auto _ : state) {
+    bgp::Network net(g, pricing::make_agent_factory(
+                            pricing::Protocol::kPriceVector,
+                            bgp::UpdatePolicy::kIncremental));
+    bgp::SyncEngine engine(net, /*threads=*/4);
+    benchmark::DoNotOptimize(engine.run());
+  }
+}
+BENCHMARK(BM_ProtocolColdStartParallel)->RangeMultiplier(2)->Range(32, 256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DeviationSweepOneNode(benchmark::State& state) {
+  const auto g = bench::random_er(static_cast<std::size_t>(state.range(0)),
+                                  11003);
+  const auto traffic = payments::TrafficMatrix::uniform(g.node_count(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanism::sweep_deviations(
+        g, 0, traffic, mechanism::default_deviation_grid(g.cost(0))));
+  }
+}
+BENCHMARK(BM_DeviationSweepOneNode)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// E3 — Theorem 1: the mechanism is strategyproof, pays nothing to nodes
+// that carry no transit traffic, and decomposes into per-packet prices.
+//
+// Every node of every instance sweeps a grid of false declarations
+// (footnote 1's both temptations: understatement to attract traffic and
+// overstatement to inflate the premium). Theorem 1 predicts no deviation
+// ever beats the truth; we also measure the welfare damage lies cause.
+#include <iostream>
+
+#include "bench_common.h"
+#include "mechanism/strategyproof.h"
+#include "mechanism/vcg.h"
+#include "mechanism/welfare.h"
+#include "payments/ledger.h"
+#include "payments/traffic.h"
+#include "stats/experiment.h"
+#include "util/summary.h"
+#include "util/table.h"
+
+int main() {
+  using namespace fpss;
+  stats::Experiment exp("E3", "Strategyproofness of the VCG mechanism "
+                              "(Theorem 1)");
+
+  util::Table table({"family", "n", "deviations tried", "max utility gain",
+                     "truthful losses", "zero-transit paid", "welfare loss "
+                     "of lies (mean)"});
+  bool strategyproof_everywhere = true;
+  bool no_unpaid_work = true;
+  bool free_riders_unpaid = true;
+
+  for (auto& workload : bench::family_sweep(24, 3000)) {
+    const auto& g = workload.g;
+    const auto traffic = payments::TrafficMatrix::uniform(g.node_count(), 1);
+
+    std::size_t deviations = 0;
+    Cost::rep max_gain = 0;
+    std::size_t truthful_losses = 0;
+    util::Summary welfare_losses;
+
+    for (NodeId k = 0; k < g.node_count(); ++k) {
+      const auto grid = mechanism::default_deviation_grid(g.cost(k));
+      const auto sweep = mechanism::sweep_deviations(g, k, traffic, grid);
+      deviations += sweep.deviations.size();
+      max_gain = std::max(max_gain, sweep.max_gain());
+      strategyproof_everywhere &= sweep.strategyproof();
+      // Individual rationality: a truthful transit node never loses money.
+      if (sweep.truthful_utility < 0) ++truthful_losses;
+      for (const auto& dev : sweep.deviations) {
+        welfare_losses.add(static_cast<double>(
+            mechanism::welfare_loss_of_lie(g, k, dev.declared, traffic)));
+      }
+    }
+    no_unpaid_work &= truthful_losses == 0;
+
+    // No payment without transit traffic (the condition that pins the
+    // mechanism down to this VCG member).
+    const mechanism::VcgMechanism mech(g);
+    const auto statements =
+        payments::settle_traffic(g, mech.routes(), traffic, mech.price_fn());
+    std::size_t paid_free_riders = 0;
+    for (const auto& s : statements)
+      if (s.transit_packets == 0 && s.revenue != 0) ++paid_free_riders;
+    free_riders_unpaid &= paid_free_riders == 0;
+
+    table.add(workload.name, g.node_count(), deviations, max_gain,
+              truthful_losses, paid_free_riders,
+              util::format_double(welfare_losses.mean(), 1));
+  }
+  exp.table("Deviation sweeps (all nodes, every instance)", table);
+
+  exp.claim("Theorem 1 (strategyproofness): no false declaration beats the "
+            "truth",
+            "max utility gain over all sweeps <= 0",
+            strategyproof_everywhere);
+  exp.claim("nodes that carry no transit traffic receive no payment",
+            "no zero-transit node was paid", free_riders_unpaid);
+  exp.claim("truthful transit nodes never run at a loss (p^k >= c_k)",
+            "no truthful node had negative utility", no_unpaid_work);
+  exp.note("Welfare-loss column: mean increase of V(c) caused by the tried "
+           "lies — lying hurts the network even though (by Theorem 1) it "
+           "cannot help the liar.");
+  return stats::finish(exp);
+}

@@ -1,0 +1,160 @@
+// asgraph_tool: a small CLI over the library — generate AS topologies,
+// inspect them, run the mechanism, and read/write the fpss-graph format.
+//
+//   asgraph_tool gen <family> <n> <seed> [out.graph]   families: tiered,
+//                                                      ba, er, ring, wheel
+//   asgraph_tool info <file.graph>
+//   asgraph_tool price <file.graph> <src> <dst>
+//   asgraph_tool dot <file.graph>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "graph/analysis.h"
+#include "graph/dot.h"
+#include "graph/io.h"
+#include "graph/path.h"
+#include "graphgen/costs.h"
+#include "graphgen/fixtures.h"
+#include "graphgen/random.h"
+#include "mechanism/vcg.h"
+#include "routing/metrics.h"
+
+namespace {
+
+using namespace fpss;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  asgraph_tool gen <tiered|ba|er|ring|wheel> <n> <seed> "
+               "[out.graph]\n"
+               "  asgraph_tool info <file.graph>\n"
+               "  asgraph_tool price <file.graph> <src> <dst>\n"
+               "  asgraph_tool dot <file.graph>\n");
+  return 2;
+}
+
+graph::Graph generate(const std::string& family, std::size_t n,
+                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::Graph g{3};
+  if (family == "tiered") {
+    graphgen::TieredParams params;
+    params.core_count = std::max<std::size_t>(4, n / 25);
+    params.mid_count = n / 4;
+    params.stub_count = n - params.core_count - params.mid_count;
+    g = graphgen::tiered_internet(params, rng);
+  } else if (family == "ba") {
+    g = graphgen::barabasi_albert(n, 2, rng);
+    graphgen::make_biconnected(g, rng);
+  } else if (family == "er") {
+    g = graphgen::erdos_renyi(n, 4.0 / static_cast<double>(n), rng);
+    graphgen::make_biconnected(g, rng);
+  } else if (family == "ring") {
+    g = graphgen::ring_graph(n);
+  } else if (family == "wheel") {
+    g = graphgen::wheel_graph(n);
+  } else {
+    std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
+    std::exit(2);
+  }
+  graphgen::assign_random_costs(g, 1, 10, rng);
+  return g;
+}
+
+graph::Graph load_or_die(const std::string& path) {
+  const auto result = graph::load_graph(path);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.error.c_str());
+    std::exit(1);
+  }
+  return *result.graph;
+}
+
+int cmd_info(const graph::Graph& g) {
+  const auto degrees = graph::degree_stats(g);
+  std::printf("nodes:        %zu\n", g.node_count());
+  std::printf("links:        %zu\n", g.edge_count());
+  std::printf("degree:       %zu..%zu (mean %.2f)\n", degrees.min,
+              degrees.max, degrees.mean);
+  std::printf("connected:    %s\n", graph::is_connected(g) ? "yes" : "no");
+  const auto feasibility = mechanism::check_feasibility(g);
+  std::printf("biconnected:  %s\n", feasibility.feasible ? "yes" : "no");
+  if (!feasibility.monopolies.empty()) {
+    std::printf("monopolies:  ");
+    for (NodeId v : feasibility.monopolies) std::printf(" AS%u", v);
+    std::printf("\n");
+  }
+  if (feasibility.feasible) {
+    const auto diameters = routing::lcp_and_avoiding_diameter(g);
+    std::printf("d (LCP hops): %u\n", diameters.d);
+    std::printf("d' (avoid):   %u\n", diameters.d_prime);
+    std::printf("stage bound:  %u\n", diameters.stage_bound());
+  }
+  return 0;
+}
+
+int cmd_price(const graph::Graph& g, NodeId src, NodeId dst) {
+  if (!g.contains(src) || !g.contains(dst) || src == dst) {
+    std::fprintf(stderr, "invalid src/dst\n");
+    return 2;
+  }
+  const auto feasibility = mechanism::check_feasibility(g);
+  if (!feasibility.feasible) {
+    std::fprintf(stderr,
+                 "graph is not biconnected: VCG prices are undefined\n");
+    return 1;
+  }
+  const mechanism::VcgMechanism mech(g);
+  const graph::Path path = mech.routes().path(src, dst);
+  std::printf("LCP %u -> %u: %s (transit cost %s)\n", src, dst,
+              graph::path_to_string(path).c_str(),
+              mech.routes().cost(src, dst).to_string().c_str());
+  for (std::size_t t = 1; t + 1 < path.size(); ++t) {
+    const NodeId k = path[t];
+    std::printf("  AS%-5u declares %-4s  is paid %s per packet\n", k,
+                g.cost(k).to_string().c_str(),
+                mech.price(k, src, dst).to_string().c_str());
+  }
+  std::printf("total per-packet payment: %s\n",
+              mech.pair_payment(src, dst).to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  if (command == "gen") {
+    if (argc < 5) return usage();
+    const auto n = static_cast<std::size_t>(std::atoll(argv[3]));
+    const auto seed = static_cast<std::uint64_t>(std::atoll(argv[4]));
+    const graph::Graph g = generate(argv[2], n, seed);
+    if (argc >= 6) {
+      if (!graph::save_graph(g, argv[5])) {
+        std::fprintf(stderr, "cannot write '%s'\n", argv[5]);
+        return 1;
+      }
+      std::printf("wrote %zu nodes / %zu links to %s\n", g.node_count(),
+                  g.edge_count(), argv[5]);
+    } else {
+      std::fputs(graph::to_text(g).c_str(), stdout);
+    }
+    return 0;
+  }
+  if (command == "info" && argc >= 3) return cmd_info(load_or_die(argv[2]));
+  if (command == "price" && argc >= 5) {
+    return cmd_price(load_or_die(argv[2]),
+                     static_cast<fpss::NodeId>(std::atoi(argv[3])),
+                     static_cast<fpss::NodeId>(std::atoi(argv[4])));
+  }
+  if (command == "dot" && argc >= 3) {
+    std::fputs(graph::to_dot(load_or_die(argv[2])).c_str(), stdout);
+    return 0;
+  }
+  return usage();
+}

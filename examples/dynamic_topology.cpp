@@ -1,0 +1,127 @@
+// dynamic_topology: routes and prices under churn.
+//
+// Runs the distributed mechanism on a mid-size AS graph, then applies a
+// sequence of operational events — a backbone link failure, a cost hike, a
+// new peering link — and reports how long routes and prices take to
+// reconverge each time, for both the paper's price-vector protocol
+// (restart on change) and the avoidance-vector variant.
+//
+//   $ ./dynamic_topology
+#include <cstdio>
+#include <string>
+
+#include "graph/analysis.h"
+#include "graphgen/costs.h"
+#include "graphgen/random.h"
+#include "mechanism/vcg.h"
+#include "pricing/session.h"
+#include "pricing/verify.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace fpss;
+
+struct Event {
+  std::string label;
+  enum Kind { kLinkDown, kLinkUp, kCostChange } kind;
+  NodeId a = 0, b = 0;
+  Cost::rep cost = 0;
+  pricing::RestartPolicy policy = pricing::RestartPolicy::kRestartBarrier;
+};
+
+}  // namespace
+
+int main() {
+  using namespace fpss;
+
+  util::Rng rng(11);
+  graphgen::TieredParams params;
+  params.core_count = 5;
+  params.mid_count = 15;
+  params.stub_count = 40;
+  graph::Graph g = graphgen::tiered_internet(params, rng);
+  graphgen::assign_degree_costs(g, 1, 9);
+
+  // Pick a removable core link (one that keeps the graph biconnected).
+  NodeId fail_a = kInvalidNode, fail_b = kInvalidNode;
+  for (const auto& [u, v] : g.edges()) {
+    graph::Graph probe = g;
+    probe.remove_edge(u, v);
+    if (graph::is_biconnected(probe)) {
+      fail_a = u;
+      fail_b = v;
+      break;
+    }
+  }
+  // And a stub pair for the new peering link.
+  const NodeId peer_a = static_cast<NodeId>(g.node_count() - 1);
+  const NodeId peer_b = static_cast<NodeId>(g.node_count() - 3);
+
+  const std::vector<Event> events = {
+      {"link AS" + std::to_string(fail_a) + "-AS" + std::to_string(fail_b) +
+           " fails",
+       Event::kLinkDown, fail_a, fail_b, 0,
+       pricing::RestartPolicy::kRestartBarrier},
+      {"AS0 cost 1 -> 10 (backbone congestion)", Event::kCostChange, 0, 0,
+       10, pricing::RestartPolicy::kRestartBarrier},
+      {"new peering AS" + std::to_string(peer_a) + "-AS" +
+           std::to_string(peer_b),
+       Event::kLinkUp, peer_a, peer_b, 0,
+       pricing::RestartPolicy::kIncremental},  // improving event
+      {"failed link restored", Event::kLinkUp, fail_a, fail_b, 0,
+       pricing::RestartPolicy::kIncremental},
+  };
+
+  for (const auto protocol :
+       {pricing::Protocol::kPriceVector, pricing::Protocol::kAvoidanceVector}) {
+    const bool price_vector = protocol == pricing::Protocol::kPriceVector;
+    std::printf("=== %s protocol ===\n",
+                price_vector ? "price-vector (paper Fig. 3)"
+                             : "avoidance-vector");
+    pricing::Session session(g, protocol);
+    const auto cold = session.run();
+    std::printf("cold start: %u stages, %llu messages, %zu words\n",
+                cold.stages, static_cast<unsigned long long>(cold.messages),
+                cold.traffic.total_words());
+
+    graph::Graph mirror = g;
+    util::Table table(
+        {"event", "policy", "stages", "messages", "words", "exact"});
+    for (const Event& event : events) {
+      // The paper's protocol always uses the restart barrier; the
+      // avoidance variant may reconverge incrementally on improving events.
+      const auto policy =
+          price_vector ? pricing::RestartPolicy::kRestartBarrier
+                       : event.policy;
+      bgp::RunStats stats;
+      switch (event.kind) {
+        case Event::kLinkDown:
+          mirror.remove_edge(event.a, event.b);
+          stats = session.remove_link(event.a, event.b, policy);
+          break;
+        case Event::kLinkUp:
+          mirror.add_edge(event.a, event.b);
+          stats = session.add_link(event.a, event.b, policy);
+          break;
+        case Event::kCostChange:
+          mirror.set_cost(event.a, Cost{event.cost});
+          stats = session.change_cost(event.a, Cost{event.cost}, policy);
+          break;
+      }
+      const mechanism::VcgMechanism mech(mirror);
+      const auto verify = pricing::verify_against_centralized(session, mech);
+      table.add(event.label,
+                policy == pricing::RestartPolicy::kRestartBarrier
+                    ? "restart"
+                    : "incremental",
+                stats.stages, stats.messages, stats.traffic.total_words(),
+                verify.ok ? "yes" : "NO");
+    }
+    std::printf("%s\n", table.to_text().c_str());
+  }
+  std::printf("Both protocols end every event with exact VCG prices; the "
+              "avoidance-vector\nvariant handles improving events without "
+              "the global restart the paper requires.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every
+# experiment of EXPERIMENTS.md. Optionally exports the result tables as CSV:
+#
+#   scripts/reproduce.sh [--csv <dir>]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--csv" ]]; then
+  export FPSS_CSV_DIR="${2:?--csv needs a directory}"
+  mkdir -p "$FPSS_CSV_DIR"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+status=0
+for bench in build/bench/bench_*; do
+  [[ -x "$bench" && ! -d "$bench" ]] || continue
+  echo
+  echo "================================================================"
+  echo "running $(basename "$bench")"
+  echo "================================================================"
+  "$bench" || status=1
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "SOME EXPERIMENT CLAIMS FAILED" >&2
+fi
+exit $status

@@ -1,0 +1,247 @@
+#include "bgp/engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "bgp/trace.h"
+#include "util/contract.h"
+
+namespace fpss::bgp {
+
+Network::Network(const graph::Graph& g, const AgentFactory& factory)
+    : graph_(g) {
+  agents_.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    agents_.push_back(factory(v, g.node_count(), g.cost(v)));
+}
+
+Agent& Network::agent(NodeId v) {
+  FPSS_EXPECTS(v < agents_.size());
+  return *agents_[v];
+}
+
+const Agent& Network::agent(NodeId v) const {
+  FPSS_EXPECTS(v < agents_.size());
+  return *agents_[v];
+}
+
+void Network::change_cost(NodeId v, Cost new_cost) {
+  graph_.set_cost(v, new_cost);
+  agent(v).on_self_cost_change(new_cost);
+}
+
+void Network::remove_link(NodeId u, NodeId v) {
+  const bool removed = graph_.remove_edge(u, v);
+  FPSS_EXPECTS(removed);
+  agent(u).on_link_down(v);
+  agent(v).on_link_down(u);
+}
+
+void Network::add_link(NodeId u, NodeId v) {
+  const bool added = graph_.add_edge(u, v);
+  FPSS_EXPECTS(added);
+  agent(u).on_link_up(v);
+  agent(v).on_link_up(u);
+}
+
+StateSize Network::total_state() const {
+  StateSize total;
+  for (const auto& agent : agents_) {
+    const StateSize s = agent->state_size();
+    total.selected_words += s.selected_words;
+    total.rib_in_words += s.rib_in_words;
+    total.value_words += s.value_words;
+  }
+  return total;
+}
+
+StateSize Network::max_state() const {
+  StateSize peak;
+  for (const auto& agent : agents_) {
+    const StateSize s = agent->state_size();
+    if (s.total_words() > peak.total_words()) peak = s;
+  }
+  return peak;
+}
+
+// ---------------------------------------------------------------------------
+// SyncEngine
+// ---------------------------------------------------------------------------
+
+SyncEngine::SyncEngine(Network& net, unsigned threads)
+    : net_(net), inbox_(net.node_count()), threads_(std::max(1u, threads)) {}
+
+RunStats SyncEngine::run(Stage max_stages) {
+  const RunStats before = stats_;
+  if (!bootstrapped_) {
+    for (NodeId v = 0; v < net_.node_count(); ++v) net_.agent(v).bootstrap();
+    bootstrapped_ = true;
+  }
+  stats_.converged = false;
+  Stage executed = 0;
+  for (;;) {
+    const Stage stage = stats_.stages + 1;
+    bool had_input = false;
+    // Receive + local-compute phase. Each node only touches its own
+    // state here, so the work parallelizes across nodes; delivery below
+    // stays in node order either way, keeping runs bit-identical.
+    std::vector<std::vector<TableMessage>> arriving(net_.node_count());
+    arriving.swap(inbox_);
+    for (const auto& box : arriving) had_input |= !box.empty();
+
+    std::vector<std::optional<TableMessage>> outputs(net_.node_count());
+    auto compute_node = [&](NodeId v) {
+      for (const TableMessage& msg : arriving[v]) net_.agent(v).receive(msg);
+      outputs[v] = net_.agent(v).advertise();
+    };
+    if (threads_ > 1 && trace_ == nullptr && net_.node_count() > 1) {
+      const unsigned workers = std::min<unsigned>(
+          threads_, static_cast<unsigned>(net_.node_count()));
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+          for (NodeId v = w; v < net_.node_count(); v += workers)
+            compute_node(v);
+        });
+      }
+      for (std::thread& worker : pool) worker.join();
+    } else {
+      for (NodeId v = 0; v < net_.node_count(); ++v) compute_node(v);
+    }
+    if (trace_ != nullptr && had_input) trace_->on_stage_begin(stage);
+
+    // Accounting + delivery phase (serial, node order).
+    std::uint64_t produced = 0;
+    for (NodeId v = 0; v < net_.node_count(); ++v) {
+      Agent& agent = net_.agent(v);
+      if (agent.routes_changed_last_compute()) {
+        stats_.last_route_change_stage = stage;
+        if (trace_ != nullptr) trace_->on_route_change(stage, v);
+      }
+      if (agent.values_changed_last_compute()) {
+        stats_.last_value_change_stage = stage;
+        if (trace_ != nullptr) trace_->on_value_change(stage, v);
+      }
+      const std::optional<TableMessage>& out = outputs[v];
+      if (!out.has_value()) continue;
+      for (NodeId neighbor : net_.topology().neighbors(v)) {
+        TableMessage filtered = agent.export_filter(neighbor, *out);
+        if (filtered.entries.empty()) continue;
+        const MessageSize size = measure(filtered);
+        stats_.traffic += size;
+        if (trace_ != nullptr) trace_->on_message(stage, v, neighbor, size);
+        inbox_[neighbor].push_back(std::move(filtered));
+        ++produced;
+        ++stats_.messages;
+        const std::uint64_t link =
+            (static_cast<std::uint64_t>(v) << 32) | neighbor;
+        stats_.max_link_messages =
+            std::max(stats_.max_link_messages, ++link_messages_[link]);
+      }
+    }
+    if (!had_input && produced == 0) {
+      stats_.converged = true;  // probe stage: nothing happened, not counted
+      if (trace_ != nullptr) trace_->on_quiescent(stats_.stages);
+      break;
+    }
+    stats_.stages = stage;
+    if (++executed >= max_stages) break;
+  }
+
+  RunStats segment = stats_;
+  segment.stages -= before.stages;
+  segment.messages -= before.messages;
+  segment.traffic -= before.traffic;
+  segment.converged = stats_.converged;
+  return segment;
+}
+
+// ---------------------------------------------------------------------------
+// AsyncEngine
+// ---------------------------------------------------------------------------
+
+AsyncEngine::AsyncEngine(Network& net, const Config& config)
+    : net_(net),
+      config_(config),
+      rng_(config.seed),
+      last_advert_time_(net.node_count(), -1e18),
+      poll_scheduled_(net.node_count(), 0) {
+  FPSS_EXPECTS(config.min_delay > 0 && config.max_delay >= config.min_delay);
+}
+
+void AsyncEngine::flood(NodeId sender, const TableMessage& msg) {
+  for (NodeId neighbor : net_.topology().neighbors(sender)) {
+    TableMessage filtered = net_.agent(sender).export_filter(neighbor, msg);
+    if (filtered.entries.empty()) continue;
+    const double delay =
+        config_.min_delay +
+        rng_.uniform01() * (config_.max_delay - config_.min_delay);
+    // Per-link FIFO (the TCP session): never deliver before an earlier
+    // message on the same directed link.
+    const std::uint64_t link =
+        (static_cast<std::uint64_t>(sender) << 32) | neighbor;
+    double& clock = link_clock_[link];
+    clock = std::max(clock, now_ + delay);
+    stats_.traffic += measure(filtered);
+    queue_.push(Event{clock, next_seq_++, neighbor, false, std::move(filtered)});
+    ++stats_.messages;
+  }
+}
+
+void AsyncEngine::activate(NodeId node) {
+  if (config_.mrai > 0 && now_ < last_advert_time_[node] + config_.mrai) {
+    // MRAI: defer this node's computation+advertisement; batch updates.
+    if (!poll_scheduled_[node]) {
+      poll_scheduled_[node] = 1;
+      queue_.push(Event{last_advert_time_[node] + config_.mrai, next_seq_++,
+                        node, true, {}});
+    }
+    return;
+  }
+  Agent& agent = net_.agent(node);
+  const std::optional<TableMessage> out = agent.advertise();
+  if (agent.routes_changed_last_compute())
+    stats_.last_route_change_time = now_;
+  if (agent.values_changed_last_compute())
+    stats_.last_value_change_time = now_;
+  if (out.has_value()) {
+    last_advert_time_[node] = now_;
+    flood(node, *out);
+  }
+}
+
+RunStats AsyncEngine::run() {
+  const RunStats before = stats_;
+  if (!bootstrapped_) {
+    for (NodeId v = 0; v < net_.node_count(); ++v) net_.agent(v).bootstrap();
+    bootstrapped_ = true;
+  }
+  // Kick every node once (covers both cold start and post-event restarts).
+  for (NodeId v = 0; v < net_.node_count(); ++v) activate(v);
+
+  stats_.converged = true;
+  while (!queue_.empty()) {
+    if (stats_.messages > config_.max_messages) {
+      stats_.converged = false;
+      break;
+    }
+    const Event event = queue_.top();
+    queue_.pop();
+    now_ = std::max(now_, event.time);
+    if (event.is_poll) {
+      poll_scheduled_[event.node] = 0;
+    } else {
+      net_.agent(event.node).receive(event.msg);
+    }
+    activate(event.node);
+  }
+  stats_.async_end_time = now_;
+
+  RunStats segment = stats_;
+  segment.messages -= before.messages;
+  segment.traffic -= before.traffic;
+  return segment;
+}
+
+}  // namespace fpss::bgp

@@ -1,0 +1,164 @@
+// Protocol engines for the Sect. 5 computational model.
+//
+// * SyncEngine — the model the paper's bounds are stated in: all nodes
+//   exchange routing tables in lockstep stages; "BGP converges within d
+//   stages" and the extended protocol "converges in at most max(d, d')
+//   stages" (Theorem 2).
+// * AsyncEngine — a discrete-event scheduler with randomized per-message
+//   delays (and an optional MRAI-style batching interval), showing the
+//   computation also quiesces without the synchrony assumption.
+//
+// Engines count every message, entry, and word exchanged (E5), and record
+// the last stage/time at which any route or price changed (E4/E6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/agent.h"
+#include "bgp/message.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace fpss::bgp {
+
+/// Builds the per-AS algorithm for one node; the engine owns the result.
+using AgentFactory =
+    std::function<std::unique_ptr<Agent>(NodeId self, std::size_t node_count,
+                                         Cost declared_cost)>;
+
+/// A set of ASs wired by the AS graph. Owns both the (mutable) topology and
+/// the agents; dynamic events go through here so agents get notified.
+class Network {
+ public:
+  Network(const graph::Graph& g, const AgentFactory& factory);
+
+  std::size_t node_count() const { return agents_.size(); }
+  const graph::Graph& topology() const { return graph_; }
+  Agent& agent(NodeId v);
+  const Agent& agent(NodeId v) const;
+
+  // --- dynamic events ----------------------------------------------------
+  void change_cost(NodeId v, Cost new_cost);
+  void remove_link(NodeId u, NodeId v);
+  void add_link(NodeId u, NodeId v);
+
+  /// Aggregate router state across all nodes (E5).
+  StateSize total_state() const;
+  StateSize max_state() const;
+
+ private:
+  graph::Graph graph_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+};
+
+/// Counters for one engine run (cumulative across run() calls).
+struct RunStats {
+  Stage stages = 0;            ///< sync stages executed until quiescence
+  std::uint64_t messages = 0;  ///< point-to-point messages delivered
+  MessageSize traffic;         ///< cumulative message payload
+  Stage last_route_change_stage = 0;  ///< 1-based; 0 = never changed
+  Stage last_value_change_stage = 0;  ///< pricing extension convergence
+  std::uint64_t max_link_messages = 0;
+  double async_end_time = 0;   ///< virtual clock at quiescence (async only)
+  double last_route_change_time = 0;  ///< async analogues of the stages
+  double last_value_change_time = 0;
+  bool converged = false;      ///< quiesced before hitting the cap
+};
+
+class TraceSink;
+
+/// Lockstep stage engine.
+///
+/// With `threads > 1` the per-node local computation of each stage
+/// (ingesting the inbox and recomputing routes/prices) runs on a thread
+/// pool; agents only touch their own state during that phase, and message
+/// delivery stays serialized in node order, so results are bit-identical
+/// to the single-threaded engine. A non-null trace sink forces the serial
+/// path (callbacks are not synchronized).
+class SyncEngine {
+ public:
+  explicit SyncEngine(Network& net, unsigned threads = 1);
+
+  /// Runs stages until no node has anything to send, or `max_stages`.
+  /// May be called again after dynamic events; stage numbering continues.
+  RunStats run(Stage max_stages = 100000);
+
+  /// All counters since construction.
+  const RunStats& stats() const { return stats_; }
+  Stage current_stage() const { return stats_.stages; }
+
+  /// Attaches an observer (nullptr detaches). Not owned; must outlive the
+  /// engine or be detached before destruction.
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+
+ private:
+  Network& net_;
+  RunStats stats_;
+  std::vector<std::vector<TableMessage>> inbox_;
+  std::unordered_map<std::uint64_t, std::uint64_t> link_messages_;
+  TraceSink* trace_ = nullptr;
+  unsigned threads_ = 1;
+  bool bootstrapped_ = false;
+};
+
+/// Discrete-event engine with per-message latencies drawn uniformly from
+/// [min_delay, max_delay]. If `mrai > 0`, a node's consecutive
+/// advertisements are spaced at least `mrai` apart (updates batch up in the
+/// meantime) — BGP's MinRouteAdvertisementInterval.
+class AsyncEngine {
+ public:
+  struct Config {
+    double min_delay = 0.1;
+    double max_delay = 1.0;
+    double mrai = 0.0;
+    std::uint64_t seed = 1;
+    std::uint64_t max_messages = 50'000'000;
+  };
+
+  AsyncEngine(Network& net, const Config& config);
+
+  /// Runs until the event queue drains (or the message cap trips).
+  RunStats run();
+
+  const RunStats& stats() const { return stats_; }
+  double now() const { return now_; }
+
+ private:
+  struct Event {
+    double time = 0;
+    std::uint64_t seq = 0;  // FIFO among equal times
+    NodeId node = kInvalidNode;
+    bool is_poll = false;   // poll = deferred advertise (MRAI)
+    TableMessage msg;       // valid when !is_poll
+
+    bool operator<(const Event& other) const {
+      if (time != other.time) return time > other.time;  // min-heap
+      return seq > other.seq;
+    }
+  };
+
+  void flood(NodeId sender, const TableMessage& msg);
+  void activate(NodeId node);
+
+  Network& net_;
+  Config config_;
+  util::Rng rng_;
+  RunStats stats_;
+  std::priority_queue<Event> queue_;
+  /// BGP sessions run over TCP: deliveries on one directed link are FIFO.
+  std::unordered_map<std::uint64_t, double> link_clock_;
+  std::vector<double> last_advert_time_;
+  std::vector<char> poll_scheduled_;
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool bootstrapped_ = false;
+};
+
+}  // namespace fpss::bgp

@@ -1,0 +1,65 @@
+#include "bgp/hop_count_agent.h"
+
+#include <algorithm>
+
+namespace fpss::bgp {
+
+bool HopCountBgpAgent::reselect_destination(NodeId destination) {
+  if (destination == id()) return false;
+
+  // Rank candidates by (hops, cost, neighbor id) — hops dominate.
+  bool have_best = false;
+  std::uint32_t best_hops = 0;
+  Cost best_cost = Cost::infinity();
+  NodeId best_neighbor = kInvalidNode;
+  const RouteAdvert* best_advert = nullptr;
+
+  for (NodeId a : rib().known_neighbors()) {
+    const RouteAdvert* advert = rib().stored(a, destination);
+    if (advert == nullptr) continue;
+    if (std::find(advert->path.begin(), advert->path.end(), id()) !=
+        advert->path.end())
+      continue;
+    const auto hops = static_cast<std::uint32_t>(advert->path.size());
+    const Cost step =
+        (a == destination) ? Cost::zero() : rib().neighbor_cost(a);
+    const Cost cost = advert->cost + step;
+    const bool better =
+        !have_best || hops < best_hops ||
+        (hops == best_hops &&
+         (cost < best_cost || (cost == best_cost && a < best_neighbor)));
+    if (better) {
+      have_best = true;
+      best_hops = hops;
+      best_cost = cost;
+      best_neighbor = a;
+      best_advert = advert;
+    }
+  }
+
+  SelectedRoute next;
+  if (best_advert != nullptr) {
+    next.path.reserve(best_advert->path.size() + 1);
+    next.path.push_back(id());
+    next.path.insert(next.path.end(), best_advert->path.begin(),
+                     best_advert->path.end());
+    next.cost = best_cost;
+    next.node_costs.reserve(best_advert->node_costs.size() + 1);
+    next.node_costs.push_back(rib().declared_cost());
+    next.node_costs.insert(next.node_costs.end(),
+                           best_advert->node_costs.begin(),
+                           best_advert->node_costs.end());
+    next.next_hop = best_neighbor;
+  }
+  return rib().force_select(destination, std::move(next));
+}
+
+AgentFactory make_hop_count_factory(UpdatePolicy policy) {
+  return [policy](NodeId self, std::size_t node_count,
+                  Cost declared_cost) -> std::unique_ptr<Agent> {
+    return std::make_unique<HopCountBgpAgent>(self, node_count, declared_cost,
+                                              policy);
+  };
+}
+
+}  // namespace fpss::bgp

@@ -1,0 +1,25 @@
+// Unmodified-BGP route selection: "BGP does not currently consider general
+// path costs; in the cases in which AS policy seeks LCPs, the current BGP
+// simply computes shortest AS paths in terms of number of AS hops"
+// (Sect. 1). The paper assumes the trivial modification to true LCPs has
+// been made; this agent implements the unmodified behaviour so experiments
+// can measure what that modification is worth.
+#pragma once
+
+#include "bgp/engine.h"
+#include "bgp/plain_agent.h"
+
+namespace fpss::bgp {
+
+/// Selects routes by (hops, then cost, then next-hop id): AS-path length
+/// first, exactly like stock BGP with no cost attribute.
+class HopCountBgpAgent : public PlainBgpAgent {
+ public:
+  using PlainBgpAgent::PlainBgpAgent;
+
+  bool reselect_destination(NodeId destination) override;
+};
+
+AgentFactory make_hop_count_factory(UpdatePolicy policy);
+
+}  // namespace fpss::bgp

@@ -1,0 +1,33 @@
+#include "bgp/message.h"
+
+namespace fpss::bgp {
+
+MessageSize& MessageSize::operator+=(const MessageSize& other) {
+  entries += other.entries;
+  path_words += other.path_words;
+  cost_words += other.cost_words;
+  value_words += other.value_words;
+  return *this;
+}
+
+MessageSize& MessageSize::operator-=(const MessageSize& other) {
+  entries -= other.entries;
+  path_words -= other.path_words;
+  cost_words -= other.cost_words;
+  value_words -= other.value_words;
+  return *this;
+}
+
+MessageSize measure(const TableMessage& msg) {
+  MessageSize size;
+  size.entries = msg.entries.size();
+  size.cost_words += 1;  // sender_cost
+  for (const RouteAdvert& advert : msg.entries) {
+    size.path_words += advert.path.size();
+    size.cost_words += 1 + advert.node_costs.size();
+    size.value_words += 2 * advert.transit_values.size();
+  }
+  return size;
+}
+
+}  // namespace fpss::bgp

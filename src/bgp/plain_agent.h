@@ -1,0 +1,121 @@
+// Plain BGP (lowest-cost configured) with no pricing extension: the
+// baseline whose table sizes, message counts, and convergence stages the
+// extended protocol is compared against (Theorem 2's "constant-factor
+// penalty" claims).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "bgp/agent.h"
+#include "bgp/rib.h"
+
+namespace fpss::bgp {
+
+/// Full-table vs incremental advertisement policy. The paper's worst-case
+/// bounds assume full tables (footnote 6); real BGP sends increments; E5
+/// measures both.
+enum class UpdatePolicy { kFullTable, kIncremental };
+
+class PlainBgpAgent : public Agent {
+ public:
+  PlainBgpAgent(NodeId self, std::size_t node_count, Cost declared_cost,
+                UpdatePolicy policy);
+
+  NodeId id() const override { return rib_.self(); }
+  void bootstrap() override;
+  void receive(const TableMessage& msg) override;
+  std::optional<TableMessage> advertise() override;
+
+  void on_link_down(NodeId neighbor) override;
+  void on_link_up(NodeId neighbor) override;
+  void on_self_cost_change(Cost new_cost) override;
+
+  bool routes_changed_last_compute() const override {
+    return routes_changed_;
+  }
+  bool values_changed_last_compute() const override {
+    return values_changed_;
+  }
+  StateSize state_size() const override;
+
+  /// The route this AS currently uses toward `destination`.
+  const SelectedRoute& selected(NodeId destination) const {
+    return rib_.selected(destination);
+  }
+
+  /// Read-only introspection for monitoring/auditing: the latest advert
+  /// heard from `neighbor` about `destination` (nullptr if none), and the
+  /// neighbors heard from so far.
+  const RouteAdvert* stored_advert(NodeId neighbor, NodeId destination) const {
+    return rib_.stored(neighbor, destination);
+  }
+  std::vector<NodeId> heard_neighbors() const {
+    return rib_.known_neighbors();
+  }
+  Cost heard_neighbor_cost(NodeId neighbor) const {
+    return rib_.neighbor_cost(neighbor);
+  }
+
+ protected:
+  Rib& rib() { return rib_; }
+  const Rib& rib() const { return rib_; }
+
+  // --- extension hooks (used by the pricing agents) -----------------------
+
+  /// Called by advertise() after routes were reselected; `changed` lists
+  /// the destinations whose selection changed this activation. Extensions
+  /// update their own state and return the destinations whose extension
+  /// values changed (these get re-advertised even if the route is stable).
+  virtual std::vector<NodeId> update_extension(
+      const std::vector<NodeId>& changed) {
+    (void)changed;
+    return {};
+  }
+
+  /// Called while building an advert entry so extensions can attach their
+  /// transit_values payload.
+  virtual void decorate(RouteAdvert& advert) { (void)advert; }
+
+  /// Extension state footprint.
+  virtual std::size_t extension_words() const { return 0; }
+
+  /// Destinations whose stored advert from `sender` was refreshed by the
+  /// message currently being received (extensions track these to know
+  /// which neighbor tables carry new information).
+  virtual void note_refreshed(NodeId sender,
+                              const std::vector<NodeId>& destinations) {
+    (void)sender;
+    (void)destinations;
+  }
+
+  /// `sender`'s declared cost changed: every value derived from routes
+  /// through it is suspect.
+  virtual void note_sender_cost_change(NodeId sender) { (void)sender; }
+
+  /// Forces every valid route to be re-advertised on the next activation
+  /// (a route-refresh wave; used by the pricing restart barrier).
+  void request_full_readvertisement();
+
+  /// Route selection for one destination; returns true if it changed.
+  /// The default is the canonical lowest-cost rule; policy routing
+  /// (e.g. Gao-Rexford preferences) overrides this.
+  virtual bool reselect_destination(NodeId destination) {
+    return rib_.reselect(destination);
+  }
+
+ private:
+  void mark_all_pending();
+  RouteAdvert build_entry(NodeId destination);
+
+  Rib rib_;
+  UpdatePolicy policy_;
+  std::set<NodeId> pending_reselect_;  ///< dests needing local recompute
+  std::set<NodeId> dirty_;            ///< dests needing (re)advertisement
+  std::set<NodeId> announced_;        ///< dests whose route we advertised
+  bool routes_changed_ = false;
+  bool values_changed_ = false;
+};
+
+}  // namespace fpss::bgp

@@ -1,0 +1,164 @@
+#include "bgp/rib.h"
+
+#include <algorithm>
+
+#include "routing/route.h"
+#include "util/contract.h"
+
+namespace fpss::bgp {
+
+Rib::Rib(NodeId self, std::size_t node_count, Cost declared_cost)
+    : self_(self), declared_cost_(declared_cost), selected_(node_count) {
+  FPSS_EXPECTS(self < node_count);
+  FPSS_EXPECTS(declared_cost.is_finite());
+  // A router always has the trivial route to itself.
+  selected_[self_] = SelectedRoute{{self_}, Cost::zero(), {declared_cost},
+                                   kInvalidNode};
+}
+
+void Rib::set_declared_cost(Cost c) {
+  FPSS_EXPECTS(c.is_finite());
+  declared_cost_ = c;
+  selected_[self_].node_costs = {c};  // keep the trivial self-route in sync
+}
+
+void Rib::ingest(NodeId neighbor, Cost neighbor_cost,
+                 const RouteAdvert& advert) {
+  FPSS_EXPECTS(neighbor < node_count() && neighbor != self_);
+  FPSS_EXPECTS(advert.destination < node_count());
+  neighbor_cost_[neighbor] = neighbor_cost;
+  if (advert.is_withdrawal()) {
+    rib_in_.erase(key(neighbor, advert.destination));
+    return;
+  }
+  FPSS_EXPECTS(advert.path.front() == neighbor);
+  FPSS_EXPECTS(advert.path.back() == advert.destination);
+  FPSS_EXPECTS(advert.node_costs.size() == advert.path.size());
+  rib_in_[key(neighbor, advert.destination)] = advert;
+}
+
+std::vector<NodeId> Rib::purge_neighbor(NodeId neighbor) {
+  std::vector<NodeId> dropped;
+  for (NodeId j = 0; j < node_count(); ++j) {
+    if (rib_in_.erase(key(neighbor, j)) > 0) dropped.push_back(j);
+  }
+  neighbor_cost_.erase(neighbor);
+  return dropped;
+}
+
+void Rib::clear_stored_values() {
+  for (auto& [packed, advert] : rib_in_) {
+    (void)packed;
+    advert.transit_values.clear();
+  }
+}
+
+bool Rib::reselect(NodeId destination) {
+  FPSS_EXPECTS(destination < node_count());
+  if (destination == self_) return false;
+
+  routing::RouteRank best = routing::no_route();
+  const RouteAdvert* best_advert = nullptr;
+  for (const auto& [neighbor, cost] : neighbor_cost_) {
+    const auto it = rib_in_.find(key(neighbor, destination));
+    if (it == rib_in_.end()) continue;
+    const RouteAdvert& advert = it->second;
+    // Path-vector loop prevention: never use a route already through us.
+    if (std::find(advert.path.begin(), advert.path.end(), self_) !=
+        advert.path.end())
+      continue;
+    const Cost step = (neighbor == destination) ? Cost::zero() : cost;
+    const routing::RouteRank rank{
+        advert.cost + step, static_cast<std::uint32_t>(advert.path.size()),
+        neighbor};
+    if (rank < best) {
+      best = rank;
+      best_advert = &advert;
+    }
+  }
+
+  SelectedRoute next;
+  if (best_advert != nullptr) {
+    next.path.reserve(best_advert->path.size() + 1);
+    next.path.push_back(self_);
+    next.path.insert(next.path.end(), best_advert->path.begin(),
+                     best_advert->path.end());
+    next.cost = best.cost;
+    next.node_costs.reserve(best_advert->node_costs.size() + 1);
+    next.node_costs.push_back(declared_cost_);
+    next.node_costs.insert(next.node_costs.end(),
+                           best_advert->node_costs.begin(),
+                           best_advert->node_costs.end());
+    next.next_hop = best.next_hop;
+  }
+
+  SelectedRoute& current = selected_[destination];
+  const bool changed = current.path != next.path || current.cost != next.cost ||
+                       current.node_costs != next.node_costs;
+  if (changed) current = std::move(next);
+  return changed;
+}
+
+bool Rib::force_select(NodeId destination, SelectedRoute route) {
+  FPSS_EXPECTS(destination < node_count() && destination != self_);
+  SelectedRoute& current = selected_[destination];
+  const bool changed = current.path != route.path ||
+                       current.cost != route.cost ||
+                       current.node_costs != route.node_costs;
+  if (changed) current = std::move(route);
+  return changed;
+}
+
+const SelectedRoute& Rib::selected(NodeId destination) const {
+  FPSS_EXPECTS(destination < node_count());
+  return selected_[destination];
+}
+
+const RouteAdvert* Rib::stored(NodeId neighbor, NodeId destination) const {
+  const auto it = rib_in_.find(key(neighbor, destination));
+  return it == rib_in_.end() ? nullptr : &it->second;
+}
+
+std::vector<NodeId> Rib::known_neighbors() const {
+  std::vector<NodeId> out;
+  out.reserve(neighbor_cost_.size());
+  for (const auto& [neighbor, cost] : neighbor_cost_) {
+    (void)cost;
+    out.push_back(neighbor);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Rib::note_sender(NodeId neighbor, Cost neighbor_cost) {
+  FPSS_EXPECTS(neighbor < node_count() && neighbor != self_);
+  FPSS_EXPECTS(neighbor_cost.is_finite());
+  neighbor_cost_[neighbor] = neighbor_cost;
+}
+
+Cost Rib::neighbor_cost(NodeId neighbor) const {
+  const auto it = neighbor_cost_.find(neighbor);
+  FPSS_EXPECTS(it != neighbor_cost_.end());
+  return it->second;
+}
+
+std::size_t Rib::selected_words() const {
+  std::size_t words = 0;
+  for (const SelectedRoute& route : selected_) {
+    if (!route.valid()) continue;
+    words += route.path.size() + route.node_costs.size() + 1;
+  }
+  return words;
+}
+
+std::size_t Rib::adj_rib_in_words() const {
+  std::size_t words = 0;
+  for (const auto& [packed, advert] : rib_in_) {
+    (void)packed;
+    words += advert.path.size() + advert.node_costs.size() + 1 +
+             2 * advert.transit_values.size();
+  }
+  return words;
+}
+
+}  // namespace fpss::bgp

@@ -1,0 +1,100 @@
+// Per-router routing information base: the Adj-RIB-In copies of neighbor
+// tables (footnote 6: "Nodes keep the routing tables received from each of
+// their neighbors") and the selected route per destination, recomputed by
+// the canonical preference order of routing/route.h.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/message.h"
+#include "graph/path.h"
+#include "util/cost.h"
+#include "util/types.h"
+
+namespace fpss::bgp {
+
+/// The route a router currently uses toward one destination.
+struct SelectedRoute {
+  graph::Path path;              ///< self first, destination last; empty = none
+  Cost cost = Cost::infinity(); ///< transit cost of `path`
+  std::vector<Cost> node_costs;  ///< declared costs aligned with `path`
+  NodeId next_hop = kInvalidNode;
+
+  bool valid() const { return !path.empty(); }
+  std::uint32_t hops() const {
+    return valid() ? static_cast<std::uint32_t>(path.size() - 1) : 0;
+  }
+};
+
+/// Routing state of one router. Owns no protocol logic beyond route
+/// selection; agents layer (re)advertisement policy and pricing on top.
+class Rib {
+ public:
+  Rib(NodeId self, std::size_t node_count, Cost declared_cost);
+
+  NodeId self() const { return self_; }
+  std::size_t node_count() const { return selected_.size(); }
+  Cost declared_cost() const { return declared_cost_; }
+  void set_declared_cost(Cost c);
+
+  /// Latest advert heard from `neighbor` about `destination` (withdrawals
+  /// erase the entry). Also records the neighbor's declared cost.
+  void ingest(NodeId neighbor, Cost neighbor_cost, const RouteAdvert& advert);
+
+  /// Forgets everything heard from `neighbor` (session teardown). Returns
+  /// the destinations whose stored advert was dropped.
+  std::vector<NodeId> purge_neighbor(NodeId neighbor);
+
+  /// Drops the pricing payload of every stored advert (restart barrier:
+  /// price state must refill from post-restart messages only).
+  void clear_stored_values();
+
+  /// Recomputes the selected route for `destination` from the current
+  /// Adj-RIB-In. Returns true iff the selection (path or cost) changed.
+  bool reselect(NodeId destination);
+
+  /// Installs an externally computed selection (policy routing overrides
+  /// the canonical preference). Returns true iff it differs from the
+  /// current one. Precondition: destination != self.
+  bool force_select(NodeId destination, SelectedRoute route);
+
+  const SelectedRoute& selected(NodeId destination) const;
+
+  /// The neighbor's advert stored for (neighbor, destination), if any.
+  const RouteAdvert* stored(NodeId neighbor, NodeId destination) const;
+
+  /// Neighbors we have heard from, ascending.
+  std::vector<NodeId> known_neighbors() const;
+
+  /// Records `neighbor`'s declared cost without any route advert (every
+  /// message carries the sender's cost, even a pure price refresh).
+  void note_sender(NodeId neighbor, Cost neighbor_cost);
+
+  bool heard_from(NodeId neighbor) const {
+    return neighbor_cost_.contains(neighbor);
+  }
+
+  /// Declared cost of `neighbor` as last heard. Precondition: heard from it.
+  Cost neighbor_cost(NodeId neighbor) const;
+
+  /// Routing-table footprint in words (E5): selected paths + stored
+  /// neighbor tables.
+  std::size_t selected_words() const;
+  std::size_t adj_rib_in_words() const;
+
+ private:
+  static std::uint64_t key(NodeId neighbor, NodeId destination) {
+    return (static_cast<std::uint64_t>(neighbor) << 32) | destination;
+  }
+
+  NodeId self_;
+  Cost declared_cost_;
+  std::vector<SelectedRoute> selected_;
+  std::unordered_map<std::uint64_t, RouteAdvert> rib_in_;
+  std::unordered_map<NodeId, Cost> neighbor_cost_;
+};
+
+}  // namespace fpss::bgp

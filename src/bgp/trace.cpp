@@ -1,0 +1,71 @@
+#include "bgp/trace.h"
+
+#include <ostream>
+
+#include "util/contract.h"
+
+namespace fpss::bgp {
+
+void TextTrace::on_stage_begin(Stage stage) {
+  *out_ << "--- stage " << stage << " ---\n";
+}
+
+void TextTrace::on_message(Stage stage, NodeId from, NodeId to,
+                           const MessageSize& size) {
+  *out_ << "stage " << stage << ": AS" << from << " -> AS" << to << " ("
+        << size.entries << " entries, " << size.total_words() << " words)\n";
+}
+
+void TextTrace::on_route_change(Stage stage, NodeId node) {
+  *out_ << "stage " << stage << ": AS" << node << " changed routes\n";
+}
+
+void TextTrace::on_value_change(Stage stage, NodeId node) {
+  *out_ << "stage " << stage << ": AS" << node << " changed prices\n";
+}
+
+void TextTrace::on_quiescent(Stage last_stage) {
+  *out_ << "quiescent after stage " << last_stage << "\n";
+}
+
+StageSeries::Row& StageSeries::current(Stage stage) {
+  if (rows_.empty() || rows_.back().stage != stage) {
+    Row row;
+    row.stage = stage;
+    rows_.push_back(row);
+  }
+  return rows_.back();
+}
+
+void StageSeries::on_stage_begin(Stage stage) { current(stage); }
+
+void StageSeries::on_message(Stage stage, NodeId from, NodeId to,
+                             const MessageSize& size) {
+  (void)from;
+  (void)to;
+  Row& row = current(stage);
+  ++row.messages;
+  row.words += size.total_words();
+}
+
+void StageSeries::on_route_change(Stage stage, NodeId node) {
+  (void)node;
+  ++current(stage).route_changes;
+}
+
+void StageSeries::on_value_change(Stage stage, NodeId node) {
+  (void)node;
+  ++current(stage).value_changes;
+}
+
+util::Table StageSeries::to_table() const {
+  util::Table table(
+      {"stage", "messages", "words", "route changes", "price changes"});
+  for (const Row& row : rows_) {
+    table.add(row.stage, row.messages, row.words, row.route_changes,
+              row.value_changes);
+  }
+  return table;
+}
+
+}  // namespace fpss::bgp

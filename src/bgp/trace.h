@@ -1,0 +1,87 @@
+// Observability for the protocol engines: a trace-sink interface the
+// SyncEngine reports to, plus ready-made sinks — a text logger for
+// debugging and a per-stage series recorder that captures the convergence
+// curve (messages/words/changes per stage) used by examples and analyses.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bgp/message.h"
+#include "util/table.h"
+#include "util/types.h"
+
+namespace fpss::bgp {
+
+/// Observer of engine progress. All callbacks default to no-ops so sinks
+/// override only what they need. Callbacks fire synchronously from the
+/// engine; sinks must not mutate the network.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void on_stage_begin(Stage stage) { (void)stage; }
+  virtual void on_message(Stage stage, NodeId from, NodeId to,
+                          const MessageSize& size) {
+    (void)stage;
+    (void)from;
+    (void)to;
+    (void)size;
+  }
+  virtual void on_route_change(Stage stage, NodeId node) {
+    (void)stage;
+    (void)node;
+  }
+  virtual void on_value_change(Stage stage, NodeId node) {
+    (void)stage;
+    (void)node;
+  }
+  virtual void on_quiescent(Stage last_stage) { (void)last_stage; }
+};
+
+/// Human-readable line per event, for debugging protocol runs.
+class TextTrace : public TraceSink {
+ public:
+  explicit TextTrace(std::ostream& out) : out_(&out) {}
+
+  void on_stage_begin(Stage stage) override;
+  void on_message(Stage stage, NodeId from, NodeId to,
+                  const MessageSize& size) override;
+  void on_route_change(Stage stage, NodeId node) override;
+  void on_value_change(Stage stage, NodeId node) override;
+  void on_quiescent(Stage last_stage) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Records one row per stage: the convergence curve.
+class StageSeries : public TraceSink {
+ public:
+  struct Row {
+    Stage stage = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t words = 0;
+    std::uint32_t route_changes = 0;  ///< nodes whose routes changed
+    std::uint32_t value_changes = 0;  ///< nodes whose prices changed
+  };
+
+  void on_stage_begin(Stage stage) override;
+  void on_message(Stage stage, NodeId from, NodeId to,
+                  const MessageSize& size) override;
+  void on_route_change(Stage stage, NodeId node) override;
+  void on_value_change(Stage stage, NodeId node) override;
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Stage-by-stage table for printing.
+  util::Table to_table() const;
+
+ private:
+  Row& current(Stage stage);
+  std::vector<Row> rows_;
+};
+
+}  // namespace fpss::bgp

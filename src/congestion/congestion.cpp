@@ -1,0 +1,117 @@
+#include "congestion/congestion.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/path.h"
+#include "util/contract.h"
+
+namespace fpss::congestion {
+
+std::vector<std::uint64_t> transit_loads(
+    const routing::AllPairsRoutes& routes,
+    const payments::TrafficMatrix& traffic) {
+  const std::size_t n = routes.node_count();
+  FPSS_EXPECTS(traffic.node_count() == n);
+  std::vector<std::uint64_t> loads(n, 0);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const std::uint64_t packets = traffic.at(i, j);
+      if (packets == 0) continue;
+      const graph::Path path = routes.path(i, j);
+      for (std::size_t t = 1; t + 1 < path.size(); ++t)
+        loads[path[t]] += packets;
+    }
+  }
+  return loads;
+}
+
+CapacityPlan CapacityPlan::uniform(std::size_t node_count,
+                                   std::uint64_t capacity) {
+  FPSS_EXPECTS(capacity > 0);
+  return CapacityPlan{std::vector<std::uint64_t>(node_count, capacity)};
+}
+
+CapacityPlan CapacityPlan::by_degree(const graph::Graph& g,
+                                     std::uint64_t per_degree) {
+  FPSS_EXPECTS(per_degree > 0);
+  CapacityPlan plan;
+  plan.capacity.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    plan.capacity.push_back(per_degree * std::max<std::size_t>(1, g.degree(v)));
+  return plan;
+}
+
+LoadReport assess(const std::vector<std::uint64_t>& loads,
+                  const CapacityPlan& plan) {
+  FPSS_EXPECTS(loads.size() == plan.capacity.size());
+  LoadReport report;
+  for (std::size_t v = 0; v < loads.size(); ++v) {
+    report.total_transit += loads[v];
+    report.peak_load = std::max(report.peak_load, loads[v]);
+    const double utilization = static_cast<double>(loads[v]) /
+                               static_cast<double>(plan.capacity[v]);
+    report.peak_utilization = std::max(report.peak_utilization, utilization);
+    if (loads[v] > plan.capacity[v]) {
+      ++report.overloaded_nodes;
+      report.overflow_packets += loads[v] - plan.capacity[v];
+    }
+  }
+  return report;
+}
+
+DynamicsResult congestion_best_response(const graph::Graph& g,
+                                        const payments::TrafficMatrix& traffic,
+                                        const CapacityPlan& plan,
+                                        const DynamicsParams& params) {
+  FPSS_EXPECTS(plan.capacity.size() == g.node_count());
+  FPSS_EXPECTS(params.packets_per_unit > 0);
+  const std::vector<Cost> base = g.costs();
+
+  DynamicsResult result;
+  graph::Graph current = g;
+  // Map each visited cost vector to the round it was first seen, so a
+  // revisit identifies both the cycle and its length.
+  std::map<std::vector<Cost>, std::uint32_t> seen;
+
+  for (std::uint32_t round = 0;; ++round) {
+    const std::vector<Cost> costs = current.costs();
+    const auto it = seen.find(costs);
+    if (it != seen.end()) {
+      result.outcome =
+          (round - it->second == 1) ? Outcome::kFixedPoint : Outcome::kCycle;
+      result.cycle_length = round - it->second;
+      result.rounds = round;
+      break;
+    }
+    if (round >= params.max_rounds) {
+      result.outcome = Outcome::kCutoff;
+      result.rounds = round;
+      break;
+    }
+    seen.emplace(costs, round);
+
+    const routing::AllPairsRoutes routes(current);
+    const std::vector<std::uint64_t> loads = transit_loads(routes, traffic);
+    if (round == 0) result.initial = assess(loads, plan);
+    result.final_loads = loads;
+    result.final = assess(loads, plan);
+    result.history.push_back(result.final);
+
+    // Best response: surcharge proportional to overload.
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const std::uint64_t overload =
+          loads[v] > plan.capacity[v] ? loads[v] - plan.capacity[v] : 0;
+      const auto units =
+          static_cast<Cost::rep>(overload / params.packets_per_unit +
+                                 (overload % params.packets_per_unit != 0));
+      current.set_cost(v, Cost{base[v].value() +
+                               params.surcharge_per_unit * units});
+    }
+  }
+  result.final_costs = current.costs();
+  return result;
+}
+
+}  // namespace fpss::congestion

@@ -1,0 +1,87 @@
+// Capacities and congestion — the paper's second open direction (Sect. 7):
+// "augment the network model with link or node capacities in order to
+// tackle the problem of routing in congested networks. This is
+// particularly natural because it seems plausible that transit traffic
+// imposes costs only in the presence of congestion."
+//
+// This module adds node capacities, computes transit loads induced by
+// routing a traffic matrix over LCPs, and iterates the natural
+// best-response dynamic: congested ASs re-declare higher costs, routing
+// reconverges, loads shift. The dynamic either reaches a fixed point or
+// enters a cycle (route flapping) — both outcomes are detected and
+// reported; the flapping case is precisely why congestion pricing needs a
+// different mechanism, which the paper leaves open.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "payments/traffic.h"
+#include "routing/all_pairs.h"
+#include "util/types.h"
+
+namespace fpss::congestion {
+
+/// Transit packets crossing each node when `traffic` rides the selected
+/// routes (endpoints excluded, matching the cost model of Sect. 3).
+std::vector<std::uint64_t> transit_loads(const routing::AllPairsRoutes& routes,
+                                         const payments::TrafficMatrix& traffic);
+
+struct CapacityPlan {
+  /// Per-node transit capacity in packets.
+  std::vector<std::uint64_t> capacity;
+
+  /// Uniform capacity for every node.
+  static CapacityPlan uniform(std::size_t node_count, std::uint64_t capacity);
+
+  /// Capacity proportional to degree (well-connected ASs are provisioned
+  /// for more transit): capacity = per_degree * degree.
+  static CapacityPlan by_degree(const graph::Graph& g,
+                                std::uint64_t per_degree);
+};
+
+struct LoadReport {
+  std::uint64_t total_transit = 0;
+  std::uint64_t peak_load = 0;
+  double peak_utilization = 0;     ///< max load/capacity over nodes
+  std::size_t overloaded_nodes = 0;
+  std::uint64_t overflow_packets = 0;  ///< sum of (load - capacity)+
+};
+
+LoadReport assess(const std::vector<std::uint64_t>& loads,
+                  const CapacityPlan& plan);
+
+struct DynamicsParams {
+  /// Extra declared cost per `packets_per_unit` packets above capacity.
+  Cost::rep surcharge_per_unit = 1;
+  std::uint64_t packets_per_unit = 100;
+  std::uint32_t max_rounds = 64;
+};
+
+enum class Outcome {
+  kFixedPoint,  ///< declared costs stopped changing
+  kCycle,       ///< the dynamic revisited an earlier state: route flapping
+  kCutoff,      ///< max_rounds exhausted without repeating (rare)
+};
+
+struct DynamicsResult {
+  Outcome outcome = Outcome::kCutoff;
+  std::uint32_t rounds = 0;
+  std::uint32_t cycle_length = 0;       ///< for kCycle
+  std::vector<Cost> final_costs;        ///< declared costs at the end
+  std::vector<std::uint64_t> final_loads;
+  LoadReport initial;                   ///< loads under the base costs
+  LoadReport final;                     ///< loads at the end state
+  std::vector<LoadReport> history;      ///< one report per executed round
+};
+
+/// Iterates: route on declared costs -> measure transit loads -> every
+/// node re-declares base_cost + surcharge * overload_units -> repeat,
+/// until a fixed point, a cycle, or the round cap.
+DynamicsResult congestion_best_response(const graph::Graph& g,
+                                        const payments::TrafficMatrix& traffic,
+                                        const CapacityPlan& plan,
+                                        const DynamicsParams& params);
+
+}  // namespace fpss::congestion

@@ -1,0 +1,151 @@
+#include "graph/analysis.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/contract.h"
+
+namespace fpss::graph {
+
+bool is_connected(const Graph& g) {
+  const std::size_t n = g.node_count();
+  if (n == 0) return false;
+  std::vector<char> seen(n, 0);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++visited;
+        frontier.push(v);
+      }
+    }
+  }
+  return visited == n;
+}
+
+namespace {
+
+/// Iterative Tarjan articulation-point search (explicit stack so that large
+/// generated graphs cannot overflow the call stack).
+struct ArticulationSearch {
+  const Graph& g;
+  std::vector<std::uint32_t> discovery;
+  std::vector<std::uint32_t> lowpoint;
+  std::vector<char> is_cut;
+  std::uint32_t clock = 0;
+
+  explicit ArticulationSearch(const Graph& graph)
+      : g(graph),
+        discovery(graph.node_count(), 0),
+        lowpoint(graph.node_count(), 0),
+        is_cut(graph.node_count(), 0) {}
+
+  struct Frame {
+    NodeId node;
+    NodeId parent;
+    std::size_t next_neighbor;
+    std::size_t tree_children;
+  };
+
+  void run_from(NodeId root) {
+    std::vector<Frame> stack;
+    discovery[root] = lowpoint[root] = ++clock;
+    stack.push_back({root, kInvalidNode, 0, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const NodeId u = frame.node;
+      const auto adj = g.neighbors(u);
+      if (frame.next_neighbor < adj.size()) {
+        const NodeId v = adj[frame.next_neighbor++];
+        if (discovery[v] == 0) {
+          ++frame.tree_children;
+          discovery[v] = lowpoint[v] = ++clock;
+          stack.push_back({v, u, 0, 0});
+        } else if (v != frame.parent) {
+          lowpoint[u] = std::min(lowpoint[u], discovery[v]);
+        }
+      } else {
+        // Done with u: fold its lowpoint into the parent and test the
+        // articulation condition there.
+        if (frame.parent == kInvalidNode) {
+          if (frame.tree_children >= 2) is_cut[u] = 1;
+        }
+        stack.pop_back();
+        if (!stack.empty()) {
+          Frame& parent_frame = stack.back();
+          const NodeId p = parent_frame.node;
+          lowpoint[p] = std::min(lowpoint[p], lowpoint[u]);
+          if (parent_frame.parent != kInvalidNode &&
+              lowpoint[u] >= discovery[p]) {
+            is_cut[p] = 1;
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<NodeId> articulation_points(const Graph& g) {
+  ArticulationSearch search(g);
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    if (search.discovery[v] == 0) search.run_from(v);
+  std::vector<NodeId> cuts;
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    if (search.is_cut[v]) cuts.push_back(v);
+  return cuts;
+}
+
+bool is_biconnected(const Graph& g) {
+  return g.node_count() >= 3 && is_connected(g) &&
+         articulation_points(g).empty();
+}
+
+std::size_t hop_diameter(const Graph& g) {
+  FPSS_EXPECTS(is_connected(g));
+  const std::size_t n = g.node_count();
+  std::size_t diameter = 0;
+  std::vector<std::uint32_t> depth(n);
+  for (NodeId s = 0; s < n; ++s) {
+    std::fill(depth.begin(), depth.end(), UINT32_MAX);
+    std::queue<NodeId> frontier;
+    depth[s] = 0;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      diameter = std::max<std::size_t>(diameter, depth[u]);
+      for (NodeId v : g.neighbors(u)) {
+        if (depth[v] == UINT32_MAX) {
+          depth[v] = depth[u] + 1;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+  return diameter;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats stats;
+  const std::size_t n = g.node_count();
+  if (n == 0) return stats;
+  stats.min = g.degree(0);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t deg = g.degree(v);
+    stats.min = std::min(stats.min, deg);
+    stats.max = std::max(stats.max, deg);
+  }
+  stats.mean = 2.0 * static_cast<double>(g.edge_count()) /
+               static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace fpss::graph

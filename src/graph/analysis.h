@@ -1,0 +1,42 @@
+// Structural analysis of the AS graph. Biconnectivity matters because the
+// VCG payments of Theorem 1 are undefined when some transit node is a
+// monopoly: "These examples also show why the network must be biconnected;
+// if it weren't, the payment would be undefined" (Sect. 4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace fpss::graph {
+
+/// True if every node is reachable from every other (and the graph is
+/// non-empty).
+bool is_connected(const Graph& g);
+
+/// Articulation points (cut vertices) via Tarjan's lowpoint algorithm.
+/// Removing any returned node disconnects the graph. Sorted ascending.
+std::vector<NodeId> articulation_points(const Graph& g);
+
+/// True if g is connected, has >= 3 nodes, and has no articulation point —
+/// i.e. between any two nodes there are two vertex-disjoint paths, so no
+/// transit node has a routing monopoly.
+bool is_biconnected(const Graph& g);
+
+/// Hop-count eccentricity-based diameter (max over BFS depths). The paper's
+/// `d` is the max AS-hops over *lowest-cost* paths, computed in
+/// `routing::RoutingTable`; this plain hop diameter is a structural lower
+/// bound used by generators and sanity tests.
+std::size_t hop_diameter(const Graph& g);
+
+/// Degree distribution statistics.
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0;
+};
+DegreeStats degree_stats(const Graph& g);
+
+}  // namespace fpss::graph

@@ -1,0 +1,25 @@
+#include "graph/dot.h"
+
+#include <sstream>
+
+#include "util/contract.h"
+
+namespace fpss::graph {
+
+std::string to_dot(const Graph& g, const std::vector<std::string>& names) {
+  FPSS_EXPECTS(names.empty() || names.size() == g.node_count());
+  std::ostringstream out;
+  out << "graph as_graph {\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::string label =
+        names.empty() ? std::to_string(v) : names[v];
+    out << "  n" << v << " [label=\"" << label << " ("
+        << g.cost(v).to_string() << ")\"];\n";
+  }
+  for (const auto& [u, v] : g.edges())
+    out << "  n" << u << " -- n" << v << ";\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace fpss::graph

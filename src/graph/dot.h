@@ -1,0 +1,15 @@
+// Graphviz DOT export for debugging and documentation figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fpss::graph {
+
+/// Renders g as an undirected DOT graph; node labels show "name (cost)".
+/// If `names` is empty, numeric ids are used.
+std::string to_dot(const Graph& g, const std::vector<std::string>& names = {});
+
+}  // namespace fpss::graph

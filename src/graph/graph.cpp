@@ -1,0 +1,76 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/contract.h"
+
+namespace fpss::graph {
+
+Graph::Graph(std::size_t node_count)
+    : node_cost_(node_count, Cost::zero()), adjacency_(node_count) {}
+
+Cost Graph::cost(NodeId v) const {
+  FPSS_EXPECTS(contains(v));
+  return node_cost_[v];
+}
+
+void Graph::set_cost(NodeId v, Cost c) {
+  FPSS_EXPECTS(contains(v));
+  FPSS_EXPECTS(c.is_finite());
+  node_cost_[v] = c;
+}
+
+std::vector<Cost> Graph::costs() const { return node_cost_; }
+
+void Graph::set_costs(const std::vector<Cost>& costs) {
+  FPSS_EXPECTS(costs.size() == node_count());
+  for (Cost c : costs) FPSS_EXPECTS(c.is_finite());
+  node_cost_ = costs;
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+  FPSS_EXPECTS(contains(v));
+  return adjacency_[v];
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  FPSS_EXPECTS(contains(u) && contains(v));
+  const auto& adj = adjacency_[u];
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  FPSS_EXPECTS(contains(u) && contains(v));
+  FPSS_EXPECTS(u != v);
+  if (has_edge(u, v)) return false;
+  auto insert_sorted = [](std::vector<NodeId>& adj, NodeId w) {
+    adj.insert(std::lower_bound(adj.begin(), adj.end(), w), w);
+  };
+  insert_sorted(adjacency_[u], v);
+  insert_sorted(adjacency_[v], u);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  FPSS_EXPECTS(contains(u) && contains(v));
+  if (!has_edge(u, v)) return false;
+  auto erase_sorted = [](std::vector<NodeId>& adj, NodeId w) {
+    adj.erase(std::lower_bound(adj.begin(), adj.end(), w));
+  };
+  erase_sorted(adjacency_[u], v);
+  erase_sorted(adjacency_[v], u);
+  --edge_count_;
+  return true;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(edge_count_);
+  for (NodeId u = 0; u < node_count(); ++u)
+    for (NodeId v : adjacency_[u])
+      if (u < v) out.emplace_back(u, v);
+  return out;
+}
+
+}  // namespace fpss::graph

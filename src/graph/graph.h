@@ -1,0 +1,61 @@
+// The AS graph of Sect. 3: an undirected graph whose nodes are Autonomous
+// Systems, each with a per-packet transit cost c_k, and whose edges are
+// bidirectional interconnections. Following the Griffin-Wilfong abstraction
+// adopted by the paper (Sect. 5) there is at most one link between any two
+// ASs and each AS is atomic.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/cost.h"
+#include "util/types.h"
+
+namespace fpss::graph {
+
+/// Undirected AS graph with per-node transit costs.
+///
+/// Adjacency lists are kept sorted by neighbor id so that iteration order —
+/// and therefore every tie-break in the routing and pricing algorithms — is
+/// deterministic. Mutation (link insertion/removal, cost change) is allowed
+/// to support the dynamic-topology experiments of Sect. 6.
+class Graph {
+ public:
+  /// An n-node graph with no edges and all costs zero.
+  explicit Graph(std::size_t node_count);
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  bool contains(NodeId v) const { return v < node_count(); }
+
+  /// Transit cost c_v declared by node v.
+  Cost cost(NodeId v) const;
+  void set_cost(NodeId v, Cost c);
+  std::vector<Cost> costs() const;
+  void set_costs(const std::vector<Cost>& costs);
+
+  /// Sorted neighbor list of v.
+  std::span<const NodeId> neighbors(NodeId v) const;
+  std::size_t degree(NodeId v) const { return neighbors(v).size(); }
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Inserts the undirected edge {u, v}. Returns false if it already exists.
+  /// Precondition: u != v (no self-loops in the AS graph model).
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Removes the undirected edge {u, v}. Returns false if absent.
+  bool remove_edge(NodeId u, NodeId v);
+
+  /// All edges as (u, v) pairs with u < v, sorted.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+ private:
+  std::vector<Cost> node_cost_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace fpss::graph

@@ -1,0 +1,108 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace fpss::graph {
+
+std::string to_text(const Graph& g) {
+  std::ostringstream out;
+  out << "# fpss-graph v1\n";
+  out << "graph " << g.node_count() << "\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.cost(v) != Cost::zero())
+      out << "cost " << v << " " << g.cost(v).value() << "\n";
+  }
+  for (const auto& [u, v] : g.edges()) out << "edge " << u << " " << v << "\n";
+  return out.str();
+}
+
+namespace {
+
+ParseResult fail(std::size_t line, std::string message) {
+  ParseResult result;
+  result.error = "line " + std::to_string(line) + ": " + std::move(message);
+  result.line = line;
+  return result;
+}
+
+}  // namespace
+
+ParseResult from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::optional<Graph> graph;
+  std::string raw;
+  std::size_t line_number = 0;
+
+  while (std::getline(in, raw)) {
+    ++line_number;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string directive;
+    if (!(line >> directive)) continue;  // blank / comment-only line
+
+    if (directive == "graph") {
+      if (graph.has_value())
+        return fail(line_number, "duplicate 'graph' directive");
+      long long n = -1;
+      if (!(line >> n) || n < 0)
+        return fail(line_number, "'graph' needs a non-negative node count");
+      graph.emplace(static_cast<std::size_t>(n));
+    } else if (directive == "cost") {
+      if (!graph.has_value())
+        return fail(line_number, "'cost' before 'graph'");
+      long long v = -1, c = -1;
+      if (!(line >> v >> c) || v < 0 || c < 0)
+        return fail(line_number, "'cost' needs <node> <non-negative cost>");
+      if (static_cast<std::size_t>(v) >= graph->node_count())
+        return fail(line_number, "node id out of range");
+      if (c > Cost::kMaxFinite) return fail(line_number, "cost too large");
+      graph->set_cost(static_cast<NodeId>(v), Cost{c});
+    } else if (directive == "edge") {
+      if (!graph.has_value())
+        return fail(line_number, "'edge' before 'graph'");
+      long long u = -1, v = -1;
+      if (!(line >> u >> v) || u < 0 || v < 0)
+        return fail(line_number, "'edge' needs <u> <v>");
+      if (static_cast<std::size_t>(u) >= graph->node_count() ||
+          static_cast<std::size_t>(v) >= graph->node_count())
+        return fail(line_number, "node id out of range");
+      if (u == v) return fail(line_number, "self-loops are not allowed");
+      if (!graph->add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v)))
+        return fail(line_number, "duplicate edge");
+    } else {
+      return fail(line_number, "unknown directive '" + directive + "'");
+    }
+    // Trailing garbage after the parsed fields.
+    std::string extra;
+    if (line >> extra)
+      return fail(line_number, "unexpected trailing token '" + extra + "'");
+  }
+  if (!graph.has_value()) return fail(line_number, "missing 'graph' directive");
+
+  ParseResult result;
+  result.graph = std::move(graph);
+  return result;
+}
+
+bool save_graph(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_text(g);
+  return static_cast<bool>(out);
+}
+
+ParseResult load_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ParseResult result;
+    result.error = "cannot open '" + path + "'";
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_text(buffer.str());
+}
+
+}  // namespace fpss::graph

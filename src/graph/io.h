@@ -1,0 +1,38 @@
+// Plain-text serialization of AS graphs, so experiment inputs can be
+// checked in, diffed, and reloaded. Format ("fpss-graph v1"):
+//
+//   # comments and blank lines are ignored
+//   graph <node-count>
+//   cost <node> <cost>          (optional; default 0)
+//   edge <u> <v>
+//
+// Parsing returns a result object instead of aborting: malformed input is
+// an expected runtime condition, not a programming error.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace fpss::graph {
+
+/// Serializes g in the v1 format (stable ordering: costs then edges).
+std::string to_text(const Graph& g);
+
+struct ParseResult {
+  std::optional<Graph> graph;  ///< empty on failure
+  std::string error;           ///< "line 12: unknown directive 'foo'"
+  std::size_t line = 0;        ///< line the error was found on
+
+  bool ok() const { return graph.has_value(); }
+};
+
+/// Parses the v1 format. Never aborts on bad input.
+ParseResult from_text(const std::string& text);
+
+/// Convenience file wrappers (return false / !ok() on I/O failure).
+bool save_graph(const Graph& g, const std::string& path);
+ParseResult load_graph(const std::string& path);
+
+}  // namespace fpss::graph

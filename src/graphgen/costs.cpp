@@ -1,0 +1,44 @@
+#include "graphgen/costs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.h"
+
+namespace fpss::graphgen {
+
+void assign_uniform_cost(graph::Graph& g, Cost c) {
+  for (NodeId v = 0; v < g.node_count(); ++v) g.set_cost(v, c);
+}
+
+void assign_random_costs(graph::Graph& g, Cost::rep lo, Cost::rep hi,
+                         util::Rng& rng) {
+  FPSS_EXPECTS(0 <= lo && lo <= hi);
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    g.set_cost(v, Cost{rng.uniform_int(lo, hi)});
+}
+
+void assign_pareto_costs(graph::Graph& g, double alpha, Cost::rep cap,
+                         util::Rng& rng) {
+  FPSS_EXPECTS(cap >= 1);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const double x = rng.pareto(alpha, static_cast<double>(cap));
+    g.set_cost(v, Cost{static_cast<Cost::rep>(std::llround(x))});
+  }
+}
+
+void assign_degree_costs(graph::Graph& g, Cost::rep lo, Cost::rep hi) {
+  FPSS_EXPECTS(0 <= lo && lo <= hi);
+  std::size_t max_degree = 1;
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    max_degree = std::max(max_degree, g.degree(v));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const double frac = 1.0 - static_cast<double>(g.degree(v)) /
+                                  static_cast<double>(max_degree);
+    const auto c =
+        lo + static_cast<Cost::rep>(std::llround(frac * static_cast<double>(hi - lo)));
+    g.set_cost(v, Cost{c});
+  }
+}
+
+}  // namespace fpss::graphgen

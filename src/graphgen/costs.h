@@ -1,0 +1,29 @@
+// Transit-cost assignment models. The paper treats c_k as the per-packet
+// load a transit packet imposes on the AS's internal network (Sect. 1);
+// we provide uniform, tiered, and heavy-tailed models so experiments can
+// probe sensitivity to the cost distribution.
+#pragma once
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace fpss::graphgen {
+
+/// Every node gets cost `c`.
+void assign_uniform_cost(graph::Graph& g, Cost c);
+
+/// Independent uniform integer costs in [lo, hi].
+void assign_random_costs(graph::Graph& g, Cost::rep lo, Cost::rep hi,
+                         util::Rng& rng);
+
+/// Heavy-tailed (Pareto shape `alpha`) integer costs in [1, cap]: a few
+/// expensive ASs, many cheap ones.
+void assign_pareto_costs(graph::Graph& g, double alpha, Cost::rep cap,
+                         util::Rng& rng);
+
+/// Degree-correlated costs: high-degree (core-like) nodes are cheap,
+/// low-degree (stub-like) nodes expensive — big transit providers have
+/// well-provisioned backbones. cost = lo + (hi-lo) * (1 - deg/maxdeg).
+void assign_degree_costs(graph::Graph& g, Cost::rep lo, Cost::rep hi);
+
+}  // namespace fpss::graphgen

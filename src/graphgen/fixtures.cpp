@@ -1,0 +1,93 @@
+#include "graphgen/fixtures.h"
+
+#include "util/contract.h"
+
+namespace fpss::graphgen {
+
+using graph::Graph;
+
+Fig1 fig1() {
+  Fig1 f{Graph{6}, {"A", "B", "D", "X", "Y", "Z"}, 0, 1, 2, 3, 4, 5};
+  f.g.set_cost(f.a, Cost{5});
+  f.g.set_cost(f.b, Cost{2});
+  f.g.set_cost(f.d, Cost{1});
+  f.g.set_cost(f.x, Cost{2});
+  f.g.set_cost(f.y, Cost{3});
+  f.g.set_cost(f.z, Cost{4});
+  f.g.add_edge(f.x, f.a);
+  f.g.add_edge(f.a, f.z);
+  f.g.add_edge(f.x, f.b);
+  f.g.add_edge(f.b, f.d);
+  f.g.add_edge(f.d, f.z);
+  f.g.add_edge(f.y, f.d);
+  f.g.add_edge(f.y, f.b);
+  return f;
+}
+
+Graph path_graph(std::size_t n) {
+  FPSS_EXPECTS(n >= 1);
+  Graph g{n};
+  for (NodeId v = 1; v < n; ++v) g.add_edge(v - 1, v);
+  return g;
+}
+
+Graph ring_graph(std::size_t n) {
+  FPSS_EXPECTS(n >= 3);
+  Graph g{n};
+  for (NodeId v = 0; v < n; ++v)
+    g.add_edge(v, static_cast<NodeId>((v + 1) % n));
+  return g;
+}
+
+Graph clique_graph(std::size_t n) {
+  FPSS_EXPECTS(n >= 1);
+  Graph g{n};
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  FPSS_EXPECTS(rows >= 1 && cols >= 1);
+  Graph g{rows * cols};
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph wheel_graph(std::size_t n) {
+  FPSS_EXPECTS(n >= 4);
+  Graph g{n};
+  for (NodeId v = 1; v < n; ++v) {
+    g.add_edge(0, v);
+    const NodeId next = (v + 1 < n) ? v + 1 : 1;
+    g.add_edge(v, next);
+  }
+  return g;
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b) {
+  FPSS_EXPECTS(a >= 1 && b >= 1);
+  Graph g{a + b};
+  for (NodeId u = 0; u < a; ++u)
+    for (NodeId v = 0; v < b; ++v)
+      g.add_edge(u, static_cast<NodeId>(a + v));
+  return g;
+}
+
+Graph hub_adversarial(std::size_t n, Cost::rep rim_cost) {
+  FPSS_EXPECTS(n >= 4 && rim_cost >= 1);
+  Graph g = wheel_graph(n);
+  g.set_cost(0, Cost::zero());
+  for (NodeId v = 1; v < n; ++v) g.set_cost(v, Cost{rim_cost});
+  return g;
+}
+
+}  // namespace fpss::graphgen

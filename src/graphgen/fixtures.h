@@ -1,0 +1,53 @@
+// Deterministic fixture topologies: the paper's Fig. 1 worked example and
+// the classic families used by unit tests and adversarial benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/cost.h"
+#include "util/types.h"
+
+namespace fpss::graphgen {
+
+/// The six-node AS graph of Fig. 1 with its transit costs
+/// (A=5, B=2, D=1, X=2, Y=3, Z=4). Used by the E1/E2 reproduction:
+/// LCP(X,Z) = X-B-D-Z with transit cost 3, p^D_XZ = 3, p^B_XZ = 4,
+/// LCP(Y,Z) = Y-D-Z with transit cost 1, p^D_YZ = 9.
+struct Fig1 {
+  graph::Graph g;
+  std::vector<std::string> names;  ///< display letters per node id
+  NodeId a, b, d, x, y, z;         ///< ids of the lettered nodes
+};
+Fig1 fig1();
+
+/// Simple path 0-1-...-(n-1). Not biconnected; used to exercise the
+/// monopoly detection. Precondition: n >= 1.
+graph::Graph path_graph(std::size_t n);
+
+/// Cycle over n nodes. Biconnected for n >= 3. Precondition: n >= 3.
+graph::Graph ring_graph(std::size_t n);
+
+/// Complete graph K_n. Precondition: n >= 1.
+graph::Graph clique_graph(std::size_t n);
+
+/// rows x cols grid with 4-neighborhood. Biconnected iff both >= 2.
+graph::Graph grid_graph(std::size_t rows, std::size_t cols);
+
+/// Wheel W_n: node 0 is the hub, nodes 1..n-1 form a rim cycle, every rim
+/// node also connects to the hub. Precondition: n >= 4.
+graph::Graph wheel_graph(std::size_t n);
+
+/// Complete bipartite K_{a,b}: nodes 0..a-1 vs a..a+b-1.
+/// Precondition: a >= 1 && b >= 1.
+graph::Graph complete_bipartite(std::size_t a, std::size_t b);
+
+/// The adversarial family for experiment E7 (d' >> d): a wheel whose hub
+/// has transit cost 0 and whose rim nodes have cost `rim_cost`, so every
+/// LCP crosses the hub (d = 2) while the lowest-cost hub-avoiding path
+/// walks the rim (d' ~ n). Precondition: n >= 4, rim_cost >= 1.
+graph::Graph hub_adversarial(std::size_t n, Cost::rep rim_cost = 10);
+
+}  // namespace fpss::graphgen

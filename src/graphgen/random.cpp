@@ -1,0 +1,218 @@
+#include "graphgen/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/analysis.h"
+#include "util/contract.h"
+
+namespace fpss::graphgen {
+
+using graph::Graph;
+
+Graph erdos_renyi(std::size_t n, double p, util::Rng& rng) {
+  FPSS_EXPECTS(p >= 0.0 && p <= 1.0);
+  Graph g{n};
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (rng.chance(p)) g.add_edge(u, v);
+  return g;
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t attachments,
+                      util::Rng& rng) {
+  FPSS_EXPECTS(attachments >= 1 && n > attachments);
+  Graph g{n};
+  // Seed clique over the first attachments+1 nodes.
+  const auto seed = static_cast<NodeId>(attachments + 1);
+  std::vector<NodeId> endpoint_pool;  // each edge contributes both endpoints
+  for (NodeId u = 0; u < seed; ++u) {
+    for (NodeId v = u + 1; v < seed; ++v) {
+      g.add_edge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  for (NodeId v = seed; v < n; ++v) {
+    std::unordered_set<NodeId> targets;
+    while (targets.size() < attachments) {
+      const NodeId t = endpoint_pool[rng.below(endpoint_pool.size())];
+      targets.insert(t);
+    }
+    for (NodeId t : targets) {
+      g.add_edge(v, t);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph waxman(std::size_t n, double alpha, double beta, util::Rng& rng) {
+  FPSS_EXPECTS(alpha > 0.0 && beta > 0.0);
+  Graph g{n};
+  std::vector<std::pair<double, double>> pos(n);
+  for (auto& [px, py] : pos) {
+    px = rng.uniform01();
+    py = rng.uniform01();
+  }
+  const double scale = beta * std::sqrt(2.0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double dx = pos[u].first - pos[v].first;
+      const double dy = pos[u].second - pos[v].second;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      if (rng.chance(alpha * std::exp(-dist / scale))) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph tiered_internet(const TieredParams& params, util::Rng& rng) {
+  return tiered_internet_annotated(params, rng).g;
+}
+
+TieredGraph tiered_internet_annotated(const TieredParams& params,
+                                      util::Rng& rng) {
+  FPSS_EXPECTS(params.core_count >= 3);
+  FPSS_EXPECTS(params.mid_uplinks >= 1 && params.stub_uplinks >= 1);
+  const std::size_t core = params.core_count;
+  const std::size_t mid = params.mid_count;
+  const std::size_t stub = params.stub_count;
+  TieredGraph out{Graph{core + mid + stub}, {}, {}};
+  Graph& g = out.g;
+  out.tier.resize(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    out.tier[v] = v < core ? 0 : (v < core + mid ? 1 : 2);
+
+  auto link = [&out, &g](NodeId u, NodeId v, EdgeProvenance why) {
+    if (g.add_edge(u, v)) out.edges.emplace_back(u, v, why);
+  };
+
+  // Tier-1 core: full mesh (default-free zone peers with everyone).
+  for (NodeId u = 0; u < core; ++u)
+    for (NodeId v = u + 1; v < core; ++v)
+      link(u, v, EdgeProvenance::kCoreMesh);
+
+  // Mid tier: multihomed into the core and earlier mid-tier nodes. The
+  // chosen node is the new node's transit provider (always an earlier id,
+  // so the provider digraph is acyclic).
+  for (std::size_t m = 0; m < mid; ++m) {
+    const auto v = static_cast<NodeId>(core + m);
+    const std::size_t provider_pool = core + m;
+    const std::size_t uplinks = std::min(params.mid_uplinks, provider_pool);
+    while (g.degree(v) < uplinks) {
+      link(v, static_cast<NodeId>(rng.below(provider_pool)),
+           EdgeProvenance::kUplink);
+    }
+  }
+
+  // Lateral peering between mid-tier nodes.
+  for (std::size_t a = 0; a < mid; ++a)
+    for (std::size_t b = a + 1; b < mid; ++b)
+      if (rng.chance(params.peer_probability))
+        link(static_cast<NodeId>(core + a), static_cast<NodeId>(core + b),
+             EdgeProvenance::kLateral);
+
+  // Stubs: multihomed into the mid tier (or core if there is no mid tier).
+  for (std::size_t s = 0; s < stub; ++s) {
+    const auto v = static_cast<NodeId>(core + mid + s);
+    const std::size_t provider_lo = mid > 0 ? core : 0;
+    const std::size_t provider_count = mid > 0 ? mid : core;
+    const std::size_t uplinks = std::min(params.stub_uplinks, provider_count);
+    while (g.degree(v) < uplinks) {
+      link(v, static_cast<NodeId>(provider_lo + rng.below(provider_count)),
+           EdgeProvenance::kUplink);
+    }
+  }
+
+  // Biconnectivity repair: the added links are settlement-free peerings.
+  const auto before = g.edges();
+  make_biconnected(g, rng);
+  for (const auto& [u, v] : g.edges()) {
+    if (!std::binary_search(before.begin(), before.end(),
+                            std::make_pair(u, v)))
+      out.edges.emplace_back(u, v, EdgeProvenance::kRepair);
+  }
+  return out;
+}
+
+namespace {
+
+/// Component labels of g with node `skip` (may be kInvalidNode) removed.
+std::vector<std::uint32_t> component_labels(const Graph& g, NodeId skip,
+                                            std::uint32_t& component_count) {
+  const std::size_t n = g.node_count();
+  std::vector<std::uint32_t> label(n, UINT32_MAX);
+  component_count = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    if (s == skip || label[s] != UINT32_MAX) continue;
+    const std::uint32_t id = component_count++;
+    std::queue<NodeId> frontier;
+    frontier.push(s);
+    label[s] = id;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId v : g.neighbors(u)) {
+        if (v == skip || label[v] != UINT32_MAX) continue;
+        label[v] = id;
+        frontier.push(v);
+      }
+    }
+  }
+  return label;
+}
+
+/// Lowest-degree node of g among those with `label[v] == want` (v != skip).
+NodeId pick_low_degree(const Graph& g, const std::vector<std::uint32_t>& label,
+                       std::uint32_t want, NodeId skip) {
+  NodeId best = kInvalidNode;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == skip || label[v] != want) continue;
+    if (best == kInvalidNode || g.degree(v) < g.degree(best)) best = v;
+  }
+  FPSS_ENSURES(best != kInvalidNode);
+  return best;
+}
+
+}  // namespace
+
+std::size_t make_biconnected(graph::Graph& g, util::Rng& rng) {
+  FPSS_EXPECTS(g.node_count() >= 3);
+  std::size_t added = 0;
+  // Phase 1: connect components.
+  for (;;) {
+    std::uint32_t components = 0;
+    const auto label = component_labels(g, kInvalidNode, components);
+    if (components <= 1) break;
+    const NodeId u = pick_low_degree(g, label, 0, kInvalidNode);
+    const NodeId v = pick_low_degree(
+        g, label, 1 + static_cast<std::uint32_t>(rng.below(components - 1)),
+        kInvalidNode);
+    if (g.add_edge(u, v)) ++added;
+  }
+  // Phase 2: bridge around articulation points.
+  for (;;) {
+    const auto cuts = graph::articulation_points(g);
+    if (cuts.empty()) break;
+    const NodeId cut = cuts[rng.below(cuts.size())];
+    std::uint32_t components = 0;
+    const auto label = component_labels(g, cut, components);
+    FPSS_ASSERT(components >= 2);
+    const NodeId u = pick_low_degree(g, label, 0, cut);
+    const NodeId v = pick_low_degree(
+        g, label, 1 + static_cast<std::uint32_t>(rng.below(components - 1)),
+        cut);
+    const bool inserted = g.add_edge(u, v);
+    FPSS_ASSERT(inserted);
+    ++added;
+  }
+  FPSS_ENSURES(graph::is_biconnected(g));
+  return added;
+}
+
+}  // namespace fpss::graphgen

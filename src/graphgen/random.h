@@ -1,0 +1,73 @@
+// Random AS-topology generators. The paper evaluates its claims against
+// "the current AS graph" (Sect. 6.2), which we cannot ship; these models
+// reproduce the structural properties the claims depend on — biconnectivity,
+// low diameter, heavy-tailed degree distribution (see DESIGN.md Sect. 2).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace fpss::graphgen {
+
+/// Erdos-Renyi G(n, p).
+graph::Graph erdos_renyi(std::size_t n, double p, util::Rng& rng);
+
+/// Barabasi-Albert preferential attachment: starts from an
+/// (attachments+1)-clique, each subsequent node attaches to `attachments`
+/// distinct existing nodes with probability proportional to degree.
+/// Produces the power-law degree distribution observed for AS graphs.
+/// Precondition: n > attachments >= 1.
+graph::Graph barabasi_albert(std::size_t n, std::size_t attachments,
+                             util::Rng& rng);
+
+/// Waxman random geometric graph on the unit square: nodes u,v are linked
+/// with probability alpha * exp(-dist(u,v) / (beta * sqrt(2))).
+graph::Graph waxman(std::size_t n, double alpha, double beta, util::Rng& rng);
+
+/// Parameters of the tiered Internet-like generator.
+struct TieredParams {
+  std::size_t core_count = 8;       ///< fully meshed tier-1 core
+  std::size_t mid_count = 32;       ///< regional providers
+  std::size_t stub_count = 88;      ///< stub ASs
+  std::size_t mid_uplinks = 3;      ///< links from each mid AS upward
+  std::size_t stub_uplinks = 2;     ///< links from each stub AS upward
+  double peer_probability = 0.05;   ///< lateral peering between mid ASs
+};
+
+/// Three-tier AS topology: a clique core, mid-tier providers multihomed
+/// into core/mid, and stubs multihomed into mid-tier, plus sparse lateral
+/// peering. Mirrors the provider/customer hierarchy described in the
+/// paper's footnote 2.
+graph::Graph tiered_internet(const TieredParams& params, util::Rng& rng);
+
+/// How an edge of the tiered topology came to exist — the ground-truth
+/// business relationship, consumed by the policy-routing module.
+enum class EdgeProvenance : std::uint8_t {
+  kCoreMesh,   ///< both endpoints tier-1: settlement-free peering
+  kUplink,     ///< second endpoint is the first's transit provider
+  kLateral,    ///< same-tier peering link
+  kRepair,     ///< added by make_biconnected: treated as peering
+};
+
+struct TieredGraph {
+  graph::Graph g;
+  /// Tier of each node: 0 = core, 1 = mid, 2 = stub.
+  std::vector<std::uint8_t> tier;
+  /// One entry per edge: (u, v, provenance); for kUplink, v is u's
+  /// provider.
+  std::vector<std::tuple<NodeId, NodeId, EdgeProvenance>> edges;
+};
+
+/// Like tiered_internet, but also reports tiers and per-edge provenance.
+TieredGraph tiered_internet_annotated(const TieredParams& params,
+                                      util::Rng& rng);
+
+/// Adds edges until `g` is biconnected (connects components, then bridges
+/// around articulation points). New edges favor low-degree nodes. Returns
+/// the number of edges added. Used to make every random family a valid
+/// mechanism input.
+std::size_t make_biconnected(graph::Graph& g, util::Rng& rng);
+
+}  // namespace fpss::graphgen

@@ -1,0 +1,142 @@
+#include "linkstate/linkstate.h"
+
+#include <algorithm>
+
+#include "util/contract.h"
+
+namespace fpss::linkstate {
+
+bool LsDatabase::install(const Lsa& lsa) {
+  FPSS_EXPECTS(lsa.origin != kInvalidNode);
+  const auto it = entries_.find(lsa.origin);
+  if (it != entries_.end() && it->second.sequence >= lsa.sequence)
+    return false;
+  entries_[lsa.origin] = lsa;
+  return true;
+}
+
+const Lsa* LsDatabase::find(NodeId origin) const {
+  const auto it = entries_.find(origin);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::size_t LsDatabase::words() const {
+  std::size_t total = 0;
+  for (const auto& [origin, lsa] : entries_) {
+    (void)origin;
+    total += lsa.words();
+  }
+  return total;
+}
+
+bool LsDatabase::complete(std::size_t node_count) const {
+  return entries_.size() == node_count;
+}
+
+graph::Graph LsDatabase::reconstruct(std::size_t node_count) const {
+  graph::Graph g{node_count};
+  for (const auto& [origin, lsa] : entries_) {
+    if (origin >= node_count) continue;
+    g.set_cost(origin, lsa.declared_cost);
+    for (NodeId v : lsa.neighbors) {
+      if (v >= node_count || g.has_edge(origin, v)) continue;
+      // Two-way check: only accept the link if v advertises it back.
+      const Lsa* other = find(v);
+      if (other != nullptr &&
+          std::find(other->neighbors.begin(), other->neighbors.end(),
+                    origin) != other->neighbors.end()) {
+        g.add_edge(origin, v);
+      }
+    }
+  }
+  return g;
+}
+
+FloodingNetwork::FloodingNetwork(const graph::Graph& g)
+    : graph_(g),
+      db_(g.node_count()),
+      own_sequence_(g.node_count(), 0),
+      outbox_(g.node_count()) {
+  for (NodeId v = 0; v < g.node_count(); ++v) reissue(v);
+}
+
+const LsDatabase& FloodingNetwork::database(NodeId v) const {
+  FPSS_EXPECTS(v < db_.size());
+  return db_[v];
+}
+
+void FloodingNetwork::reissue(NodeId origin) {
+  Lsa lsa;
+  lsa.origin = origin;
+  lsa.sequence = ++own_sequence_[origin];
+  lsa.declared_cost = graph_.cost(origin);
+  const auto neighbors = graph_.neighbors(origin);
+  lsa.neighbors.assign(neighbors.begin(), neighbors.end());
+  db_[origin].install(lsa);
+  outbox_[origin].push_back(std::move(lsa));
+}
+
+FloodingNetwork::Stats FloodingNetwork::run(Stage max_stages) {
+  const Stats before = stats_;
+  stats_.converged = false;
+  for (Stage executed = 0; executed < max_stages; ++executed) {
+    bool any = false;
+    for (const auto& box : outbox_) any |= !box.empty();
+    if (!any) {
+      stats_.converged = true;
+      break;
+    }
+    ++stats_.stages;
+    // Deliver this stage's floods; collect what each node must forward on.
+    std::vector<std::vector<Lsa>> next(graph_.node_count());
+    for (NodeId v = 0; v < graph_.node_count(); ++v) {
+      for (const Lsa& lsa : outbox_[v]) {
+        for (NodeId neighbor : graph_.neighbors(v)) {
+          ++stats_.messages;
+          stats_.words += lsa.words();
+          if (db_[neighbor].install(lsa)) next[neighbor].push_back(lsa);
+        }
+      }
+    }
+    outbox_ = std::move(next);
+  }
+
+  Stats segment = stats_;
+  segment.stages -= before.stages;
+  segment.messages -= before.messages;
+  segment.words -= before.words;
+  segment.converged = stats_.converged;
+  return segment;
+}
+
+bool FloodingNetwork::all_synchronized() const {
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    if (!db_[v].complete(graph_.node_count())) return false;
+    const graph::Graph view = db_[v].reconstruct(graph_.node_count());
+    if (view.edges() != graph_.edges()) return false;
+    for (NodeId u = 0; u < graph_.node_count(); ++u)
+      if (view.cost(u) != graph_.cost(u)) return false;
+  }
+  return true;
+}
+
+void FloodingNetwork::change_cost(NodeId v, Cost new_cost) {
+  graph_.set_cost(v, new_cost);
+  reissue(v);
+}
+
+void FloodingNetwork::add_link(NodeId u, NodeId v) {
+  const bool added = graph_.add_edge(u, v);
+  FPSS_EXPECTS(added);
+  reissue(u);
+  reissue(v);
+}
+
+void FloodingNetwork::remove_link(NodeId u, NodeId v) {
+  const bool removed = graph_.remove_edge(u, v);
+  FPSS_EXPECTS(removed);
+  reissue(u);
+  reissue(v);
+}
+
+}  // namespace fpss::linkstate

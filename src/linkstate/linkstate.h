@@ -1,0 +1,102 @@
+// A link-state (OSPF-style) alternative substrate.
+//
+// The paper contrasts interdomain BGP with intradomain protocols like OSPF
+// (Sect. 1) and chooses BGP as the computational substrate. A link-state
+// protocol is the natural counterfactual: every node floods its local view
+// (declared cost + adjacency) to everyone, each node reconstructs the full
+// AS graph, and can then run the *centralized* Theorem 1 computation
+// locally — no distributed price protocol needed at all. The price is a
+// different one: O(|E|)-sized databases everywhere, flooding traffic, and
+// every AS revealing its complete adjacency — exactly the autonomy the
+// interdomain setting cannot assume. Experiment E17 quantifies the trade.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/cost.h"
+#include "util/types.h"
+
+namespace fpss::linkstate {
+
+/// One node's link-state advertisement: its declared transit cost and
+/// adjacency, versioned by a sequence number (higher supersedes).
+struct Lsa {
+  NodeId origin = kInvalidNode;
+  std::uint32_t sequence = 0;
+  Cost declared_cost;
+  std::vector<NodeId> neighbors;
+
+  /// Words on the wire: origin + sequence + cost + neighbor list.
+  std::size_t words() const { return 3 + neighbors.size(); }
+};
+
+/// A node's link-state database: the freshest LSA per origin.
+class LsDatabase {
+ public:
+  /// Installs the LSA if it is newer than the stored one (strictly higher
+  /// sequence, or first sighting). Returns true if installed — the signal
+  /// to re-flood.
+  bool install(const Lsa& lsa);
+
+  bool has(NodeId origin) const { return entries_.contains(origin); }
+  const Lsa* find(NodeId origin) const;
+  std::size_t size() const { return entries_.size(); }
+
+  /// Database footprint in words.
+  std::size_t words() const;
+
+  /// True once an LSA from every one of the `node_count` nodes is present.
+  bool complete(std::size_t node_count) const;
+
+  /// Rebuilds the AS graph from the database: a link exists iff *both*
+  /// endpoints currently advertise it (two-way connectivity check, as in
+  /// OSPF). Unknown origins contribute nothing.
+  graph::Graph reconstruct(std::size_t node_count) const;
+
+ private:
+  std::unordered_map<NodeId, Lsa> entries_;
+};
+
+/// Synchronous flooding engine: each stage, every node forwards the LSAs
+/// it newly installed last stage to all neighbors. Converges in
+/// (hop diameter) stages on a static topology.
+class FloodingNetwork {
+ public:
+  explicit FloodingNetwork(const graph::Graph& g);
+
+  struct Stats {
+    Stage stages = 0;
+    std::uint64_t messages = 0;  ///< one LSA delivery = one message
+    std::uint64_t words = 0;
+    bool converged = false;
+  };
+
+  /// Floods to quiescence (continues after dynamic events).
+  Stats run(Stage max_stages = 100000);
+
+  const LsDatabase& database(NodeId v) const;
+  const graph::Graph& topology() const { return graph_; }
+
+  /// Every node's database is complete and reconstructs the true topology.
+  bool all_synchronized() const;
+
+  // --- dynamics: the origin issues a superseding LSA and refloods --------
+  void change_cost(NodeId v, Cost new_cost);
+  void add_link(NodeId u, NodeId v);
+  void remove_link(NodeId u, NodeId v);
+
+ private:
+  void reissue(NodeId origin);
+
+  graph::Graph graph_;
+  std::vector<LsDatabase> db_;
+  std::vector<std::uint32_t> own_sequence_;
+  /// LSAs each node must forward next stage.
+  std::vector<std::vector<Lsa>> outbox_;
+  Stats stats_;
+};
+
+}  // namespace fpss::linkstate

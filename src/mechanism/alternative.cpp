@@ -1,0 +1,65 @@
+#include "mechanism/alternative.h"
+
+#include "mechanism/strategyproof.h"
+#include "util/contract.h"
+
+namespace fpss::mechanism {
+
+payments::PriceFn cost_plus_pricing(const graph::Graph& declared_graph,
+                                    Cost::rep markup_percent) {
+  FPSS_EXPECTS(markup_percent >= 0);
+  // Copy the graph into the closure: prices must reflect the declared
+  // profile they were computed for.
+  return [g = declared_graph, markup_percent](NodeId k, NodeId i,
+                                              NodeId j) -> Cost {
+    (void)i;
+    (void)j;
+    const Cost::rep c = g.cost(k).value();
+    return Cost{c + c * markup_percent / 100};
+  };
+}
+
+Cost::rep cost_plus_utility(const graph::Graph& declared_graph, NodeId k,
+                            Cost true_cost_k, Cost::rep markup_percent,
+                            const payments::TrafficMatrix& traffic) {
+  FPSS_EXPECTS(declared_graph.contains(k));
+  const routing::AllPairsRoutes routes(declared_graph);
+  const payments::PriceFn price =
+      cost_plus_pricing(declared_graph, markup_percent);
+  Cost::rep utility = 0;
+  const std::size_t n = declared_graph.node_count();
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j || i == k || j == k) continue;
+      const std::uint64_t packets = traffic.at(i, j);
+      if (packets == 0 || !routes.is_transit(k, i, j)) continue;
+      utility += static_cast<Cost::rep>(packets) *
+                 (price(k, i, j).value() - true_cost_k.value());
+    }
+  }
+  return utility;
+}
+
+ManipulationWitness find_cost_plus_manipulation(
+    const graph::Graph& g, NodeId k, Cost::rep markup_percent,
+    const payments::TrafficMatrix& traffic) {
+  ManipulationWitness witness;
+  witness.truthful_utility =
+      cost_plus_utility(g, k, g.cost(k), markup_percent, traffic);
+
+  graph::Graph declared = g;
+  for (Cost lie : default_deviation_grid(g.cost(k))) {
+    declared.set_cost(k, lie);
+    const Cost::rep utility =
+        cost_plus_utility(declared, k, g.cost(k), markup_percent, traffic);
+    if (utility > witness.truthful_utility &&
+        (!witness.found || utility > witness.lying_utility)) {
+      witness.found = true;
+      witness.declared = lie;
+      witness.lying_utility = utility;
+    }
+  }
+  return witness;
+}
+
+}  // namespace fpss::mechanism

@@ -1,0 +1,45 @@
+// Negative controls for Theorem 1's uniqueness claim: plausible-looking
+// pricing schemes that are NOT strategyproof. Theorem 1 says the VCG
+// member is the *only* strategyproof scheme that pays nothing to nodes
+// carrying no transit traffic; these alternatives let tests and benches
+// demonstrate that the deviation harness actually catches manipulable
+// schemes (and that the two temptations of footnote 1 are real).
+#pragma once
+
+#include "graph/graph.h"
+#include "payments/ledger.h"
+#include "payments/traffic.h"
+#include "routing/all_pairs.h"
+#include "util/cost.h"
+
+namespace fpss::mechanism {
+
+/// "Cost-plus" pricing: every transit node is paid its *declared* cost
+/// times (1 + markup_percent/100) per packet. Routing still follows LCPs
+/// of the declared costs. Overstating the cost raises the per-packet
+/// margin until the traffic reroutes — a manipulable knob.
+payments::PriceFn cost_plus_pricing(const graph::Graph& declared_graph,
+                                    Cost::rep markup_percent);
+
+/// Utility of node k under cost-plus pricing when everyone declares
+/// `declared_graph`'s costs but k's true cost is `true_cost_k`.
+Cost::rep cost_plus_utility(const graph::Graph& declared_graph, NodeId k,
+                            Cost true_cost_k, Cost::rep markup_percent,
+                            const payments::TrafficMatrix& traffic);
+
+struct ManipulationWitness {
+  bool found = false;
+  Cost declared;        ///< the profitable lie
+  Cost::rep truthful_utility = 0;
+  Cost::rep lying_utility = 0;
+  Cost::rep gain() const { return lying_utility - truthful_utility; }
+};
+
+/// Searches a declaration grid for a profitable lie by node k under
+/// cost-plus pricing. Theorem 1 implies such a witness exists on
+/// reasonable instances; the VCG sweep on the same instance finds none.
+ManipulationWitness find_cost_plus_manipulation(
+    const graph::Graph& g, NodeId k, Cost::rep markup_percent,
+    const payments::TrafficMatrix& traffic);
+
+}  // namespace fpss::mechanism

@@ -1,0 +1,202 @@
+#include "mechanism/edge_cost_variant.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/contract.h"
+
+namespace fpss::mechanism::edgecost {
+
+ExitCosts::ExitCosts(const graph::Graph& topology) : topology_(&topology) {
+  for (NodeId u = 0; u < topology.node_count(); ++u)
+    for (NodeId v : topology.neighbors(u)) cost_[key(u, v)] = Cost::zero();
+}
+
+Cost ExitCosts::cost(NodeId from, NodeId to) const {
+  const auto it = cost_.find(key(from, to));
+  FPSS_EXPECTS(it != cost_.end());
+  return it->second;
+}
+
+void ExitCosts::set_cost(NodeId from, NodeId to, Cost c) {
+  FPSS_EXPECTS(c.is_finite());
+  const auto it = cost_.find(key(from, to));
+  FPSS_EXPECTS(it != cost_.end());
+  it->second = c;
+}
+
+void ExitCosts::scale_node(NodeId node, Cost::rep numerator,
+                           Cost::rep denominator) {
+  FPSS_EXPECTS(numerator >= 0 && denominator > 0);
+  for (NodeId v : topology_->neighbors(node)) {
+    const Cost::rep old = cost(node, v).value();
+    set_cost(node, v, Cost{old * numerator / denominator});
+  }
+}
+
+ExitCosts ExitCosts::from_node_costs(const graph::Graph& g) {
+  ExitCosts costs(g);
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    for (NodeId v : g.neighbors(u)) costs.set_cost(u, v, g.cost(u));
+  return costs;
+}
+
+ExitCosts ExitCosts::random(const graph::Graph& g, Cost::rep lo, Cost::rep hi,
+                            util::Rng& rng) {
+  FPSS_EXPECTS(0 <= lo && lo <= hi);
+  ExitCosts costs(g);
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    for (NodeId v : g.neighbors(u))
+      costs.set_cost(u, v, Cost{rng.uniform_int(lo, hi)});
+  return costs;
+}
+
+Cost ExitCosts::path_cost(const graph::Path& path) const {
+  FPSS_EXPECTS(!path.empty());
+  Cost total = Cost::zero();
+  for (std::size_t t = 1; t + 1 < path.size(); ++t)
+    total += cost(path[t], path[t + 1]);
+  return total;
+}
+
+namespace {
+
+struct Label {
+  Cost cost = Cost::infinity();
+  std::uint32_t hops = UINT32_MAX;
+  NodeId toward = kInvalidNode;  ///< next node on the way to the destination
+};
+
+struct QueueItem {
+  Cost cost;
+  std::uint32_t hops;
+  NodeId node;
+  bool operator<(const QueueItem& other) const {
+    if (cost != other.cost) return cost > other.cost;
+    return hops > other.hops;  // min-heap
+  }
+};
+
+}  // namespace
+
+EdgeCostRoute lowest_cost_route(const ExitCosts& costs, NodeId src,
+                                NodeId dst, NodeId avoid) {
+  const graph::Graph& g = costs.topology();
+  FPSS_EXPECTS(g.contains(src) && g.contains(dst) && src != dst);
+  FPSS_EXPECTS(avoid != src && avoid != dst);
+  const std::size_t n = g.node_count();
+
+  // T(u): the cheapest u -> dst continuation *given that u is a transit
+  // node* (u pays its exit cost on the first link). Computed by Dijkstra
+  // growing from the destination; deterministic tie-break (cost, hops,
+  // lower `toward` id).
+  std::vector<Label> transit(n);
+  std::vector<char> done(n, 0);
+  std::priority_queue<QueueItem> queue;
+
+  for (NodeId u : g.neighbors(dst)) {
+    if (u == avoid) continue;
+    const Label candidate{costs.cost(u, dst), 1, dst};
+    transit[u] = candidate;
+    queue.push({candidate.cost, 1, u});
+  }
+  while (!queue.empty()) {
+    const QueueItem item = queue.top();
+    queue.pop();
+    const NodeId v = item.node;
+    if (done[v] || item.cost != transit[v].cost ||
+        item.hops != transit[v].hops)
+      continue;
+    done[v] = 1;
+    for (NodeId u : g.neighbors(v)) {
+      if (u == avoid || u == dst || done[u]) continue;
+      const Cost through = costs.cost(u, v) + transit[v].cost;
+      const std::uint32_t hops = transit[v].hops + 1;
+      Label& label = transit[u];
+      if (through < label.cost ||
+          (through == label.cost &&
+           (hops < label.hops || (hops == label.hops && v < label.toward)))) {
+        label = Label{through, hops, v};
+        queue.push({through, hops, u});
+      }
+    }
+  }
+
+  // The source pays nothing: pick its best first hop.
+  EdgeCostRoute route;
+  Label best;
+  for (NodeId v : g.neighbors(src)) {
+    if (v == avoid) continue;
+    Label candidate;
+    if (v == dst) {
+      candidate = Label{Cost::zero(), 1, dst};
+    } else if (transit[v].cost.is_finite()) {
+      candidate = Label{transit[v].cost, transit[v].hops + 1, v};
+    } else {
+      continue;
+    }
+    if (candidate.cost < best.cost ||
+        (candidate.cost == best.cost &&
+         (candidate.hops < best.hops ||
+          (candidate.hops == best.hops && candidate.toward < best.toward)))) {
+      best = candidate;
+    }
+  }
+  if (best.cost.is_infinite()) return route;  // unreachable
+
+  route.cost = best.cost;
+  route.path.push_back(src);
+  NodeId v = best.toward;
+  while (v != dst) {
+    route.path.push_back(v);
+    FPSS_ASSERT(route.path.size() <= n);
+    v = transit[v].toward;
+  }
+  route.path.push_back(dst);
+  return route;
+}
+
+Cost vcg_price(const ExitCosts& costs, NodeId k, NodeId i, NodeId j) {
+  const EdgeCostRoute route = lowest_cost_route(costs, i, j);
+  if (route.path.empty()) return Cost::zero();
+  NodeId exit_to = kInvalidNode;
+  for (std::size_t t = 1; t + 1 < route.path.size(); ++t) {
+    if (route.path[t] == k) {
+      exit_to = route.path[t + 1];
+      break;
+    }
+  }
+  if (exit_to == kInvalidNode) return Cost::zero();  // k not transit
+  const EdgeCostRoute detour = lowest_cost_route(costs, i, j, k);
+  if (detour.path.empty()) return Cost::infinity();  // monopoly
+  const Cost::rep premium = detour.cost - route.cost;
+  FPSS_ASSERT(premium >= 0);
+  return cost_plus_delta(costs.cost(k, exit_to), premium);
+}
+
+Cost::rep node_utility(const ExitCosts& declared, const ExitCosts& truth,
+                       NodeId k, const payments::TrafficMatrix& traffic) {
+  const std::size_t n = declared.topology().node_count();
+  FPSS_EXPECTS(traffic.node_count() == n);
+  Cost::rep utility = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j || i == k || j == k) continue;
+      const std::uint64_t packets = traffic.at(i, j);
+      if (packets == 0) continue;
+      const EdgeCostRoute route = lowest_cost_route(declared, i, j);
+      for (std::size_t t = 1; t + 1 < route.path.size(); ++t) {
+        if (route.path[t] != k) continue;
+        const Cost price = vcg_price(declared, k, i, j);
+        FPSS_EXPECTS(price.is_finite());
+        const Cost true_cost = truth.cost(k, route.path[t + 1]);
+        utility += static_cast<Cost::rep>(packets) *
+                   (price.value() - true_cost.value());
+        break;
+      }
+    }
+  }
+  return utility;
+}
+
+}  // namespace fpss::mechanism::edgecost

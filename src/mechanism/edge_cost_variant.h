@@ -1,0 +1,83 @@
+// The generalized cost model sketched in Sect. 3: "We could have a
+// different cost depending on which neighbor k sends the packet to, in
+// which case we would have a cost associated with each edge, as in the
+// cost model of [12, 16]. (The strategic agents would still be the nodes,
+// and hence the VCG mechanism we describe here would remain
+// strategyproof.)"
+//
+// Node k's type is now a vector: one per-packet cost per outgoing link.
+// A transit node on path ... -> k -> v -> ... incurs c_k(k->v), the cost
+// of the link it forwards the packet on. This module provides the
+// centralized mechanism for that model (the distributed algorithm is only
+// claimed for the scalar model, so only the scalar one lives in
+// fpss::pricing).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/path.h"
+#include "payments/traffic.h"
+#include "util/cost.h"
+#include "util/types.h"
+
+namespace fpss::mechanism::edgecost {
+
+/// Per-(node, outgoing link) transit costs over a topology.
+class ExitCosts {
+ public:
+  explicit ExitCosts(const graph::Graph& topology);
+
+  /// Cost node `from` incurs forwarding a transit packet to `to`.
+  /// Precondition: the link exists.
+  Cost cost(NodeId from, NodeId to) const;
+  void set_cost(NodeId from, NodeId to, Cost c);
+
+  /// Scales every exit cost of one node (a scalar deviation of its
+  /// vector-valued type, used by the strategyproofness sweep):
+  /// new = old * numerator / denominator.
+  void scale_node(NodeId node, Cost::rep numerator, Cost::rep denominator);
+
+  /// Initializes from the scalar model: every exit of k costs c_k.
+  static ExitCosts from_node_costs(const graph::Graph& g);
+
+  /// Random exit costs in [lo, hi].
+  static ExitCosts random(const graph::Graph& g, Cost::rep lo, Cost::rep hi,
+                          util::Rng& rng);
+
+  const graph::Graph& topology() const { return *topology_; }
+
+  /// Transit cost of a path under this model: each intermediate node pays
+  /// its exit cost on the link it forwards over.
+  Cost path_cost(const graph::Path& path) const;
+
+ private:
+  static std::uint64_t key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  const graph::Graph* topology_;
+  std::unordered_map<std::uint64_t, Cost> cost_;
+};
+
+/// Lowest-cost path i -> j under the exit-cost model (ties: fewer hops,
+/// then lexicographic next hop), optionally avoiding one node.
+struct EdgeCostRoute {
+  graph::Path path;  ///< empty if unreachable
+  Cost cost = Cost::infinity();
+};
+EdgeCostRoute lowest_cost_route(const ExitCosts& costs, NodeId src, NodeId dst,
+                                NodeId avoid = kInvalidNode);
+
+/// VCG payment to transit node k for one i -> j packet in this model:
+/// p^k_ij = c_k(exit used) + Cost(P_k) - Cost(P); zero off-path, infinite
+/// when k is a monopoly for the pair.
+Cost vcg_price(const ExitCosts& costs, NodeId k, NodeId i, NodeId j);
+
+/// Utility of node k with true exit costs `truth` when routing/payment use
+/// `declared` (all other nodes identical in both).
+Cost::rep node_utility(const ExitCosts& declared, const ExitCosts& truth,
+                       NodeId k, const payments::TrafficMatrix& traffic);
+
+}  // namespace fpss::mechanism::edgecost

@@ -1,0 +1,153 @@
+#include "mechanism/nisan_ronen.h"
+
+#include <queue>
+
+#include "util/contract.h"
+
+namespace fpss::mechanism::nr {
+
+EdgeGraph::EdgeGraph(std::size_t node_count) : adjacency_(node_count) {}
+
+std::size_t EdgeGraph::add_edge(NodeId u, NodeId v, Cost cost) {
+  FPSS_EXPECTS(u < node_count() && v < node_count() && u != v);
+  FPSS_EXPECTS(cost.is_finite());
+  const std::size_t e = cost_.size();
+  cost_.push_back(cost);
+  endpoints_.emplace_back(u, v);
+  adjacency_[u].emplace_back(e, v);
+  adjacency_[v].emplace_back(e, u);
+  return e;
+}
+
+Cost EdgeGraph::edge_cost(std::size_t e) const {
+  FPSS_EXPECTS(e < cost_.size());
+  return cost_[e];
+}
+
+void EdgeGraph::set_edge_cost(std::size_t e, Cost cost) {
+  FPSS_EXPECTS(e < cost_.size());
+  FPSS_EXPECTS(cost.is_finite());
+  cost_[e] = cost;
+}
+
+std::pair<NodeId, NodeId> EdgeGraph::endpoints(std::size_t e) const {
+  FPSS_EXPECTS(e < endpoints_.size());
+  return endpoints_[e];
+}
+
+const std::vector<std::pair<std::size_t, NodeId>>& EdgeGraph::incident(
+    NodeId v) const {
+  FPSS_EXPECTS(v < node_count());
+  return adjacency_[v];
+}
+
+namespace {
+
+struct QueueItem {
+  Cost cost;
+  NodeId node;
+  bool operator<(const QueueItem& other) const {
+    return cost > other.cost;  // min-heap
+  }
+};
+
+}  // namespace
+
+Cost EdgeGraph::shortest_path_cost(NodeId x, NodeId y,
+                                   std::size_t override_edge,
+                                   Cost override_cost) const {
+  FPSS_EXPECTS(x < node_count() && y < node_count());
+  std::vector<Cost> dist(node_count(), Cost::infinity());
+  std::priority_queue<QueueItem> queue;
+  dist[x] = Cost::zero();
+  queue.push({Cost::zero(), x});
+  while (!queue.empty()) {
+    const auto [cost, u] = queue.top();
+    queue.pop();
+    if (cost != dist[u]) continue;
+    if (u == y) return cost;
+    for (const auto& [e, v] : adjacency_[u]) {
+      const Cost weight = (e == override_edge) ? override_cost : cost_[e];
+      if (weight.is_infinite()) continue;  // deleted edge
+      const Cost candidate = cost + weight;
+      if (candidate < dist[v]) {
+        dist[v] = candidate;
+        queue.push({candidate, v});
+      }
+    }
+  }
+  return Cost::infinity();
+}
+
+std::vector<std::size_t> EdgeGraph::shortest_path_edges(NodeId x,
+                                                        NodeId y) const {
+  FPSS_EXPECTS(x < node_count() && y < node_count());
+  std::vector<Cost> dist(node_count(), Cost::infinity());
+  std::vector<std::size_t> via_edge(node_count(), SIZE_MAX);
+  std::vector<NodeId> via_node(node_count(), kInvalidNode);
+  std::priority_queue<QueueItem> queue;
+  dist[x] = Cost::zero();
+  queue.push({Cost::zero(), x});
+  while (!queue.empty()) {
+    const auto [cost, u] = queue.top();
+    queue.pop();
+    if (cost != dist[u]) continue;
+    for (const auto& [e, v] : adjacency_[u]) {
+      const Cost candidate = cost + cost_[e];
+      // Deterministic tie-break: lower predecessor id, then edge index.
+      if (candidate < dist[v] ||
+          (candidate == dist[v] &&
+           (u < via_node[v] || (u == via_node[v] && e < via_edge[v])))) {
+        dist[v] = candidate;
+        via_edge[v] = e;
+        via_node[v] = u;
+        queue.push({candidate, v});
+      }
+    }
+  }
+  std::vector<std::size_t> path;
+  if (dist[y].is_infinite()) return path;
+  for (NodeId v = y; v != x; v = via_node[v]) {
+    FPSS_ASSERT(via_edge[v] != SIZE_MAX);
+    path.push_back(via_edge[v]);
+  }
+  return {path.rbegin(), path.rend()};
+}
+
+SinglePairResult single_pair_mechanism(const EdgeGraph& g, NodeId x,
+                                       NodeId y) {
+  FPSS_EXPECTS(x != y);
+  SinglePairResult result;
+  result.lcp_cost = g.shortest_path_cost(x, y);
+  FPSS_EXPECTS(result.lcp_cost.is_finite());
+  result.lcp_edges = g.shortest_path_edges(x, y);
+  for (std::size_t e : result.lcp_edges) {
+    // d_{G|e=inf} - d_{G|e=0}: with e on the LCP, d_{G|e=0} equals the LCP
+    // cost minus e's declared cost, but we recompute both from scratch — a
+    // zero-cost edge can reroute the path.
+    const Cost without = g.shortest_path_cost(x, y, e, Cost::infinity());
+    const Cost with_free = g.shortest_path_cost(x, y, e, Cost::zero());
+    EdgePayment payment;
+    payment.edge = e;
+    if (without.is_infinite()) {
+      payment.payment = Cost::infinity();  // bridge: monopoly price
+    } else {
+      FPSS_ASSERT(without >= with_free);
+      payment.payment = cost_plus_delta(Cost::zero(), without - with_free);
+    }
+    result.payments.push_back(payment);
+  }
+  return result;
+}
+
+EdgeGraph edge_twin(const graph::Graph& node_graph) {
+  EdgeGraph twin(node_graph.node_count());
+  for (const auto& [u, v] : node_graph.edges()) {
+    const Cost::rep c =
+        (node_graph.cost(u).value() + node_graph.cost(v).value() + 1) / 2;
+    twin.add_edge(u, v, Cost{c});
+  }
+  return twin;
+}
+
+}  // namespace fpss::mechanism::nr

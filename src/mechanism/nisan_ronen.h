@@ -1,0 +1,75 @@
+// The comparator mechanism of Nisan-Ronen [NR99] / Hershberger-Suri [HS01]
+// that the paper departs from (Sect. 1 & 2): a *centralized*, *single
+// source-destination pair* LCP mechanism whose strategic agents are the
+// *edges*. The payment to edge e on the LCP is
+//
+//   p_e = d_{G|e=inf} - d_{G|e=0}
+//
+// — the LCP cost with e deleted minus the LCP cost with e free. Building it
+// from scratch lets bench E10 compare formulations (edges vs nodes,
+// single-pair vs all-pairs, centralized vs distributed) on equal footing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/cost.h"
+#include "util/types.h"
+
+namespace fpss::mechanism::nr {
+
+/// Undirected graph with per-edge transmission costs (the NR99 model).
+class EdgeGraph {
+ public:
+  explicit EdgeGraph(std::size_t node_count);
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return cost_.size(); }
+
+  /// Adds edge {u, v} with the given cost; returns its index.
+  std::size_t add_edge(NodeId u, NodeId v, Cost cost);
+
+  Cost edge_cost(std::size_t e) const;
+  void set_edge_cost(std::size_t e, Cost cost);
+  std::pair<NodeId, NodeId> endpoints(std::size_t e) const;
+
+  /// (edge index, other endpoint) pairs incident to v.
+  const std::vector<std::pair<std::size_t, NodeId>>& incident(NodeId v) const;
+
+  /// Lowest-cost x -> y path cost, optionally with one edge's cost
+  /// overridden (pass override_edge == SIZE_MAX for none). An infinite
+  /// override deletes the edge.
+  Cost shortest_path_cost(NodeId x, NodeId y,
+                          std::size_t override_edge = SIZE_MAX,
+                          Cost override_cost = Cost::zero()) const;
+
+  /// Edge indices of one lowest-cost x -> y path (ties broken
+  /// deterministically); empty if unreachable.
+  std::vector<std::size_t> shortest_path_edges(NodeId x, NodeId y) const;
+
+ private:
+  std::vector<Cost> cost_;
+  std::vector<std::pair<NodeId, NodeId>> endpoints_;
+  std::vector<std::vector<std::pair<std::size_t, NodeId>>> adjacency_;
+};
+
+struct EdgePayment {
+  std::size_t edge = 0;
+  Cost payment;  ///< infinite if the edge is a bridge (monopoly)
+};
+
+struct SinglePairResult {
+  Cost lcp_cost;                        ///< d_G(x, y)
+  std::vector<std::size_t> lcp_edges;   ///< edges of the selected LCP
+  std::vector<EdgePayment> payments;    ///< one per LCP edge
+};
+
+/// Runs the NR99 mechanism for one (x, y) instance.
+SinglePairResult single_pair_mechanism(const EdgeGraph& g, NodeId x, NodeId y);
+
+/// Convenience: an edge-cost twin of a node-cost instance for head-to-head
+/// benchmarks — same topology, each edge {u,v} priced (c_u + c_v + 1) / 2.
+EdgeGraph edge_twin(const graph::Graph& node_graph);
+
+}  // namespace fpss::mechanism::nr

@@ -1,0 +1,76 @@
+#include "mechanism/strategyproof.h"
+
+#include <algorithm>
+
+#include "mechanism/vcg.h"
+#include "util/contract.h"
+
+namespace fpss::mechanism {
+
+Cost::rep node_utility(const graph::Graph& declared_graph, NodeId k,
+                       Cost true_cost_k,
+                       const payments::TrafficMatrix& traffic) {
+  FPSS_EXPECTS(declared_graph.contains(k));
+  FPSS_EXPECTS(true_cost_k.is_finite());
+  const VcgMechanism mech(declared_graph);
+  Cost::rep utility = 0;
+  const std::size_t n = declared_graph.node_count();
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j || i == k || j == k) continue;
+      const std::uint64_t packets = traffic.at(i, j);
+      if (packets == 0 || !mech.routes().is_transit(k, i, j)) continue;
+      const Cost p = mech.price(k, i, j);
+      FPSS_EXPECTS(p.is_finite());  // requires biconnectivity
+      utility += static_cast<Cost::rep>(packets) *
+                 (p.value() - true_cost_k.value());
+    }
+  }
+  return utility;
+}
+
+Cost::rep DeviationSweep::max_gain() const {
+  Cost::rep best = 0;
+  for (const Deviation& dev : deviations) best = std::max(best, dev.gain);
+  return best;
+}
+
+DeviationSweep sweep_deviations(const graph::Graph& g, NodeId k,
+                                const payments::TrafficMatrix& traffic,
+                                const std::vector<Cost>& candidates) {
+  FPSS_EXPECTS(g.contains(k));
+  DeviationSweep sweep;
+  sweep.node = k;
+  sweep.truthful_cost = g.cost(k);
+  sweep.truthful_utility = node_utility(g, k, g.cost(k), traffic);
+
+  graph::Graph declared = g;
+  for (Cost lie : candidates) {
+    if (lie == sweep.truthful_cost) continue;
+    declared.set_cost(k, lie);
+    Deviation dev;
+    dev.declared = lie;
+    dev.utility = node_utility(declared, k, sweep.truthful_cost, traffic);
+    dev.gain = dev.utility - sweep.truthful_utility;
+    sweep.deviations.push_back(dev);
+  }
+  return sweep;
+}
+
+std::vector<Cost> default_deviation_grid(Cost true_cost) {
+  FPSS_EXPECTS(true_cost.is_finite());
+  const Cost::rep c = true_cost.value();
+  std::vector<Cost::rep> values = {
+      0,     c / 2,  c > 0 ? c - 1 : 0, c + 1, c + 5,
+      2 * c, 4 * c,  10 * c + 7,        1000 * (c + 1)};
+  std::vector<Cost> grid;
+  for (Cost::rep v : values) {
+    const Cost candidate{std::min(v, Cost::kMaxFinite / 1024)};
+    if (std::find(grid.begin(), grid.end(), candidate) == grid.end() &&
+        candidate != true_cost)
+      grid.push_back(candidate);
+  }
+  return grid;
+}
+
+}  // namespace fpss::mechanism

@@ -1,0 +1,58 @@
+// Empirical strategyproofness harness for Theorem 1.
+//
+// An AS plays the game by declaring a transit cost; its utility is
+// tau_k(c) = p_k - c^true_k * (transit packets carried). Theorem 1 says
+// truth-telling is dominant: for every false declaration x,
+// tau_k(c|^k truth) >= tau_k(c|^k x). The harness recomputes routes and
+// payments under deviating declarations (footnote 1's two temptations —
+// understate to attract traffic, overstate to inflate the price — both
+// appear in the sweep) and verifies the inequality.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "payments/traffic.h"
+#include "util/cost.h"
+#include "util/types.h"
+
+namespace fpss::mechanism {
+
+/// Utility tau_k of node k when all nodes declare `declared` costs but k's
+/// true cost is `true_cost_k`: VCG payment under the declared profile minus
+/// true incurred cost on the traffic routed through k.
+/// Precondition: declared graph connected; biconnected for finite answers.
+Cost::rep node_utility(const graph::Graph& declared_graph, NodeId k,
+                       Cost true_cost_k,
+                       const payments::TrafficMatrix& traffic);
+
+struct Deviation {
+  Cost declared;           ///< the lie
+  Cost::rep utility = 0;   ///< tau_k under the lie
+  Cost::rep gain = 0;      ///< utility - truthful utility (<= 0 iff SP holds)
+};
+
+struct DeviationSweep {
+  NodeId node = kInvalidNode;
+  Cost truthful_cost;
+  Cost::rep truthful_utility = 0;
+  std::vector<Deviation> deviations;
+
+  /// Largest gain over all tried lies; strategyproofness <=> max_gain <= 0.
+  Cost::rep max_gain() const;
+  bool strategyproof() const { return max_gain() <= 0; }
+};
+
+/// Sweeps node k's declaration over `candidates` (each !=
+/// its true cost is fine to include; it is skipped) with every other node
+/// truthful, and reports the utility of each lie. `g` carries the true
+/// costs.
+DeviationSweep sweep_deviations(const graph::Graph& g, NodeId k,
+                                const payments::TrafficMatrix& traffic,
+                                const std::vector<Cost>& candidates);
+
+/// A default candidate grid around the true cost: zero, halves, small
+/// offsets, multiples, and a "nearly opt out" huge declaration.
+std::vector<Cost> default_deviation_grid(Cost true_cost);
+
+}  // namespace fpss::mechanism

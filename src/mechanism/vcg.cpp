@@ -1,0 +1,60 @@
+#include "mechanism/vcg.h"
+
+#include "graph/analysis.h"
+#include "util/contract.h"
+
+namespace fpss::mechanism {
+
+FeasibilityReport check_feasibility(const graph::Graph& g) {
+  FeasibilityReport report;
+  report.connected = graph::is_connected(g);
+  report.monopolies = graph::articulation_points(g);
+  report.feasible = report.connected && g.node_count() >= 3 &&
+                    report.monopolies.empty();
+  return report;
+}
+
+VcgMechanism::VcgMechanism(const graph::Graph& g, Engine engine)
+    : graph_(g), routes_(g) {
+  avoidance_.reserve(g.node_count());
+  for (NodeId j = 0; j < g.node_count(); ++j) {
+    const routing::SinkTree& tree = routes_.tree(j);
+    avoidance_.push_back(engine == Engine::kNaiveGroundTruth
+                             ? routing::AvoidanceTable::compute_naive(g, tree)
+                             : routing::AvoidanceTable::compute(g, tree));
+  }
+}
+
+Cost VcgMechanism::price(NodeId k, NodeId i, NodeId j) const {
+  FPSS_EXPECTS(graph_.contains(k) && graph_.contains(i) && graph_.contains(j));
+  if (i == j || k == i || k == j) return Cost::zero();
+  if (!routes_.is_transit(k, i, j)) return Cost::zero();
+  const Cost avoiding = avoidance_[j].avoiding_cost(i, k);
+  if (avoiding.is_infinite()) return Cost::infinity();  // monopoly
+  // p = c_k + Cost(P_k) - c(i,j); Cost(P_k) >= c(i,j) because the LCP is a
+  // minimum over a superset of paths, so the delta is non-negative.
+  const Cost::rep delta = avoiding - routes_.cost(i, j);
+  FPSS_ASSERT(delta >= 0);
+  return cost_plus_delta(graph_.cost(k), delta);
+}
+
+Cost VcgMechanism::pair_payment(NodeId i, NodeId j) const {
+  FPSS_EXPECTS(i != j);
+  const graph::Path path = routes_.path(i, j);
+  Cost total = Cost::zero();
+  for (std::size_t t = 1; t + 1 < path.size(); ++t)
+    total += price(path[t], i, j);
+  return total;
+}
+
+payments::PriceFn VcgMechanism::price_fn() const {
+  return [this](NodeId k, NodeId i, NodeId j) { return price(k, i, j); };
+}
+
+const routing::AvoidanceTable& VcgMechanism::avoidance(
+    NodeId destination) const {
+  FPSS_EXPECTS(destination < avoidance_.size());
+  return avoidance_[destination];
+}
+
+}  // namespace fpss::mechanism

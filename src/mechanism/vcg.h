@@ -1,0 +1,76 @@
+// The pricing mechanism of Sect. 4 (Theorem 1): the unique strategyproof
+// payment scheme, within the class that pays nothing to nodes carrying no
+// transit traffic, for lowest-cost interdomain routing with node agents.
+//
+//   p^k_ij = c_k * I_k(c;i,j) + [ sum_r I_r(c^{-k};i,j) c_r
+//                                 - sum_r I_r(c;i,j) c_r ]
+//          = c_k + Cost(P_k(c;i,j)) - c(i,j)      when k is on the LCP,
+//          = 0                                     otherwise.
+//
+// This is the centralized reference implementation; `fpss::pricing`
+// computes the same numbers with the BGP-based distributed algorithm.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "payments/ledger.h"
+#include "routing/all_pairs.h"
+#include "routing/replacement.h"
+#include "util/cost.h"
+#include "util/types.h"
+
+namespace fpss::mechanism {
+
+/// Theorem 1 requires biconnectivity: a monopoly transit node makes the
+/// k-avoiding path — and hence the payment — undefined (Sect. 4).
+struct FeasibilityReport {
+  bool feasible = false;
+  bool connected = false;
+  /// Articulation points: each is a potential monopolist.
+  std::vector<NodeId> monopolies;
+};
+
+FeasibilityReport check_feasibility(const graph::Graph& g);
+
+/// All-pairs VCG routes and prices, computed centrally.
+class VcgMechanism {
+ public:
+  enum class Engine {
+    kNaiveGroundTruth,  ///< one avoid-k Dijkstra per (destination, k)
+    kSubtree,           ///< Hershberger-Suri-style subtree engine
+  };
+
+  /// Computes routes and all per-packet prices for graph `g` under its
+  /// declared costs. Works on any connected graph; prices that would be
+  /// undefined by a monopoly come back infinite (use check_feasibility to
+  /// reject such inputs up front).
+  explicit VcgMechanism(const graph::Graph& g,
+                        Engine engine = Engine::kSubtree);
+
+  const routing::AllPairsRoutes& routes() const { return routes_; }
+
+  /// Per-packet price p^k_ij paid to node k for an i -> j packet. Zero when
+  /// k is not an intermediate node of the selected i -> j path; infinite
+  /// when k is a monopoly for the pair (non-biconnected input).
+  Cost price(NodeId k, NodeId i, NodeId j) const;
+
+  /// sum_k p^k_ij: the total per-packet amount a sender's side pays for the
+  /// pair — the quantity whose excess over c(i, j) is the paper's
+  /// "overcharging" (Sect. 4 & 7).
+  Cost pair_payment(NodeId i, NodeId j) const;
+
+  /// Adapter for the payments layer.
+  payments::PriceFn price_fn() const;
+
+  /// k-avoiding tables, exposed for tests and the distributed comparison.
+  const routing::AvoidanceTable& avoidance(NodeId destination) const;
+
+ private:
+  graph::Graph graph_;
+  routing::AllPairsRoutes routes_;
+  std::vector<routing::AvoidanceTable> avoidance_;
+};
+
+}  // namespace fpss::mechanism

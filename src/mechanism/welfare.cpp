@@ -1,0 +1,69 @@
+#include "mechanism/welfare.h"
+
+#include <algorithm>
+
+#include "graph/path.h"
+#include "util/contract.h"
+
+namespace fpss::mechanism {
+
+Cost::rep total_cost(const graph::Graph& true_costs_graph,
+                     const routing::AllPairsRoutes& routes,
+                     const payments::TrafficMatrix& traffic) {
+  const std::size_t n = true_costs_graph.node_count();
+  FPSS_EXPECTS(routes.node_count() == n && traffic.node_count() == n);
+  Cost::rep total = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const std::uint64_t packets = traffic.at(i, j);
+      if (packets == 0) continue;
+      const graph::Path path = routes.path(i, j);
+      const Cost path_cost = graph::transit_cost(true_costs_graph, path);
+      total += static_cast<Cost::rep>(packets) * path_cost.value();
+    }
+  }
+  return total;
+}
+
+Cost::rep welfare_loss_of_lie(const graph::Graph& g, NodeId k, Cost lie,
+                              const payments::TrafficMatrix& traffic) {
+  const routing::AllPairsRoutes truthful_routes(g);
+  graph::Graph declared = g;
+  declared.set_cost(k, lie);
+  const routing::AllPairsRoutes lying_routes(declared);
+  const Cost::rep loss = total_cost(g, lying_routes, traffic) -
+                         total_cost(g, truthful_routes, traffic);
+  FPSS_ENSURES(loss >= 0);  // LCP routing under truth minimizes V
+  return loss;
+}
+
+OverchargeReport measure_overcharge(const VcgMechanism& mech,
+                                    const payments::TrafficMatrix& traffic) {
+  OverchargeReport report;
+  const std::size_t n = mech.routes().node_count();
+  FPSS_EXPECTS(traffic.node_count() == n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const std::uint64_t packets = traffic.at(i, j);
+      if (packets == 0) continue;
+      const Cost payment = mech.pair_payment(i, j);
+      const Cost lcp_cost = mech.routes().cost(i, j);
+      FPSS_EXPECTS(payment.is_finite() && lcp_cost.is_finite());
+      report.total_payment +=
+          static_cast<Cost::rep>(packets) * payment.value();
+      report.total_true_cost +=
+          static_cast<Cost::rep>(packets) * lcp_cost.value();
+      if (lcp_cost.value() > 0) {
+        const double ratio = static_cast<double>(payment.value()) /
+                             static_cast<double>(lcp_cost.value());
+        report.pair_ratio.add(ratio);
+        report.worst_ratio = std::max(report.worst_ratio, ratio);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace fpss::mechanism

@@ -1,0 +1,53 @@
+// Welfare accounting (Sect. 3) and the overcharging analysis (Sect. 4 & 7).
+//
+// V(c) = sum_k u_k(c) = sum_ij T_ij * (true transit cost of the route used)
+// is minimized exactly when routes are LCPs under the true costs; lying
+// shifts routes and raises V. Overcharging: VCG payments to a path's nodes
+// can exceed the path's true cost substantially (the Y->Z example pays 9
+// for a cost-1 path).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "mechanism/vcg.h"
+#include "payments/traffic.h"
+#include "routing/all_pairs.h"
+#include "util/cost.h"
+#include "util/summary.h"
+
+namespace fpss::mechanism {
+
+/// Total cost to society V of sending `traffic` along `routes`, where the
+/// per-node costs are taken from `true_costs_graph` (routes may have been
+/// computed under *declared* costs — that mismatch is the point).
+Cost::rep total_cost(const graph::Graph& true_costs_graph,
+                     const routing::AllPairsRoutes& routes,
+                     const payments::TrafficMatrix& traffic);
+
+/// Welfare loss caused by node k declaring `lie` instead of its true cost,
+/// with everyone else truthful: V(routes under lie) - V(routes under truth),
+/// both evaluated at true costs. Non-negative by optimality of LCPs.
+Cost::rep welfare_loss_of_lie(const graph::Graph& g, NodeId k, Cost lie,
+                              const payments::TrafficMatrix& traffic);
+
+struct OverchargeReport {
+  Cost::rep total_payment = 0;   ///< sum_ij T_ij * sum_k p^k_ij
+  Cost::rep total_true_cost = 0; ///< sum_ij T_ij * c(i,j)
+  util::Summary pair_ratio;      ///< per-pair payment / cost (cost > 0 pairs)
+  double worst_ratio = 1.0;
+
+  double aggregate_ratio() const {
+    return total_true_cost == 0
+               ? 1.0
+               : static_cast<double>(total_payment) /
+                     static_cast<double>(total_true_cost);
+  }
+};
+
+/// Compares VCG payments with true LCP costs for every traffic-carrying
+/// pair. Precondition: biconnected input (finite prices).
+OverchargeReport measure_overcharge(const VcgMechanism& mech,
+                                    const payments::TrafficMatrix& traffic);
+
+}  // namespace fpss::mechanism

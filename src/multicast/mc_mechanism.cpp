@@ -1,0 +1,211 @@
+#include "multicast/mc_mechanism.h"
+
+#include <algorithm>
+
+#include "util/contract.h"
+
+namespace fpss::multicast {
+
+MulticastTree::MulticastTree()
+    : parent_{kInvalidNode}, link_cost_{0}, children_(1) {}
+
+NodeId MulticastTree::parent(NodeId v) const {
+  FPSS_EXPECTS(v < node_count());
+  return parent_[v];
+}
+
+Cost::rep MulticastTree::link_cost(NodeId v) const {
+  FPSS_EXPECTS(v < node_count());
+  return link_cost_[v];
+}
+
+const std::vector<NodeId>& MulticastTree::children(NodeId v) const {
+  FPSS_EXPECTS(v < node_count());
+  return children_[v];
+}
+
+NodeId MulticastTree::add_node(NodeId parent, Cost::rep link_cost) {
+  FPSS_EXPECTS(parent < node_count());
+  FPSS_EXPECTS(link_cost >= 0);
+  const auto v = static_cast<NodeId>(node_count());
+  parent_.push_back(parent);
+  link_cost_.push_back(link_cost);
+  children_.emplace_back();
+  children_[parent].push_back(v);
+  return v;
+}
+
+MulticastTree MulticastTree::random(std::size_t node_count,
+                                    Cost::rep max_link_cost, util::Rng& rng) {
+  FPSS_EXPECTS(node_count >= 1 && max_link_cost >= 1);
+  MulticastTree tree;
+  for (std::size_t v = 1; v < node_count; ++v) {
+    const auto parent = static_cast<NodeId>(rng.below(tree.node_count()));
+    tree.add_node(parent, rng.uniform_int(1, max_link_cost));
+  }
+  return tree;
+}
+
+MulticastTree MulticastTree::from_sink_tree(const routing::SinkTree& tree,
+                                            const graph::Graph& g) {
+  // Renumber: multicast node 0 = the routing destination (the source of
+  // the multicast); children in BFS order from there.
+  MulticastTree out;
+  const auto kids = tree.children();
+  std::vector<NodeId> as_of_mc{tree.destination()};  // mc id -> AS id
+  std::vector<NodeId> mc_of_as(tree.node_count(), kInvalidNode);
+  mc_of_as[tree.destination()] = 0;
+  for (std::size_t head = 0; head < as_of_mc.size(); ++head) {
+    const NodeId as = as_of_mc[head];
+    for (NodeId child : kids[as]) {
+      // The parent forwards the multicast flow onto the link, so the
+      // uplink is priced at the parent's declared transit cost.
+      const NodeId mc = out.add_node(mc_of_as[as], g.cost(as).value());
+      mc_of_as[child] = mc;
+      as_of_mc.push_back(child);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared outcome scaffolding.
+McOutcome make_outcome(const MulticastTree& tree,
+                       const std::vector<User>& users) {
+  McOutcome outcome;
+  outcome.node_included.assign(tree.node_count(), 0);
+  outcome.user_receives.assign(users.size(), 0);
+  outcome.user_payment.assign(users.size(), 0);
+  return outcome;
+}
+
+std::vector<Cost::rep> valuation_sums(const MulticastTree& tree,
+                                      const std::vector<User>& users) {
+  std::vector<Cost::rep> sum(tree.node_count(), 0);
+  for (const User& user : users) {
+    FPSS_EXPECTS(user.node < tree.node_count());
+    FPSS_EXPECTS(user.valuation >= 0);
+    sum[user.node] += user.valuation;
+  }
+  return sum;
+}
+
+}  // namespace
+
+McOutcome marginal_cost_mechanism(const MulticastTree& tree,
+                                  const std::vector<User>& users) {
+  McOutcome outcome = make_outcome(tree, users);
+  const std::size_t n = tree.node_count();
+  const std::vector<Cost::rep> value_at = valuation_sums(tree, users);
+
+  // Children are always newer than parents (ids increase down the tree),
+  // so a reverse id scan is a bottom-up pass and a forward scan top-down.
+
+  // Pass 1 (bottom-up, one message per link): the subtree welfare
+  // W(v) = valuations at v - uplink cost + sum of positive child welfare.
+  std::vector<Cost::rep> welfare(n, 0);
+  for (NodeId v = static_cast<NodeId>(n); v-- > 0;) {
+    Cost::rep w = value_at[v] - tree.link_cost(v);
+    for (NodeId c : tree.children(v)) w += std::max<Cost::rep>(0, welfare[c]);
+    welfare[v] = w;
+    if (v != 0) {
+      ++outcome.messages;  // W(v) flows to the parent
+      outcome.words += 2;
+    }
+  }
+
+  // Pass 2 (top-down, one message per link): inclusion plus the minimum
+  // surplus A(v) along the path from the root.
+  constexpr Cost::rep kNoCap = Cost::kMaxFinite;
+  std::vector<Cost::rep> min_surplus(n, kNoCap);
+  outcome.node_included[0] = 1;
+  min_surplus[0] = kNoCap;  // the source cannot be priced off the tree
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId p = tree.parent(v);
+    if (outcome.node_included[p] && welfare[v] >= 0) {
+      outcome.node_included[v] = 1;
+      min_surplus[v] = std::min(welfare[v], min_surplus[p]);
+    }
+    ++outcome.messages;  // inclusion + A(v) flows to the child
+    outcome.words += 2;
+  }
+
+  // Local computation: receivers and their marginal-cost payments.
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    const User& user = users[i];
+    if (!outcome.node_included[user.node]) continue;
+    outcome.user_receives[i] = 1;
+    outcome.user_payment[i] =
+        std::max<Cost::rep>(0, user.valuation - min_surplus[user.node]);
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (!outcome.node_included[v]) continue;
+    outcome.welfare += value_at[v] - tree.link_cost(v);
+  }
+  return outcome;
+}
+
+namespace {
+
+/// Max welfare over root-containing subtrees; also returns (via `best`)
+/// the union of all maximizers — the largest welfare-maximizing set.
+Cost::rep max_welfare(const MulticastTree& tree,
+                      const std::vector<Cost::rep>& value_at,
+                      std::vector<char>* best) {
+  const std::size_t n = tree.node_count();
+  FPSS_EXPECTS(n <= 20);  // exponential reference implementation
+  const std::uint64_t limit = 1ULL << n;
+  Cost::rep best_welfare = 0;
+  std::uint64_t best_mask = 0;
+  bool found = false;
+  for (std::uint64_t mask = 1; mask < limit; ++mask) {
+    if ((mask & 1) == 0) continue;  // root must be in
+    bool valid = true;
+    Cost::rep welfare = 0;
+    for (NodeId v = 0; v < n && valid; ++v) {
+      if ((mask >> v) & 1) {
+        if (v != 0 && ((mask >> tree.parent(v)) & 1) == 0) valid = false;
+        welfare += value_at[v] - tree.link_cost(v);
+      }
+    }
+    if (!valid) continue;
+    if (!found || welfare > best_welfare) {
+      found = true;
+      best_welfare = welfare;
+      best_mask = mask;
+    } else if (welfare == best_welfare) {
+      best_mask |= mask;  // union of maximizers stays optimal on trees
+    }
+  }
+  if (best != nullptr) {
+    best->assign(n, 0);
+    for (NodeId v = 0; v < n; ++v) (*best)[v] = (best_mask >> v) & 1;
+  }
+  return best_welfare;
+}
+
+}  // namespace
+
+McOutcome brute_force_vcg(const MulticastTree& tree,
+                          const std::vector<User>& users) {
+  McOutcome outcome = make_outcome(tree, users);
+  const std::vector<Cost::rep> value_at = valuation_sums(tree, users);
+  outcome.welfare = max_welfare(tree, value_at, &outcome.node_included);
+
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    const User& user = users[i];
+    if (!outcome.node_included[user.node]) continue;
+    outcome.user_receives[i] = 1;
+    std::vector<Cost::rep> without = value_at;
+    without[user.node] -= user.valuation;
+    const Cost::rep welfare_without = max_welfare(tree, without, nullptr);
+    outcome.user_payment[i] =
+        user.valuation - (outcome.welfare - welfare_without);
+    FPSS_ENSURES(outcome.user_payment[i] >= 0);
+  }
+  return outcome;
+}
+
+}  // namespace fpss::multicast

@@ -1,0 +1,91 @@
+#include "payments/traffic.h"
+
+#include <cmath>
+
+namespace fpss::payments {
+
+TrafficMatrix::TrafficMatrix(std::size_t node_count)
+    : n_(node_count), counts_(node_count * node_count, 0) {}
+
+void TrafficMatrix::set(NodeId i, NodeId j, std::uint64_t packets) {
+  FPSS_EXPECTS(i < n_ && j < n_);
+  FPSS_EXPECTS(i != j || packets == 0);
+  counts_[i * n_ + j] = packets;
+}
+
+void TrafficMatrix::add(NodeId i, NodeId j, std::uint64_t packets) {
+  set(i, j, at(i, j) + packets);
+}
+
+std::uint64_t TrafficMatrix::total() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : counts_) sum += c;
+  return sum;
+}
+
+TrafficMatrix TrafficMatrix::uniform(std::size_t node_count,
+                                     std::uint64_t packets) {
+  TrafficMatrix t(node_count);
+  for (NodeId i = 0; i < node_count; ++i)
+    for (NodeId j = 0; j < node_count; ++j)
+      if (i != j) t.set(i, j, packets);
+  return t;
+}
+
+TrafficMatrix TrafficMatrix::gravity(std::size_t node_count, double alpha,
+                                     std::uint64_t mean, util::Rng& rng) {
+  FPSS_EXPECTS(mean >= 1);
+  TrafficMatrix t(node_count);
+  std::vector<double> mass(node_count);
+  double mass_sum = 0;
+  for (double& m : mass) {
+    m = rng.pareto(alpha, 1e6);
+    mass_sum += m;
+  }
+  if (mass_sum == 0) return t;
+  const double mean_mass = mass_sum / static_cast<double>(node_count);
+  const double scale =
+      static_cast<double>(mean) / (mean_mass * mean_mass);
+  for (NodeId i = 0; i < node_count; ++i) {
+    for (NodeId j = 0; j < node_count; ++j) {
+      if (i == j) continue;
+      const double expected = scale * mass[i] * mass[j];
+      t.set(i, j, static_cast<std::uint64_t>(std::llround(expected)));
+    }
+  }
+  return t;
+}
+
+TrafficMatrix TrafficMatrix::hotspot(std::size_t node_count,
+                                     std::size_t hotspot_count,
+                                     std::uint64_t packets_per_source,
+                                     util::Rng& rng) {
+  FPSS_EXPECTS(hotspot_count >= 1 && hotspot_count <= node_count);
+  TrafficMatrix t(node_count);
+  std::vector<NodeId> nodes(node_count);
+  for (NodeId v = 0; v < node_count; ++v) nodes[v] = v;
+  rng.shuffle(nodes);
+  nodes.resize(hotspot_count);
+  for (NodeId i = 0; i < node_count; ++i)
+    for (NodeId h : nodes)
+      if (i != h) t.set(i, h, packets_per_source);
+  return t;
+}
+
+TrafficMatrix TrafficMatrix::sparse_random(std::size_t node_count,
+                                           double density,
+                                           std::uint64_t max_packets,
+                                           util::Rng& rng) {
+  FPSS_EXPECTS(density >= 0.0 && density <= 1.0);
+  FPSS_EXPECTS(max_packets >= 1);
+  TrafficMatrix t(node_count);
+  for (NodeId i = 0; i < node_count; ++i) {
+    for (NodeId j = 0; j < node_count; ++j) {
+      if (i == j || !rng.chance(density)) continue;
+      t.set(i, j, 1 + rng.below(max_packets));
+    }
+  }
+  return t;
+}
+
+}  // namespace fpss::payments

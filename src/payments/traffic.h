@@ -1,0 +1,60 @@
+// The traffic matrix [T_ij] of Sect. 3: the per-pair packet intensities
+// that weight the per-packet prices into node payments
+// p_k = sum_ij T_ij p^k_ij.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contract.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace fpss::payments {
+
+/// Dense n x n matrix of packet counts. T[i][i] is always 0.
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(std::size_t node_count);
+
+  std::size_t node_count() const { return n_; }
+
+  std::uint64_t at(NodeId i, NodeId j) const {
+    FPSS_EXPECTS(i < n_ && j < n_);
+    return counts_[i * n_ + j];
+  }
+
+  void set(NodeId i, NodeId j, std::uint64_t packets);
+  void add(NodeId i, NodeId j, std::uint64_t packets);
+
+  /// Total packets across all pairs.
+  std::uint64_t total() const;
+
+  // --- Generators -------------------------------------------------------
+
+  /// Every ordered pair sends `packets` (the paper's worked examples use 1).
+  static TrafficMatrix uniform(std::size_t node_count, std::uint64_t packets);
+
+  /// Gravity model: T_ij proportional to mass_i * mass_j with heavy-tailed
+  /// (Pareto `alpha`) node masses, scaled so the mean entry is `mean`.
+  static TrafficMatrix gravity(std::size_t node_count, double alpha,
+                               std::uint64_t mean, util::Rng& rng);
+
+  /// A few hotspot destinations receive almost all traffic.
+  static TrafficMatrix hotspot(std::size_t node_count,
+                               std::size_t hotspot_count,
+                               std::uint64_t packets_per_source,
+                               util::Rng& rng);
+
+  /// Each ordered pair is active with probability `density`, sending a
+  /// uniform packet count in [1, max_packets].
+  static TrafficMatrix sparse_random(std::size_t node_count, double density,
+                                     std::uint64_t max_packets,
+                                     util::Rng& rng);
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace fpss::payments

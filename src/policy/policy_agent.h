@@ -1,0 +1,56 @@
+// Gao-Rexford policy routing on the BGP substrate.
+//
+// The paper's model makes every AS route on lowest cost; Sect. 3 concedes
+// that "BGP allows an AS to choose routes according to any one of a wide
+// variety of local policies ... in practice, many ASs do not use it
+// [LCP routing]". This agent implements the canonical policy model:
+//
+//   * Preference: routes learned from customers over routes learned from
+//     peers over routes learned from providers; lowest cost / fewest hops /
+//     lowest next-hop id break ties within a class.
+//   * Export: routes learned from a customer (and the AS's own prefix) go
+//     to everyone; routes learned from a peer or provider go to customers
+//     only.
+//
+// Under an acyclic provider hierarchy these rules are guaranteed to
+// converge (Gao-Rexford), and every path they produce is valley-free.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "bgp/engine.h"
+#include "bgp/plain_agent.h"
+#include "policy/relationships.h"
+
+namespace fpss::policy {
+
+class PolicyBgpAgent : public bgp::PlainBgpAgent {
+ public:
+  /// `relationships` must outlive the agent (one shared table per network).
+  PolicyBgpAgent(NodeId self, std::size_t node_count, Cost declared_cost,
+                 bgp::UpdatePolicy policy,
+                 const Relationships* relationships);
+
+  bool reselect_destination(NodeId destination) override;
+  bgp::TableMessage export_filter(NodeId neighbor,
+                                  const bgp::TableMessage& msg) override;
+
+  /// Relation class (customer=0 / peer=1 / provider=2) of the neighbor the
+  /// current route to `destination` was learned from; 3 if no route.
+  int learned_class(NodeId destination) const;
+
+ private:
+  bool exportable(NodeId destination, NodeId to_neighbor) const;
+
+  const Relationships* relationships_;
+  /// Destinations whose route we have exported, per neighbor — needed to
+  /// issue withdrawals when a route becomes non-exportable.
+  std::map<NodeId, std::set<NodeId>> exported_;
+};
+
+/// Agent factory for bgp::Network.
+bgp::AgentFactory make_policy_factory(const Relationships* relationships,
+                                      bgp::UpdatePolicy policy);
+
+}  // namespace fpss::policy

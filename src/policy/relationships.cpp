@@ -1,0 +1,126 @@
+#include "policy/relationships.h"
+
+#include <queue>
+
+#include "util/contract.h"
+
+namespace fpss::policy {
+
+const char* to_string(Relation relation) {
+  switch (relation) {
+    case Relation::kCustomer: return "customer";
+    case Relation::kPeer: return "peer";
+    case Relation::kProvider: return "provider";
+  }
+  return "?";
+}
+
+Relationships Relationships::from_tiered(const graphgen::TieredGraph& tiered) {
+  Relationships rel;
+  for (const auto& [u, v, why] : tiered.edges) {
+    switch (why) {
+      case graphgen::EdgeProvenance::kCoreMesh:
+      case graphgen::EdgeProvenance::kLateral:
+      case graphgen::EdgeProvenance::kRepair:
+        rel.set_peer(u, v);
+        break;
+      case graphgen::EdgeProvenance::kUplink:
+        rel.set_customer(/*provider=*/v, /*customer=*/u);
+        break;
+    }
+  }
+  return rel;
+}
+
+Relationships Relationships::infer_by_degree(const graph::Graph& g,
+                                             double peer_ratio) {
+  FPSS_EXPECTS(peer_ratio >= 1.0);
+  Relationships rel;
+  for (const auto& [u, v] : g.edges()) {
+    const auto du = static_cast<double>(g.degree(u));
+    const auto dv = static_cast<double>(g.degree(v));
+    if (du >= dv * peer_ratio) {
+      rel.set_customer(/*provider=*/u, /*customer=*/v);
+    } else if (dv >= du * peer_ratio) {
+      rel.set_customer(/*provider=*/v, /*customer=*/u);
+    } else {
+      rel.set_peer(u, v);
+    }
+  }
+  return rel;
+}
+
+void Relationships::set_customer(NodeId provider, NodeId customer) {
+  FPSS_EXPECTS(provider != customer);
+  table_[key(provider, customer)] = Relation::kCustomer;
+  table_[key(customer, provider)] = Relation::kProvider;
+}
+
+void Relationships::set_peer(NodeId u, NodeId v) {
+  FPSS_EXPECTS(u != v);
+  table_[key(u, v)] = Relation::kPeer;
+  table_[key(v, u)] = Relation::kPeer;
+}
+
+Relation Relationships::rel(NodeId node, NodeId neighbor) const {
+  const auto it = table_.find(key(node, neighbor));
+  FPSS_EXPECTS(it != table_.end());
+  return it->second;
+}
+
+bool Relationships::knows(NodeId node, NodeId neighbor) const {
+  return table_.contains(key(node, neighbor));
+}
+
+bool Relationships::is_valley_free(const graph::Path& path) const {
+  // Phases: 0 = climbing (customer->provider steps), 1 = after the single
+  // peer step, 2 = descending (provider->customer steps).
+  int phase = 0;
+  for (std::size_t t = 1; t < path.size(); ++t) {
+    const NodeId from = path[t - 1];
+    const NodeId to = path[t];
+    if (!knows(from, to)) return false;
+    // What the step is, seen from the sender: stepping to our *provider*
+    // is "up", to a *peer* is flat, to a *customer* is "down".
+    switch (rel(from, to)) {
+      case Relation::kProvider:  // up
+        if (phase != 0) return false;
+        break;
+      case Relation::kPeer:  // flat: at most once, ends the climb
+        if (phase != 0) return false;
+        phase = 1;
+        break;
+      case Relation::kCustomer:  // down
+        phase = 2;
+        break;
+    }
+  }
+  return true;
+}
+
+bool Relationships::hierarchy_is_acyclic(std::size_t node_count) const {
+  // Kahn's algorithm over provider -> customer edges.
+  std::vector<std::vector<NodeId>> customers(node_count);
+  std::vector<std::size_t> providers_of(node_count, 0);
+  for (const auto& [packed, relation] : table_) {
+    if (relation != Relation::kCustomer) continue;  // provider's view only
+    const auto provider = static_cast<NodeId>(packed >> 32);
+    const auto customer = static_cast<NodeId>(packed & 0xffffffffu);
+    customers[provider].push_back(customer);
+    ++providers_of[customer];
+  }
+  std::queue<NodeId> roots;
+  for (NodeId v = 0; v < node_count; ++v)
+    if (providers_of[v] == 0) roots.push(v);
+  std::size_t visited = 0;
+  while (!roots.empty()) {
+    const NodeId v = roots.front();
+    roots.pop();
+    ++visited;
+    for (NodeId c : customers[v])
+      if (--providers_of[c] == 0) roots.push(c);
+  }
+  return visited == node_count;
+}
+
+}  // namespace fpss::policy

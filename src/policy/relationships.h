@@ -1,0 +1,81 @@
+// Business relationships between interconnected ASs — the reality the
+// paper brackets out in footnote 2 ("Interconnected ASs can be peers, or
+// one can be a customer of the other. Most ASs do not accept transit
+// traffic from peers, only from customers") and names as the main open
+// direction in Sect. 7 ("ASs have more complex costs and route preferences
+// that are embodied in their routing policies").
+//
+// This module supplies the standard Gao-Rexford model used to study that
+// setting: each link is customer/provider or peer/peer, route preference
+// is customer > peer > provider, and routes are exported so that every
+// path is valley-free.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/path.h"
+#include "graphgen/random.h"
+#include "util/types.h"
+
+namespace fpss::policy {
+
+/// What a neighbor is *to this node*.
+enum class Relation : std::uint8_t {
+  kCustomer,  ///< the neighbor pays us for transit
+  kPeer,      ///< settlement-free
+  kProvider,  ///< we pay the neighbor for transit
+};
+
+const char* to_string(Relation relation);
+
+/// Symmetric relationship table over the links of an AS graph.
+/// Invariant: rel(u,v) == kCustomer  <=>  rel(v,u) == kProvider, and
+/// rel(u,v) == kPeer <=> rel(v,u) == kPeer.
+class Relationships {
+ public:
+  Relationships() = default;
+
+  /// Ground truth from the annotated tiered generator: core mesh and
+  /// lateral/repair links are peerings; uplinks make the earlier node the
+  /// provider.
+  static Relationships from_tiered(const graphgen::TieredGraph& tiered);
+
+  /// The classic degree heuristic for graphs without provenance: on each
+  /// link the endpoint with the noticeably larger degree is the provider;
+  /// near-equal degrees peer. `peer_ratio` is the max degree ratio that
+  /// still counts as "near-equal" (e.g. 1.5).
+  static Relationships infer_by_degree(const graph::Graph& g,
+                                       double peer_ratio);
+
+  /// Declares v a customer of u (and u a provider of v).
+  void set_customer(NodeId provider, NodeId customer);
+  void set_peer(NodeId u, NodeId v);
+
+  /// Relation of `neighbor` from `node`'s point of view.
+  /// Precondition: the pair was declared.
+  Relation rel(NodeId node, NodeId neighbor) const;
+  bool knows(NodeId node, NodeId neighbor) const;
+
+  /// Valley-free test (Gao): a valid path is zero or more customer->
+  /// provider ("up") steps, at most one peer step, then zero or more
+  /// provider->customer ("down") steps.
+  bool is_valley_free(const graph::Path& path) const;
+
+  /// True if the provider-of digraph is acyclic — the Gao-Rexford
+  /// stability condition ("no AS is, transitively, its own provider").
+  bool hierarchy_is_acyclic(std::size_t node_count) const;
+
+  std::size_t link_count() const { return table_.size() / 2; }
+
+ private:
+  static std::uint64_t key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  std::unordered_map<std::uint64_t, Relation> table_;
+};
+
+}  // namespace fpss::policy

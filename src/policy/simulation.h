@@ -1,0 +1,27 @@
+// One-call policy-routing simulation used by tests, benches and examples.
+#pragma once
+
+#include <vector>
+
+#include "bgp/engine.h"
+#include "graph/path.h"
+#include "policy/policy_agent.h"
+
+namespace fpss::policy {
+
+struct PolicyRun {
+  bgp::RunStats stats;
+  /// Selected path per ordered pair; paths[i][j] empty = unreachable.
+  std::vector<std::vector<graph::Path>> paths;
+  bool converged = false;
+  bool complete = false;     ///< every ordered pair has a route
+  bool valley_free = false;  ///< every selected path is valley-free
+};
+
+/// Runs Gao-Rexford routing over `g` to quiescence on the synchronous
+/// engine and collects every selected path.
+PolicyRun run_policy_routing(
+    const graph::Graph& g, const Relationships& relationships,
+    bgp::UpdatePolicy policy = bgp::UpdatePolicy::kIncremental);
+
+}  // namespace fpss::policy

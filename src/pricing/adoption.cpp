@@ -1,0 +1,74 @@
+#include "pricing/adoption.h"
+
+#include "util/contract.h"
+
+namespace fpss::pricing {
+
+bgp::AgentFactory make_mixed_factory(std::vector<char> participates,
+                                     bgp::UpdatePolicy policy) {
+  return [participates = std::move(participates), policy](
+             NodeId self, std::size_t node_count,
+             Cost declared_cost) -> std::unique_ptr<bgp::Agent> {
+    FPSS_EXPECTS(participates.size() == node_count);
+    if (participates[self]) {
+      return std::make_unique<PriceVectorAgent>(self, node_count,
+                                                declared_cost, policy);
+    }
+    return std::make_unique<bgp::PlainBgpAgent>(self, node_count,
+                                                declared_cost, policy);
+  };
+}
+
+std::vector<char> random_participants(std::size_t node_count,
+                                      std::size_t participant_count,
+                                      util::Rng& rng) {
+  FPSS_EXPECTS(participant_count <= node_count);
+  std::vector<NodeId> ids(node_count);
+  for (NodeId v = 0; v < node_count; ++v) ids[v] = v;
+  rng.shuffle(ids);
+  std::vector<char> participates(node_count, 0);
+  for (std::size_t i = 0; i < participant_count; ++i)
+    participates[ids[i]] = 1;
+  return participates;
+}
+
+AdoptionReport measure_adoption(const graph::Graph& g,
+                                const std::vector<char>& participates,
+                                const mechanism::VcgMechanism& truth) {
+  FPSS_EXPECTS(participates.size() == g.node_count());
+  bgp::Network net(g, make_mixed_factory(participates,
+                                         bgp::UpdatePolicy::kIncremental));
+  bgp::SyncEngine engine(net);
+  const auto stats = engine.run();
+  FPSS_ENSURES(stats.converged);
+
+  AdoptionReport report;
+  for (char p : participates) report.participants += (p != 0);
+
+  for (NodeId i = 0; i < g.node_count(); ++i) {
+    if (!participates[i]) continue;
+    const auto& agent = static_cast<const PricingAgent&>(net.agent(i));
+    for (NodeId j = 0; j < g.node_count(); ++j) {
+      if (i == j) continue;
+      const graph::Path path = truth.routes().path(i, j);
+      for (std::size_t t = 1; t + 1 < path.size(); ++t) {
+        const NodeId k = path[t];
+        ++report.price_entries;
+        const Cost got = agent.price(j, k);
+        const Cost want = truth.price(k, i, j);
+        if (got.is_infinite()) {
+          ++report.unknown;
+        } else if (got == want) {
+          ++report.exact;
+        } else if (got > want) {
+          ++report.overestimate;
+        } else {
+          ++report.underestimate;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace fpss::pricing

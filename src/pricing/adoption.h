@@ -1,0 +1,56 @@
+// Incremental deployment: what if only some ASs run the pricing extension?
+//
+// The paper's closing theme is that Internet algorithms win by being
+// deployable as "a straightforward extension to BGP"; real deployments are
+// incremental. In a mixed network, non-participants still run plain BGP —
+// their adverts carry paths and costs (so routing is unaffected and
+// case-(iv) price candidates still work) but no price arrays. Participant
+// estimates then converge to a minimum over a *subset* of the candidate
+// k-avoiding paths: never below the true VCG price, sometimes above it,
+// sometimes still unknown. This module builds mixed networks and measures
+// exactly that.
+#pragma once
+
+#include <vector>
+
+#include "bgp/engine.h"
+#include "graph/graph.h"
+#include "mechanism/vcg.h"
+#include "pricing/pricing_agent.h"
+#include "util/rng.h"
+
+namespace fpss::pricing {
+
+/// participates[v] == true: v runs PriceVectorAgent; otherwise plain BGP.
+bgp::AgentFactory make_mixed_factory(std::vector<char> participates,
+                                     bgp::UpdatePolicy policy);
+
+/// A random participant set of the given size (the content of the
+/// remaining entries is false).
+std::vector<char> random_participants(std::size_t node_count,
+                                      std::size_t participant_count,
+                                      util::Rng& rng);
+
+struct AdoptionReport {
+  std::size_t participants = 0;
+  std::size_t price_entries = 0;   ///< (i, j, k) with participant source i
+  std::size_t exact = 0;           ///< equals the true VCG price
+  std::size_t overestimate = 0;    ///< finite but above the true price
+  std::size_t unknown = 0;         ///< still infinite
+  std::size_t underestimate = 0;   ///< below true (must be 0: safety)
+
+  double exact_fraction() const {
+    return price_entries == 0
+               ? 1.0
+               : static_cast<double>(exact) /
+                     static_cast<double>(price_entries);
+  }
+};
+
+/// Runs a mixed network to quiescence and grades every participant-source
+/// price entry against the centralized mechanism.
+AdoptionReport measure_adoption(const graph::Graph& g,
+                                const std::vector<char>& participates,
+                                const mechanism::VcgMechanism& truth);
+
+}  // namespace fpss::pricing

@@ -1,0 +1,126 @@
+#include "pricing/session.h"
+
+#include "util/contract.h"
+
+namespace fpss::pricing {
+
+bgp::AgentFactory make_agent_factory(Protocol protocol,
+                                     bgp::UpdatePolicy policy) {
+  return [protocol, policy](NodeId self, std::size_t node_count,
+                            Cost declared_cost) -> std::unique_ptr<bgp::Agent> {
+    if (protocol == Protocol::kPriceVector) {
+      return std::make_unique<PriceVectorAgent>(self, node_count,
+                                                declared_cost, policy);
+    }
+    return std::make_unique<AvoidanceVectorAgent>(self, node_count,
+                                                  declared_cost, policy);
+  };
+}
+
+Session::Session(const graph::Graph& g, Protocol protocol,
+                 bgp::UpdatePolicy policy)
+    : network_(std::make_unique<bgp::Network>(
+          g, make_agent_factory(protocol, policy))),
+      engine_(std::make_unique<bgp::SyncEngine>(*network_)),
+      protocol_(protocol) {}
+
+Session::Session(const graph::Graph& g, const bgp::AgentFactory& factory)
+    : network_(std::make_unique<bgp::Network>(g, factory)),
+      engine_(std::make_unique<bgp::SyncEngine>(*network_)) {}
+
+Session Session::async(const graph::Graph& g, Protocol protocol,
+                       const bgp::AsyncEngine::Config& config,
+                       bgp::UpdatePolicy policy) {
+  Session session(g, protocol, policy);
+  session.engine_.reset();
+  session.async_engine_ =
+      std::make_unique<bgp::AsyncEngine>(*session.network_, config);
+  return session;
+}
+
+bgp::RunStats Session::run() {
+  return is_async() ? async_engine_->run() : engine_->run();
+}
+
+bgp::SyncEngine& Session::engine() {
+  FPSS_EXPECTS(!is_async());
+  return *engine_;
+}
+
+const bgp::RunStats& Session::total_stats() const {
+  return is_async() ? async_engine_->stats() : engine_->stats();
+}
+
+const PricingAgent& Session::agent(NodeId v) const {
+  return static_cast<const PricingAgent&>(network_->agent(v));
+}
+
+PricingAgent& Session::agent(NodeId v) {
+  return static_cast<PricingAgent&>(network_->agent(v));
+}
+
+bool Session::complete() const {
+  for (NodeId v = 0; v < network_->node_count(); ++v)
+    if (!agent(v).prices_complete()) return false;
+  return true;
+}
+
+bgp::RunStats Session::reconverge(RestartPolicy policy) {
+  // Price-vector estimates are deltas against the pre-event route state;
+  // only the route-independent avoidance values may skip the restart.
+  FPSS_EXPECTS(policy == RestartPolicy::kRestartBarrier ||
+               protocol_ != Protocol::kPriceVector);
+  bgp::RunStats stats = run();  // routes (and prices) reconverge
+  if (policy == RestartPolicy::kRestartBarrier) {
+    // Paper semantics: price computation starts over on the settled routes.
+    for (NodeId v = 0; v < network_->node_count(); ++v)
+      agent(v).restart_values();
+    const bgp::RunStats wave = run();
+    stats.stages += wave.stages;
+    stats.messages += wave.messages;
+    stats.traffic += wave.traffic;
+    stats.last_route_change_stage = wave.last_route_change_stage;
+    stats.last_value_change_stage = wave.last_value_change_stage;
+    stats.converged = wave.converged;
+  }
+  return stats;
+}
+
+bgp::RunStats Session::change_cost(NodeId v, Cost new_cost,
+                                   RestartPolicy policy) {
+  network_->change_cost(v, new_cost);
+  return reconverge(policy);
+}
+
+bgp::RunStats Session::add_link(NodeId u, NodeId v, RestartPolicy policy) {
+  network_->add_link(u, v);
+  return reconverge(policy);
+}
+
+bgp::RunStats Session::remove_link(NodeId u, NodeId v, RestartPolicy policy) {
+  network_->remove_link(u, v);
+  return reconverge(policy);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Session::fail_node(
+    NodeId v, RestartPolicy policy, bgp::RunStats* stats) {
+  std::vector<std::pair<NodeId, NodeId>> failed;
+  const auto neighbors = network_->topology().neighbors(v);
+  failed.reserve(neighbors.size());
+  for (NodeId u : std::vector<NodeId>(neighbors.begin(), neighbors.end())) {
+    network_->remove_link(v, u);
+    failed.emplace_back(v, u);
+  }
+  const bgp::RunStats result = reconverge(policy);
+  if (stats != nullptr) *stats = result;
+  return failed;
+}
+
+bgp::RunStats Session::restore_node(
+    const std::vector<std::pair<NodeId, NodeId>>& links,
+    RestartPolicy policy) {
+  for (const auto& [u, v] : links) network_->add_link(u, v);
+  return reconverge(policy);
+}
+
+}  // namespace fpss::pricing

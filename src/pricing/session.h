@@ -1,0 +1,116 @@
+// Orchestration of a distributed price-computation run: builds a network
+// of pricing agents over an AS graph, drives it to quiescence with either
+// engine, exposes the resulting routes/prices, and handles dynamic events
+// with the paper's restart semantics ("the process of converging begins
+// again each time a route is changed").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "bgp/engine.h"
+#include "graph/graph.h"
+#include "pricing/pricing_agent.h"
+
+namespace fpss::pricing {
+
+/// Which distributed algorithm the agents run.
+enum class Protocol {
+  kPriceVector,      ///< the paper's Fig. 3 algorithm
+  kAvoidanceVector,  ///< B-space reformulation (experiment E9)
+};
+
+/// How dynamic events restart the price computation.
+enum class RestartPolicy {
+  /// Paper semantics: after the routes reconverge, all price state restarts
+  /// from scratch and refills (correct for arbitrary events).
+  kRestartBarrier,
+  /// No restart: price state is kept and updated in place. Correct for the
+  /// avoidance-vector protocol under *improving* events (link additions,
+  /// cost decreases), where surviving B values remain valid upper bounds.
+  kIncremental,
+};
+
+bgp::AgentFactory make_agent_factory(Protocol protocol,
+                                     bgp::UpdatePolicy policy);
+
+/// A network of pricing agents plus a synchronous engine.
+class Session {
+ public:
+  Session(const graph::Graph& g, Protocol protocol,
+          bgp::UpdatePolicy policy = bgp::UpdatePolicy::kIncremental);
+
+  /// A session over custom agents (they must derive from PricingAgent) —
+  /// used to inject deviant implementations for the audit experiments.
+  Session(const graph::Graph& g, const bgp::AgentFactory& factory);
+
+  /// Cold-start (or continue) until quiescence; returns this segment's
+  /// stats.
+  bgp::RunStats run();
+
+  /// A session driven by the asynchronous event engine instead of
+  /// synchronous stages: the Sect. 5 bounds are stated for the stage
+  /// model, but correctness must not depend on lockstep synchrony.
+  static Session async(const graph::Graph& g, Protocol protocol,
+                       const bgp::AsyncEngine::Config& config,
+                       bgp::UpdatePolicy policy =
+                           bgp::UpdatePolicy::kIncremental);
+
+  bgp::Network& network() { return *network_; }
+  const bgp::Network& network() const { return *network_; }
+  bool is_async() const { return async_engine_ != nullptr; }
+  /// The stage engine. Precondition: !is_async().
+  bgp::SyncEngine& engine();
+  const bgp::RunStats& total_stats() const;
+
+  const PricingAgent& agent(NodeId v) const;
+  PricingAgent& agent(NodeId v);
+
+  /// Price p^k_ij as known at node i. Zero if k is off-path.
+  Cost price(NodeId k, NodeId i, NodeId j) const {
+    return agent(i).price(j, k);
+  }
+
+  /// The route node i currently uses toward j.
+  const bgp::SelectedRoute& route(NodeId i, NodeId j) const {
+    return agent(i).selected(j);
+  }
+
+  /// True iff every node knows a route and finite prices for every pair.
+  bool complete() const;
+
+  // --- dynamics -----------------------------------------------------------
+
+  /// Applies one event and reconverges under the given policy. Returns the
+  /// stats of the whole reconvergence (routes + prices).
+  bgp::RunStats change_cost(NodeId v, Cost new_cost, RestartPolicy policy);
+  bgp::RunStats add_link(NodeId u, NodeId v, RestartPolicy policy);
+  bgp::RunStats remove_link(NodeId u, NodeId v, RestartPolicy policy);
+
+  /// Whole-AS failure: tears down every adjacency of v at once (the AS
+  /// disappears from the topology; its prefix becomes unreachable), then
+  /// reconverges. Returns the failed links for a later restore.
+  std::vector<std::pair<NodeId, NodeId>> fail_node(NodeId v,
+                                                   RestartPolicy policy,
+                                                   bgp::RunStats* stats);
+
+  /// Re-attaches a previously failed AS via the given links.
+  bgp::RunStats restore_node(
+      const std::vector<std::pair<NodeId, NodeId>>& links,
+      RestartPolicy policy);
+
+ private:
+  bgp::RunStats reconverge(RestartPolicy policy);
+
+  std::unique_ptr<bgp::Network> network_;
+  std::unique_ptr<bgp::SyncEngine> engine_;        // exactly one engine is set
+  std::unique_ptr<bgp::AsyncEngine> async_engine_;
+  /// Set for the standard constructors; used to reject the kIncremental
+  /// restart policy for the price-vector protocol, whose values are only
+  /// correct relative to the (restarted) route state. Unknown for custom
+  /// factories — then the caller takes responsibility.
+  std::optional<Protocol> protocol_;
+};
+
+}  // namespace fpss::pricing

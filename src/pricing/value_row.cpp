@@ -1,0 +1,77 @@
+#include "pricing/value_row.h"
+
+namespace fpss::pricing {
+
+bool ValueRow::rekey(const bgp::SelectedRoute& route, bool preserve) {
+  std::vector<std::pair<NodeId, Cost>> next;
+  if (route.valid() && route.path.size() > 2) {
+    next.reserve(route.path.size() - 2);
+    for (std::size_t t = 1; t + 1 < route.path.size(); ++t) {
+      const NodeId k = route.path[t];
+      next.emplace_back(k, preserve ? get(k) : Cost::infinity());
+    }
+  }
+  const bool changed = next != entries_;
+  entries_ = std::move(next);
+  return changed;
+}
+
+bool ValueRow::reset() {
+  bool changed = false;
+  for (auto& [node, value] : entries_) {
+    if (value.is_finite()) {
+      value = Cost::infinity();
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+Cost ValueRow::get(NodeId k) const {
+  for (const auto& [node, value] : entries_)
+    if (node == k) return value;
+  return Cost::infinity();
+}
+
+bool ValueRow::contains(NodeId k) const {
+  for (const auto& [node, value] : entries_) {
+    (void)value;
+    if (node == k) return true;
+  }
+  return false;
+}
+
+bool ValueRow::lower(NodeId k, Cost candidate) {
+  for (auto& [node, value] : entries_) {
+    if (node == k) {
+      if (candidate < value) {
+        value = candidate;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;  // k no longer on the path; stale update, ignore
+}
+
+bool ValueRow::complete() const {
+  for (const auto& [node, value] : entries_) {
+    (void)node;
+    if (value.is_infinite()) return false;
+  }
+  return true;
+}
+
+Cost lookup_value(const std::vector<std::pair<NodeId, Cost>>& values, NodeId k,
+                  bool* found) {
+  for (const auto& [node, value] : values) {
+    if (node == k) {
+      if (found != nullptr) *found = true;
+      return value;
+    }
+  }
+  if (found != nullptr) *found = false;
+  return Cost::infinity();
+}
+
+}  // namespace fpss::pricing

@@ -1,0 +1,26 @@
+// Exact comparison of a distributed run against the centralized Theorem 1
+// computation: same selected routes for every pair, and the same price
+// p^k_ij at every source for every transit node. Theorem 2: "Our algorithm
+// computes the VCG prices correctly."
+#pragma once
+
+#include <string>
+
+#include "mechanism/vcg.h"
+#include "pricing/session.h"
+
+namespace fpss::pricing {
+
+struct VerifyResult {
+  bool ok = false;
+  std::size_t pairs_checked = 0;
+  std::size_t price_entries_checked = 0;
+  std::size_t route_mismatches = 0;
+  std::size_t price_mismatches = 0;
+  std::string first_diff;  ///< human-readable description of one mismatch
+};
+
+VerifyResult verify_against_centralized(const Session& session,
+                                        const mechanism::VcgMechanism& mech);
+
+}  // namespace fpss::pricing

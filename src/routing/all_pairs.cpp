@@ -1,0 +1,36 @@
+#include "routing/all_pairs.h"
+
+#include <algorithm>
+
+#include "routing/dijkstra.h"
+#include "util/contract.h"
+
+namespace fpss::routing {
+
+AllPairsRoutes::AllPairsRoutes(const graph::Graph& g) {
+  trees_.reserve(g.node_count());
+  for (NodeId j = 0; j < g.node_count(); ++j)
+    trees_.push_back(compute_sink_tree(g, j));
+}
+
+const SinkTree& AllPairsRoutes::tree(NodeId destination) const {
+  FPSS_EXPECTS(destination < trees_.size());
+  return trees_[destination];
+}
+
+bool AllPairsRoutes::complete() const {
+  for (const SinkTree& t : trees_)
+    for (NodeId i = 0; i < node_count(); ++i)
+      if (!t.reachable(i)) return false;
+  return true;
+}
+
+std::uint32_t AllPairsRoutes::lcp_diameter() const {
+  std::uint32_t d = 0;
+  for (const SinkTree& t : trees_)
+    for (NodeId i = 0; i < node_count(); ++i)
+      if (t.reachable(i)) d = std::max(d, t.hops(i));
+  return d;
+}
+
+}  // namespace fpss::routing

@@ -1,0 +1,44 @@
+// All-pairs lowest-cost routes: the mechanism of Sect. 3 computes LCPs for
+// every source-destination pair (one of the paper's three departures from
+// the single-pair formulations of Nisan-Ronen and Hershberger-Suri).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/sink_tree.h"
+#include "util/types.h"
+
+namespace fpss::routing {
+
+/// One sink tree per destination. `d` in the paper's bounds — the maximum
+/// number of AS hops over all selected LCPs — is `lcp_diameter()`.
+class AllPairsRoutes {
+ public:
+  /// Runs the per-destination computation for every node of g.
+  explicit AllPairsRoutes(const graph::Graph& g);
+
+  std::size_t node_count() const { return trees_.size(); }
+  const SinkTree& tree(NodeId destination) const;
+
+  Cost cost(NodeId i, NodeId j) const { return tree(j).cost(i); }
+  graph::Path path(NodeId i, NodeId j) const { return tree(j).path_from(i); }
+
+  /// I_k(c; i, j): k is an intermediate node of the selected i -> j path.
+  bool is_transit(NodeId k, NodeId i, NodeId j) const {
+    return tree(j).is_transit(i, k);
+  }
+
+  /// Every pair reachable (graph connected)?
+  bool complete() const;
+
+  /// d: max hops over all selected LCPs ("the maximum number of AS hops in
+  /// an LCP", Sect. 5).
+  std::uint32_t lcp_diameter() const;
+
+ private:
+  std::vector<SinkTree> trees_;
+};
+
+}  // namespace fpss::routing

@@ -1,0 +1,83 @@
+#include "routing/dijkstra.h"
+
+#include <queue>
+#include <vector>
+
+#include "routing/route.h"
+#include "util/contract.h"
+
+namespace fpss::routing {
+
+namespace {
+
+struct QueueItem {
+  Cost cost;
+  std::uint32_t hops;
+  NodeId node;
+
+  /// Max-heap by default, so invert: best (smallest) item on top.
+  friend bool operator<(const QueueItem& a, const QueueItem& b) {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    return a.hops > b.hops;
+  }
+};
+
+SinkTree run_dijkstra(const graph::Graph& g, NodeId destination,
+                      NodeId avoid) {
+  FPSS_EXPECTS(g.contains(destination));
+  const std::size_t n = g.node_count();
+  SinkTree tree(destination, n);
+
+  // Current best label per node: (cost, hops, parent). Parent ties resolve
+  // to the smallest neighbor id, which all optimal parents have offered by
+  // relaxation before the node is finalized (parents always have a strictly
+  // smaller (cost, hops) key).
+  std::vector<RouteRank> label(n, no_route());
+  std::vector<char> done(n, 0);
+  std::priority_queue<QueueItem> queue;
+
+  label[destination] = RouteRank{Cost::zero(), 0, kInvalidNode};
+  queue.push({Cost::zero(), 0, destination});
+
+  while (!queue.empty()) {
+    const QueueItem item = queue.top();
+    queue.pop();
+    const NodeId u = item.node;
+    if (done[u] || item.cost != label[u].cost || item.hops != label[u].hops)
+      continue;  // stale entry
+    done[u] = 1;
+    // Appending the link (v, u) to u's selected path adds u's own transit
+    // cost unless u is the destination (endpoints carry for free).
+    const Cost step = (u == destination) ? Cost::zero() : g.cost(u);
+    for (NodeId v : g.neighbors(u)) {
+      if (v == avoid || done[v]) continue;
+      const RouteRank candidate{label[u].cost + step, label[u].hops + 1, u};
+      if (candidate < label[v]) {
+        label[v] = candidate;
+        queue.push({candidate.cost, candidate.hops, v});
+      }
+    }
+  }
+
+  for (NodeId i = 0; i < n; ++i) {
+    if (i == destination || i == avoid || label[i].cost.is_infinite())
+      continue;
+    tree.set(i, label[i].cost, label[i].next_hop, label[i].hops);
+  }
+  return tree;
+}
+
+}  // namespace
+
+SinkTree compute_sink_tree(const graph::Graph& g, NodeId destination) {
+  return run_dijkstra(g, destination, kInvalidNode);
+}
+
+SinkTree compute_sink_tree_avoiding(const graph::Graph& g, NodeId destination,
+                                    NodeId avoid) {
+  FPSS_EXPECTS(g.contains(avoid));
+  FPSS_EXPECTS(avoid != destination);
+  return run_dijkstra(g, destination, avoid);
+}
+
+}  // namespace fpss::routing

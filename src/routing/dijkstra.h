@@ -1,0 +1,25 @@
+// Centralized lowest-cost-path computation: the reference against which the
+// distributed BGP-based computation is validated (Sects. 3-4 assume such a
+// routing function exists; we implement it as a per-destination Dijkstra
+// over transit-node costs with the canonical tie-break of route.h).
+#pragma once
+
+#include "graph/graph.h"
+#include "routing/sink_tree.h"
+#include "util/types.h"
+
+namespace fpss::routing {
+
+/// Selected lowest-cost routes from every node toward `destination`,
+/// breaking ties by (cost, hops, next-hop id). Cost of a path is the sum of
+/// its intermediate nodes' costs.
+SinkTree compute_sink_tree(const graph::Graph& g, NodeId destination);
+
+/// Same, but node `avoid` is removed from the graph: the result holds the
+/// lowest-cost k-avoiding paths P_k(c; i, j) of Theorem 1 (ground truth for
+/// the VCG payments). `avoid` itself is reported unreachable.
+/// Precondition: avoid != destination.
+SinkTree compute_sink_tree_avoiding(const graph::Graph& g, NodeId destination,
+                                    NodeId avoid);
+
+}  // namespace fpss::routing

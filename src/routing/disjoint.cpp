@@ -1,0 +1,175 @@
+#include "routing/disjoint.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/contract.h"
+
+namespace fpss::routing {
+
+namespace {
+
+constexpr Cost::rep kInf = Cost::kMaxFinite;
+
+/// Residual arc of the node-split digraph.
+struct Arc {
+  std::uint32_t to;
+  Cost::rep cost;
+  std::int32_t capacity;  // residual capacity
+};
+
+/// Min-cost flow of value 2 on the split graph via two rounds of Dijkstra
+/// (Suurballe): round 1 on the original nonnegative costs, round 2 on
+/// costs reduced by the round-1 potentials.
+class SplitFlow {
+ public:
+  SplitFlow(const graph::Graph& g, NodeId s, NodeId t)
+      : graph_(g), s_(s), t_(t), adjacency_(2 * g.node_count()) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == s || v == t) continue;  // endpoints are free and shareable
+      add_arc(in(v), out(v), g.cost(v).value(), 1);
+    }
+    for (const auto& [u, v] : g.edges()) {
+      add_arc(out(u), in(v), 0, 1);
+      add_arc(out(v), in(u), 0, 1);
+    }
+  }
+
+  /// Sends up to 2 units from out(s) to in(t); returns the units placed.
+  int augment_twice() {
+    int placed = 0;
+    std::vector<Cost::rep> potential(adjacency_.size(), 0);
+    for (int round = 0; round < 2; ++round) {
+      if (!dijkstra(potential)) break;
+      ++placed;
+    }
+    return placed;
+  }
+
+  /// Follows positive flow from out(s), consuming it, and returns the
+  /// original-graph node path; empty when no more flow remains.
+  graph::Path extract_path() {
+    graph::Path path{s_};
+    std::uint32_t at = out(s_);
+    const std::uint32_t goal = in(t_);
+    while (at != goal) {
+      bool advanced = false;
+      for (std::uint32_t idx : adjacency_[at]) {
+        Arc& arc = arcs_[idx];
+        // Flow on a forward arc shows up as capacity on its twin.
+        if ((idx & 1u) == 0 && arcs_[idx ^ 1u].capacity > 0) {
+          --arcs_[idx ^ 1u].capacity;
+          ++arc.capacity;
+          const NodeId node = original(arc.to);
+          if (path.back() != node) path.push_back(node);
+          at = arc.to;
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) return {};  // no (more) flow from here
+      FPSS_ASSERT(path.size() <= 2 * graph_.node_count());
+    }
+    return path;
+  }
+
+ private:
+  std::uint32_t in(NodeId v) const { return 2 * v; }
+  std::uint32_t out(NodeId v) const { return 2 * v + 1; }
+  NodeId original(std::uint32_t split) const {
+    return static_cast<NodeId>(split / 2);
+  }
+
+  void add_arc(std::uint32_t from, std::uint32_t to, Cost::rep cost,
+               std::int32_t capacity) {
+    adjacency_[from].push_back(static_cast<std::uint32_t>(arcs_.size()));
+    arcs_.push_back({to, cost, capacity});
+    adjacency_[to].push_back(static_cast<std::uint32_t>(arcs_.size()));
+    arcs_.push_back({from, -cost, 0});  // residual twin
+  }
+
+  /// One shortest-path augmentation under the given potentials; updates
+  /// the potentials for the next round. Returns false if in(t) is
+  /// unreachable in the residual graph.
+  bool dijkstra(std::vector<Cost::rep>& potential) {
+    const std::size_t n = adjacency_.size();
+    std::vector<Cost::rep> dist(n, kInf);
+    std::vector<std::uint32_t> via_arc(n, UINT32_MAX);
+    using Item = std::pair<Cost::rep, std::uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    const std::uint32_t source = out(s_);
+    const std::uint32_t sink = in(t_);
+    dist[source] = 0;
+    queue.emplace(0, source);
+    while (!queue.empty()) {
+      const auto [d, u] = queue.top();
+      queue.pop();
+      if (d != dist[u]) continue;
+      for (std::uint32_t idx : adjacency_[u]) {
+        const Arc& arc = arcs_[idx];
+        if (arc.capacity <= 0) continue;
+        // Nodes unreached by the previous round cannot lie on any
+        // augmenting path; skipping them keeps reduced costs nonnegative.
+        if (potential[u] >= kInf || potential[arc.to] >= kInf) continue;
+        const Cost::rep reduced =
+            arc.cost + potential[u] - potential[arc.to];
+        FPSS_ASSERT(reduced >= 0);
+        if (dist[u] + reduced < dist[arc.to]) {
+          dist[arc.to] = dist[u] + reduced;
+          via_arc[arc.to] = idx;
+          queue.emplace(dist[arc.to], arc.to);
+        }
+      }
+    }
+    if (dist[sink] >= kInf) return false;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist[v] >= kInf || potential[v] >= kInf) {
+        potential[v] = kInf;
+      } else {
+        potential[v] += dist[v];
+      }
+    }
+    // Augment one unit along the shortest-path tree.
+    for (std::uint32_t v = sink; v != source;) {
+      const std::uint32_t idx = via_arc[v];
+      FPSS_ASSERT(idx != UINT32_MAX);
+      --arcs_[idx].capacity;
+      ++arcs_[idx ^ 1u].capacity;
+      v = arcs_[idx ^ 1u].to;
+    }
+    return true;
+  }
+
+  const graph::Graph& graph_;
+  NodeId s_, t_;
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+};
+
+}  // namespace
+
+std::optional<DisjointPair> disjoint_path_pair(const graph::Graph& g,
+                                               NodeId s, NodeId t) {
+  FPSS_EXPECTS(g.contains(s) && g.contains(t) && s != t);
+  SplitFlow flow(g, s, t);
+  if (flow.augment_twice() < 2) return std::nullopt;
+
+  graph::Path first = flow.extract_path();
+  graph::Path second = flow.extract_path();
+  FPSS_ASSERT(!first.empty() && !second.empty());
+  // The second augmentation may cancel parts of the first (that is the
+  // point of Suurballe), but the residual bookkeeping leaves exactly the
+  // *net* flow, whose decomposition is two simple disjoint paths.
+  DisjointPair pair;
+  const Cost cost_a = graph::transit_cost(g, first);
+  const Cost cost_b = graph::transit_cost(g, second);
+  if (cost_b < cost_a) std::swap(first, second);
+  pair.primary = std::move(first);
+  pair.backup = std::move(second);
+  pair.primary_cost = std::min(cost_a, cost_b);
+  pair.backup_cost = std::max(cost_a, cost_b);
+  return pair;
+}
+
+}  // namespace fpss::routing

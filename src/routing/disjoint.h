@@ -1,0 +1,42 @@
+// Node-disjoint lowest-cost path pairs (Suurballe/Bhandari).
+//
+// Two uses in this repository:
+//  * analysis of overcharging (E8/E18): the VCG premium of a transit node
+//    is the price of the network's path diversity, and the cheapest pair
+//    of internally-disjoint paths is the canonical diversity measure;
+//  * 1+1 protection (E18): an AS pair that wants survivable connectivity
+//    must provision a primary and a node-disjoint backup; this computes
+//    the cheapest such pair.
+//
+// Costs follow the paper's convention: a path pays the declared costs of
+// its *intermediate* nodes only, and the two paths must be disjoint in
+// intermediate nodes (they share exactly the endpoints). Implemented as a
+// min-cost flow of value 2 on the node-split digraph, via two
+// Dijkstra-with-potentials rounds (Suurballe's construction).
+#pragma once
+
+#include <optional>
+
+#include "graph/graph.h"
+#include "graph/path.h"
+#include "util/cost.h"
+#include "util/types.h"
+
+namespace fpss::routing {
+
+struct DisjointPair {
+  graph::Path primary;  ///< the cheaper of the two
+  graph::Path backup;
+  Cost primary_cost;
+  Cost backup_cost;
+
+  Cost total_cost() const { return primary_cost + backup_cost; }
+};
+
+/// The cheapest pair of internally node-disjoint s -> t paths, or nullopt
+/// if none exists (s and t are separated by an articulation point).
+/// Precondition: s != t, both in g.
+std::optional<DisjointPair> disjoint_path_pair(const graph::Graph& g,
+                                               NodeId s, NodeId t);
+
+}  // namespace fpss::routing

@@ -1,0 +1,61 @@
+#include "routing/metrics.h"
+
+#include <algorithm>
+
+#include "routing/dijkstra.h"
+#include "routing/sink_tree.h"
+#include "util/contract.h"
+
+namespace fpss::routing {
+
+namespace {
+
+/// Visits every (j, k, subtree member i != k) triple with the avoiding
+/// sink tree for (j, k) and fires `visit(i, lcp_hops_i, avoid_hops_i)`.
+template <typename Visitor>
+void for_each_avoiding_path(const graph::Graph& g, Visitor&& visit) {
+  for (NodeId j = 0; j < g.node_count(); ++j) {
+    const SinkTree tree = compute_sink_tree(g, j);
+    const auto kids = tree.children();
+    for (NodeId k = 0; k < g.node_count(); ++k) {
+      if (k == j || kids[k].empty()) continue;
+      const SinkTree avoiding = compute_sink_tree_avoiding(g, j, k);
+      for (NodeId i : tree.subtree(k)) {
+        if (i == k) continue;
+        FPSS_ASSERT(avoiding.reachable(i));  // biconnected input
+        visit(i, tree.hops(i), avoiding.hops(i));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DiameterReport lcp_and_avoiding_diameter(const graph::Graph& g) {
+  DiameterReport report;
+  for (NodeId j = 0; j < g.node_count(); ++j) {
+    const SinkTree tree = compute_sink_tree(g, j);
+    for (NodeId i = 0; i < g.node_count(); ++i)
+      if (tree.reachable(i)) report.d = std::max(report.d, tree.hops(i));
+  }
+  for_each_avoiding_path(g, [&](NodeId, std::uint32_t, std::uint32_t ah) {
+    report.d_prime = std::max(report.d_prime, ah);
+  });
+  return report;
+}
+
+std::vector<std::uint32_t> per_node_stage_bounds(const graph::Graph& g) {
+  std::vector<std::uint32_t> bound(g.node_count(), 0);
+  for (NodeId j = 0; j < g.node_count(); ++j) {
+    const SinkTree tree = compute_sink_tree(g, j);
+    for (NodeId i = 0; i < g.node_count(); ++i)
+      if (tree.reachable(i)) bound[i] = std::max(bound[i], tree.hops(i));
+  }
+  for_each_avoiding_path(
+      g, [&](NodeId i, std::uint32_t, std::uint32_t avoid_hops) {
+        bound[i] = std::max(bound[i], avoid_hops);
+      });
+  return bound;
+}
+
+}  // namespace fpss::routing

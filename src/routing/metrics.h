@@ -1,0 +1,35 @@
+// The quantities that drive the paper's convergence bounds:
+//   d   — max AS-hops over all selected LCPs (Sect. 5),
+//   d'  — max hops over all lowest-cost k-avoiding paths P_k(c; i, j)
+//         (Sect. 6.2), which governs price convergence,
+//   d_i — per-node bound max(|P(c;i,j)|, |P_k(c;i,j)|) of Lemma 2.
+// Corollary 1: every node has correct LCPs and prices after max(d, d')
+// stages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace fpss::routing {
+
+struct DiameterReport {
+  std::uint32_t d = 0;        ///< LCP hop diameter
+  std::uint32_t d_prime = 0;  ///< k-avoiding hop diameter
+
+  std::uint32_t stage_bound() const { return d > d_prime ? d : d_prime; }
+};
+
+/// Computes d and d' exactly (one avoid-k Dijkstra per (destination,
+/// transit node) pair — quadratic-ish; meant for analysis, not the hot
+/// path). Precondition: g biconnected so every P_k exists.
+DiameterReport lcp_and_avoiding_diameter(const graph::Graph& g);
+
+/// Lemma 2's per-node quantity d_i for every node i: the number of stages
+/// after which node i is guaranteed to know its correct routes and prices.
+/// Precondition: g biconnected.
+std::vector<std::uint32_t> per_node_stage_bounds(const graph::Graph& g);
+
+}  // namespace fpss::routing

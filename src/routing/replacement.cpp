@@ -1,0 +1,128 @@
+#include "routing/replacement.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "routing/dijkstra.h"
+#include "util/contract.h"
+
+namespace fpss::routing {
+
+namespace {
+
+/// Transit nodes of the tree: every non-destination node with at least one
+/// child is an intermediate node of some selected path.
+std::vector<NodeId> transit_nodes(const SinkTree& tree) {
+  const auto kids = tree.children();
+  std::vector<NodeId> out;
+  for (NodeId k = 0; k < tree.node_count(); ++k)
+    if (k != tree.destination() && !kids[k].empty()) out.push_back(k);
+  return out;
+}
+
+}  // namespace
+
+AvoidanceTable AvoidanceTable::compute_naive(const graph::Graph& g,
+                                             const SinkTree& tree) {
+  AvoidanceTable out(tree.destination());
+  const NodeId j = tree.destination();
+  for (NodeId k : transit_nodes(tree)) {
+    const SinkTree avoiding = compute_sink_tree_avoiding(g, j, k);
+    for (NodeId i : tree.subtree(k)) {
+      if (i == k) continue;
+      out.table_.emplace(key(i, k), avoiding.cost(i));
+    }
+  }
+  return out;
+}
+
+AvoidanceTable AvoidanceTable::compute(const graph::Graph& g,
+                                       const SinkTree& tree) {
+  AvoidanceTable out(tree.destination());
+  const NodeId j = tree.destination();
+  const std::size_t n = g.node_count();
+
+  // Scratch arrays reused across k to avoid re-allocation.
+  std::vector<Cost> dist(n, Cost::infinity());
+  std::vector<char> in_subtree(n, 0);
+
+  struct QueueItem {
+    Cost cost;
+    NodeId node;
+    bool operator<(const QueueItem& other) const {
+      return cost > other.cost;  // min-heap
+    }
+  };
+
+  for (NodeId k : transit_nodes(tree)) {
+    const std::vector<NodeId> sub = tree.subtree(k);
+    for (NodeId v : sub) in_subtree[v] = 1;
+
+    // Nodes needing B^k: the subtree of k minus k itself. Seed each with
+    // its best direct exit: a neighbor a outside the subtree (a != k) whose
+    // own LCP therefore avoids k. Exiting to a costs c_a plus a's LCP cost
+    // (or nothing if a is the destination itself).
+    std::priority_queue<QueueItem> queue;
+    for (NodeId u : sub) {
+      if (u == k) continue;
+      Cost best = Cost::infinity();
+      for (NodeId a : g.neighbors(u)) {
+        if (a == k || in_subtree[a]) continue;
+        const Cost via =
+            (a == j) ? Cost::zero()
+                     : (tree.reachable(a) ? g.cost(a) + tree.cost(a)
+                                          : Cost::infinity());
+        best = std::min(best, via);
+      }
+      dist[u] = best;
+      if (best.is_finite()) queue.push({best, u});
+    }
+
+    // Propagate inside the subtree: reaching u via an in-subtree neighbor v
+    // pays v's transit cost on top of v's k-avoiding cost.
+    while (!queue.empty()) {
+      const auto [cost, u] = queue.top();
+      queue.pop();
+      if (cost != dist[u]) continue;  // stale
+      for (NodeId v : g.neighbors(u)) {
+        if (!in_subtree[v] || v == k) continue;
+        const Cost candidate = cost + g.cost(u);
+        if (candidate < dist[v]) {
+          dist[v] = candidate;
+          queue.push({candidate, v});
+        }
+      }
+    }
+
+    for (NodeId u : sub) {
+      if (u != k) out.table_.emplace(key(u, k), dist[u]);
+      dist[u] = Cost::infinity();
+      in_subtree[u] = 0;
+    }
+  }
+  return out;
+}
+
+bool AvoidanceTable::has(NodeId i, NodeId k) const {
+  return table_.contains(key(i, k));
+}
+
+Cost AvoidanceTable::avoiding_cost(NodeId i, NodeId k) const {
+  const auto it = table_.find(key(i, k));
+  FPSS_EXPECTS(it != table_.end());
+  return it->second;
+}
+
+std::vector<std::pair<NodeId, NodeId>> AvoidanceTable::keys() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(table_.size());
+  for (const auto& [packed, cost] : table_) {
+    (void)cost;
+    out.emplace_back(static_cast<NodeId>(packed & 0xffffffffu),
+                     static_cast<NodeId>(packed >> 32));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fpss::routing

@@ -1,0 +1,66 @@
+// Lowest-cost k-avoiding path costs Cost(P_k(c; i, j)) — the second
+// ingredient of the VCG price p^k_ij = c_k + Cost(P_k) - c(i, j)
+// (Theorem 1 / Eq. 1).
+//
+// Two centralized engines compute the same table:
+//  * `compute_naive`  — one node-deleted Dijkstra per (destination, k):
+//    unarguable ground truth, used by tests and small inputs.
+//  * `compute`        — per destination j, for each transit node k, a
+//    multi-source Dijkstra over the subtree of k in T(j) seeded at its
+//    boundary (exit links to nodes whose own LCP already avoids k). This
+//    exploits the structure lemma of Sect. 6.2 — every suffix of P_k is
+//    either an LCP or itself a P_k — in the style of Hershberger-Suri
+//    replacement paths, and runs in O(sum_k |subtree(k)| log n) per
+//    destination instead of O(n) full Dijkstras.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/sink_tree.h"
+#include "util/cost.h"
+#include "util/types.h"
+
+namespace fpss::routing {
+
+/// k-avoiding path costs toward one destination j. An entry exists for
+/// every pair (i, k) where k is an intermediate node of the selected
+/// i -> j path — exactly the pairs whose VCG price can be non-zero.
+class AvoidanceTable {
+ public:
+  /// Efficient subtree engine (see header comment).
+  static AvoidanceTable compute(const graph::Graph& g, const SinkTree& tree);
+
+  /// Ground truth: one avoid-k Dijkstra per transit node of the tree.
+  static AvoidanceTable compute_naive(const graph::Graph& g,
+                                      const SinkTree& tree);
+
+  NodeId destination() const { return destination_; }
+
+  /// True iff k is transit for i toward this destination (an entry exists).
+  bool has(NodeId i, NodeId k) const;
+
+  /// Cost(P_k(c; i, j)). Infinite means no k-avoiding path exists (the
+  /// graph is not biconnected and k holds a monopoly over i).
+  /// Precondition: has(i, k).
+  Cost avoiding_cost(NodeId i, NodeId k) const;
+
+  std::size_t entry_count() const { return table_.size(); }
+
+  /// All (i, k) keys, for exhaustive comparison in tests.
+  std::vector<std::pair<NodeId, NodeId>> keys() const;
+
+ private:
+  explicit AvoidanceTable(NodeId destination) : destination_(destination) {}
+
+  static std::uint64_t key(NodeId i, NodeId k) {
+    return (static_cast<std::uint64_t>(k) << 32) | i;
+  }
+
+  NodeId destination_;
+  std::unordered_map<std::uint64_t, Cost> table_;
+};
+
+}  // namespace fpss::routing

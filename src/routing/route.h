@@ -1,0 +1,43 @@
+// The canonical route-preference order shared by the centralized routing
+// computation and the BGP engine.
+//
+// The paper assumes a routing protocol that picks lowest-cost paths and
+// "has an appropriate way to break ties ... in a loop-free manner"
+// (Sect. 3, Sect. 5): for each destination j the selected routes must form
+// a sink tree T(j). We fix the tie-break as the lexicographic triple
+//
+//   (path cost, hop count, next-hop node id)
+//
+// which totally orders the candidate routes a node can hear (two candidates
+// via the same neighbor are never simultaneously present, so comparing
+// next-hop ids is equivalent to comparing the full node sequences
+// lexicographically). The order has the suffix property — any suffix of a
+// selected route is itself a selected route — which is what makes the
+// selected routes of all nodes toward j form a tree (Sect. 6: T(j)).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "util/cost.h"
+#include "util/types.h"
+
+namespace fpss::routing {
+
+/// The attributes by which a route toward a fixed destination is ranked.
+/// Smaller is better.
+struct RouteRank {
+  Cost cost = Cost::infinity();  ///< sum of transit-node costs
+  std::uint32_t hops = 0;        ///< number of links on the path
+  NodeId next_hop = kInvalidNode;
+
+  friend constexpr auto operator<=>(const RouteRank&,
+                                    const RouteRank&) = default;
+};
+
+/// Rank of "no route at all"; worse than every real route.
+constexpr RouteRank no_route() {
+  return RouteRank{Cost::infinity(), UINT32_MAX, kInvalidNode};
+}
+
+}  // namespace fpss::routing

@@ -1,0 +1,67 @@
+#include "routing/sink_tree.h"
+
+#include "util/contract.h"
+
+namespace fpss::routing {
+
+SinkTree::SinkTree(NodeId destination, std::size_t node_count)
+    : destination_(destination),
+      cost_(node_count, Cost::infinity()),
+      parent_(node_count, kInvalidNode),
+      hops_(node_count, 0) {
+  FPSS_EXPECTS(destination < node_count);
+  cost_[destination] = Cost::zero();
+}
+
+graph::Path SinkTree::path_from(NodeId i) const {
+  FPSS_EXPECTS(i < node_count());
+  FPSS_EXPECTS(reachable(i));
+  graph::Path path;
+  path.reserve(hops_[i] + 1);
+  NodeId v = i;
+  while (v != destination_) {
+    path.push_back(v);
+    v = parent_[v];
+    FPSS_ASSERT(v != kInvalidNode);
+    FPSS_ASSERT(path.size() <= node_count());  // loop guard
+  }
+  path.push_back(destination_);
+  return path;
+}
+
+bool SinkTree::is_transit(NodeId i, NodeId k) const {
+  FPSS_EXPECTS(i < node_count() && k < node_count());
+  if (!reachable(i) || i == k || k == destination_) return false;
+  for (NodeId v = parent_[i]; v != destination_; v = parent_[v]) {
+    if (v == k) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<NodeId>> SinkTree::children() const {
+  std::vector<std::vector<NodeId>> kids(node_count());
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (v != destination_ && reachable(v)) kids[parent_[v]].push_back(v);
+  }
+  return kids;
+}
+
+std::vector<NodeId> SinkTree::subtree(NodeId k) const {
+  FPSS_EXPECTS(k < node_count());
+  const auto kids = children();
+  std::vector<NodeId> order;
+  order.push_back(k);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (NodeId child : kids[order[head]]) order.push_back(child);
+  }
+  return order;
+}
+
+void SinkTree::set(NodeId i, Cost cost, NodeId parent, std::uint32_t hops) {
+  FPSS_EXPECTS(i < node_count() && i != destination_);
+  cost_[i] = cost;
+  parent_[i] = parent;
+  hops_[i] = hops;
+}
+
+}  // namespace fpss::routing

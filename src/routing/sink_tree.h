@@ -1,0 +1,62 @@
+// Per-destination routing state: the sink tree T(j) of selected
+// lowest-cost paths from every node toward destination j (Sect. 6, Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/path.h"
+#include "util/cost.h"
+#include "util/types.h"
+
+namespace fpss::routing {
+
+/// The selected lowest-cost routes of every node toward one destination,
+/// under the canonical tie-break. parent[i] is i's next hop (the parent in
+/// T(j)); the destination and unreachable nodes have parent kInvalidNode.
+class SinkTree {
+ public:
+  SinkTree(NodeId destination, std::size_t node_count);
+
+  NodeId destination() const { return destination_; }
+  std::size_t node_count() const { return cost_.size(); }
+
+  /// c(i, j): transit cost of the selected path from i. Infinite if
+  /// unreachable.
+  Cost cost(NodeId i) const { return cost_[i]; }
+
+  /// Next hop from i toward the destination.
+  NodeId parent(NodeId i) const { return parent_[i]; }
+
+  /// Links on the selected path from i. 0 for the destination itself;
+  /// meaningless if unreachable.
+  std::uint32_t hops(NodeId i) const { return hops_[i]; }
+
+  bool reachable(NodeId i) const { return cost_[i].is_finite(); }
+
+  /// Full selected path i .. j (present iff reachable).
+  graph::Path path_from(NodeId i) const;
+
+  /// Indicator I_k(c; i, j): true iff k is an *intermediate* node on the
+  /// selected path from i (endpoints never count, Sect. 3).
+  bool is_transit(NodeId i, NodeId k) const;
+
+  /// Children lists (reverse of parent pointers), e.g. for subtree walks.
+  std::vector<std::vector<NodeId>> children() const;
+
+  /// Nodes of the subtree rooted at k (k itself included): exactly the
+  /// nodes whose selected path to j passes through k.
+  std::vector<NodeId> subtree(NodeId k) const;
+
+  // Mutators used by the computation in dijkstra.cpp.
+  void set(NodeId i, Cost cost, NodeId parent, std::uint32_t hops);
+
+ private:
+  NodeId destination_;
+  std::vector<Cost> cost_;
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> hops_;
+};
+
+}  // namespace fpss::routing

@@ -1,0 +1,87 @@
+#include "stats/experiment.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+namespace fpss::stats {
+
+Experiment::Experiment(std::string id, std::string title)
+    : id_(std::move(id)), title_(std::move(title)) {}
+
+void Experiment::note(std::string line) { notes_.push_back(std::move(line)); }
+
+void Experiment::claim(std::string paper_claim, std::string measured,
+                       bool holds) {
+  claims_.push_back({std::move(paper_claim), std::move(measured), holds});
+}
+
+void Experiment::table(std::string caption, util::Table t) {
+  tables_.push_back({std::move(caption), std::move(t)});
+}
+
+bool Experiment::all_hold() const {
+  for (const Claim& c : claims_)
+    if (!c.holds) return false;
+  return true;
+}
+
+void Experiment::print(std::ostream& os) const {
+  os << "==========================================================\n"
+     << "[" << id_ << "] " << title_ << "\n"
+     << "==========================================================\n";
+  for (const std::string& note : notes_) os << "  " << note << "\n";
+  if (!notes_.empty()) os << "\n";
+  for (const CaptionedTable& entry : tables_) {
+    os << "-- " << entry.caption << "\n"
+       << entry.table.to_text() << "\n";
+  }
+  for (const Claim& c : claims_) {
+    os << (c.holds ? "  [PASS] " : "  [FAIL] ") << c.paper << "\n"
+       << "         measured: " << c.measured << "\n";
+  }
+  os << (all_hold() ? "  => all claims hold\n" : "  => CLAIM FAILURES\n")
+     << "\n";
+}
+
+std::size_t Experiment::export_csv(const std::string& directory) const {
+  auto slug = [](const std::string& text) {
+    std::string out;
+    for (char ch : text) {
+      if (std::isalnum(static_cast<unsigned char>(ch))) {
+        out += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      } else if (!out.empty() && out.back() != '-') {
+        out += '-';
+      }
+      if (out.size() >= 48) break;
+    }
+    while (!out.empty() && out.back() == '-') out.pop_back();
+    return out;
+  };
+
+  std::size_t written = 0;
+  for (const CaptionedTable& entry : tables_) {
+    const std::string path =
+        directory + "/" + slug(id_) + "_" + slug(entry.caption) + ".csv";
+    std::ofstream file(path);
+    if (!file) continue;
+    file << entry.table.to_csv();
+    if (file) ++written;
+  }
+  return written;
+}
+
+int finish(const Experiment& experiment) {
+  experiment.print(std::cout);
+  // Opt-in CSV export for plotting: set FPSS_CSV_DIR to a directory.
+  if (const char* dir = std::getenv("FPSS_CSV_DIR"); dir != nullptr) {
+    const std::size_t files = experiment.export_csv(dir);
+    std::cout << "  (exported " << files << " CSV table(s) to " << dir
+              << ")\n";
+  }
+  return experiment.all_hold() ? 0 : 1;
+}
+
+}  // namespace fpss::stats

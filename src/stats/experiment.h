@@ -1,0 +1,62 @@
+// Experiment reporting plumbing shared by the bench binaries: each bench
+// declares the paper artifact it reproduces, records claim-vs-measured
+// checks, and prints a uniform report (the rows copied into
+// EXPERIMENTS.md).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace fpss::stats {
+
+/// One reproduced table/figure/theorem.
+class Experiment {
+ public:
+  Experiment(std::string id, std::string title);
+
+  /// Freeform observation printed with the report.
+  void note(std::string line);
+
+  /// A paper claim with its measured counterpart and the verdict.
+  void claim(std::string paper_claim, std::string measured, bool holds);
+
+  /// Attaches a results table (printed in order).
+  void table(std::string caption, util::Table t);
+
+  bool all_hold() const;
+  std::size_t claim_count() const { return claims_.size(); }
+
+  /// Banner + notes + claim checks + tables.
+  void print(std::ostream& os) const;
+
+  /// Writes every attached table as `<dir>/<id>_<slug-of-caption>.csv` for
+  /// downstream plotting. Returns the number of files written (0 on any
+  /// I/O failure).
+  std::size_t export_csv(const std::string& directory) const;
+
+ private:
+  struct Claim {
+    std::string paper;
+    std::string measured;
+    bool holds;
+  };
+  struct CaptionedTable {
+    std::string caption;
+    util::Table table;
+  };
+
+  std::string id_;
+  std::string title_;
+  std::vector<std::string> notes_;
+  std::vector<Claim> claims_;
+  std::vector<CaptionedTable> tables_;
+};
+
+/// Prints the report to stdout and returns 0 if every claim held, 1
+/// otherwise — the exit-code convention of the bench binaries.
+int finish(const Experiment& experiment);
+
+}  // namespace fpss::stats

@@ -1,0 +1,36 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines GSL
+// `Expects`/`Ensures`. Violations are programming errors, not recoverable
+// conditions, so they abort with a diagnostic rather than throw.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fpss::util::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "[fpss] %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace fpss::util::detail
+
+// Precondition: the caller must guarantee `cond`.
+#define FPSS_EXPECTS(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::fpss::util::detail::contract_failure("precondition", #cond,   \
+                                                   __FILE__, __LINE__))
+
+// Postcondition / internal invariant: the implementation guarantees `cond`.
+#define FPSS_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::fpss::util::detail::contract_failure("postcondition", #cond,  \
+                                                   __FILE__, __LINE__))
+
+// Invariant check used in the middle of algorithms.
+#define FPSS_ASSERT(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::fpss::util::detail::contract_failure("invariant", #cond,      \
+                                                   __FILE__, __LINE__))

@@ -1,0 +1,15 @@
+#include "util/cost.h"
+
+#include <ostream>
+
+namespace fpss {
+
+std::string Cost::to_string() const {
+  return is_infinite() ? std::string("inf") : std::to_string(value_);
+}
+
+std::ostream& operator<<(std::ostream& os, Cost c) {
+  return os << c.to_string();
+}
+
+}  // namespace fpss

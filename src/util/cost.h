@@ -1,0 +1,97 @@
+// Exact integer path-cost arithmetic with an explicit +infinity sentinel.
+//
+// The paper's mechanism requires comparing a lowest-cost path against the
+// lowest-cost k-avoiding path; before either is discovered the estimate is
+// "+infinity" (Sect. 6.1: "At the beginning of the computation, all the
+// entries of p^{v_r}_{ij} are set to infinity"). Using exact integers (not
+// floating point) means the distributed algorithm and the centralized
+// reference computation can be compared with operator== in tests.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+
+#include "util/contract.h"
+
+namespace fpss {
+
+/// A per-packet transit cost or path cost. Regular value type: totally
+/// ordered, addable, with a saturating +infinity. Finite values must stay
+/// within [0, kMaxFinite]; arithmetic checks against overflow.
+class Cost {
+ public:
+  using rep = std::int64_t;
+
+  /// Finite costs are capped well below INT64_MAX so that summing any
+  /// realistic number of them cannot overflow before the check fires.
+  static constexpr rep kMaxFinite = std::numeric_limits<rep>::max() / 4;
+
+  /// Zero cost.
+  constexpr Cost() = default;
+
+  /// A finite cost. Precondition: 0 <= value <= kMaxFinite.
+  constexpr explicit Cost(rep value) : value_(value) {
+    FPSS_EXPECTS(value >= 0 && value <= kMaxFinite);
+  }
+
+  /// The +infinity sentinel ("no such path").
+  static constexpr Cost infinity() {
+    Cost c;
+    c.value_ = kInfinityRep;
+    return c;
+  }
+
+  static constexpr Cost zero() { return Cost{}; }
+
+  constexpr bool is_infinite() const { return value_ == kInfinityRep; }
+  constexpr bool is_finite() const { return !is_infinite(); }
+
+  /// Underlying value. Precondition: is_finite().
+  constexpr rep value() const {
+    FPSS_EXPECTS(is_finite());
+    return value_;
+  }
+
+  friend constexpr auto operator<=>(Cost, Cost) = default;
+
+  /// Saturating addition: inf + x == inf. Overflow of finite values aborts.
+  friend constexpr Cost operator+(Cost a, Cost b) {
+    if (a.is_infinite() || b.is_infinite()) return infinity();
+    FPSS_ASSERT(a.value_ <= kMaxFinite - b.value_);
+    Cost r;
+    r.value_ = a.value_ + b.value_;
+    return r;
+  }
+
+  /// Difference of two finite costs; the result may be negative, so it is
+  /// returned as a raw rep (used for price deltas like c(a,j) - c(i,j)).
+  friend constexpr rep operator-(Cost a, Cost b) {
+    FPSS_EXPECTS(a.is_finite() && b.is_finite());
+    return a.value_ - b.value_;
+  }
+
+  Cost& operator+=(Cost other) { return *this = *this + other; }
+
+  /// "inf" or the decimal value.
+  std::string to_string() const;
+
+ private:
+  static constexpr rep kInfinityRep = std::numeric_limits<rep>::max();
+  rep value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Cost c);
+
+/// Adds a (possibly negative) finite delta to a finite cost.
+/// Precondition: base finite and base + delta >= 0.
+constexpr Cost cost_plus_delta(Cost base, Cost::rep delta) {
+  FPSS_EXPECTS(base.is_finite());
+  const Cost::rep v = base.value() + delta;
+  FPSS_EXPECTS(v >= 0);
+  return Cost{v};
+}
+
+}  // namespace fpss

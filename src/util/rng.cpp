@@ -1,0 +1,15 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace fpss::util {
+
+double Rng::pareto(double alpha, double cap) {
+  FPSS_EXPECTS(alpha > 0 && cap >= 1.0);
+  // Inverse-CDF sampling; uniform01() < 1 keeps the pow argument positive.
+  const double u = 1.0 - uniform01();
+  const double x = std::pow(u, -1.0 / alpha);
+  return x > cap ? cap : x;
+}
+
+}  // namespace fpss::util

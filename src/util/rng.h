@@ -1,0 +1,104 @@
+// Deterministic, seedable random number generation for reproducible
+// experiments. xoshiro256++ seeded through splitmix64, plus the handful of
+// distributions the generators and workloads need. We avoid <random>'s
+// distributions because their outputs differ across standard libraries,
+// which would make recorded experiment outputs non-reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/contract.h"
+
+namespace fpss::util {
+
+/// splitmix64 step: used for seeding and cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedf00ddeadbeefULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    FPSS_EXPECTS(bound > 0);
+    // Lemire's nearly-divisionless unbiased bounded sampling.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    FPSS_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+  /// Pareto-distributed value with shape `alpha` and scale 1, clamped to
+  /// [1, cap]. Used for heavy-tailed traffic and cost models.
+  double pareto(double alpha, double cap);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace fpss::util

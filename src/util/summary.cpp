@@ -1,0 +1,97 @@
+#include "util/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/contract.h"
+#include "util/table.h"
+
+namespace fpss::util {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(samples_.size());
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::min() const {
+  FPSS_EXPECTS(!empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  FPSS_EXPECTS(!empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::mean() const {
+  FPSS_EXPECTS(!empty());
+  return mean_;
+}
+
+double Summary::stddev() const {
+  FPSS_EXPECTS(!empty());
+  if (samples_.size() < 2) return 0;
+  return std::sqrt(m2_ / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::quantile(double q) const {
+  FPSS_EXPECTS(!empty());
+  FPSS_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+std::string Summary::digest() const {
+  if (empty()) return "n=0";
+  std::ostringstream out;
+  out << "n=" << count() << " mean=" << format_double(mean())
+      << " p50=" << format_double(median())
+      << " p95=" << format_double(quantile(0.95))
+      << " max=" << format_double(max());
+  return out.str();
+}
+
+IntHistogram::IntHistogram(std::int64_t cap) : cap_(cap) {
+  FPSS_EXPECTS(cap >= 0);
+  buckets_.assign(static_cast<std::size_t>(cap) + 1, 0);
+}
+
+void IntHistogram::add(std::int64_t v) {
+  FPSS_EXPECTS(v >= 0);
+  ++total_;
+  if (v > cap_) {
+    ++overflow_;
+  } else {
+    ++buckets_[static_cast<std::size_t>(v)];
+  }
+}
+
+std::uint64_t IntHistogram::bucket(std::int64_t v) const {
+  FPSS_EXPECTS(v >= 0 && v <= cap_);
+  return buckets_[static_cast<std::size_t>(v)];
+}
+
+std::string IntHistogram::to_text() const {
+  std::ostringstream out;
+  const std::uint64_t peak =
+      std::max<std::uint64_t>(1, *std::max_element(buckets_.begin(), buckets_.end()));
+  for (std::int64_t v = 0; v <= cap_; ++v) {
+    const std::uint64_t n = bucket(v);
+    if (n == 0) continue;
+    const auto bar = static_cast<std::size_t>(40 * n / peak);
+    out << "  " << v << ": " << std::string(bar, '#') << ' ' << n << '\n';
+  }
+  if (overflow_ > 0) out << "  >" << cap_ << ": " << overflow_ << '\n';
+  return out.str();
+}
+
+}  // namespace fpss::util

@@ -1,0 +1,64 @@
+// Streaming summary statistics and fixed-bucket histograms used by the
+// experiment harness to characterize distributions (path stretch,
+// overcharge ratios, convergence stages, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpss::util {
+
+/// Accumulates count/min/max/mean/variance in one pass (Welford), plus the
+/// raw samples for exact quantiles. Suitable for the ten-thousands of
+/// samples the benches produce, not for unbounded streams.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  /// Exact quantile by sorting a copy; q in [0, 1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  /// "n=5 mean=2.1 p50=2 p95=4 max=7" style digest for table cells.
+  std::string digest() const;
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+/// Histogram over integer values with unit-width buckets in [0, cap], plus
+/// an overflow bucket. Used for hop-count and stage-count distributions.
+class IntHistogram {
+ public:
+  explicit IntHistogram(std::int64_t cap);
+
+  void add(std::int64_t v);
+
+  std::int64_t cap() const { return cap_; }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket(std::int64_t v) const;
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// One line per non-empty bucket with a proportional bar.
+  std::string to_text() const;
+
+ private:
+  std::int64_t cap_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fpss::util

@@ -1,0 +1,62 @@
+// Lightweight tabular output for the benchmark harness: aligned plain-text
+// tables (what the bench binaries print, mirroring the paper's reporting)
+// and CSV export for downstream plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fpss::util {
+
+/// A rectangular table of strings with a header row. Cells are formatted by
+/// the caller (use `format_double`/`std::to_string`); the table handles
+/// alignment and escaping only.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row. Precondition enforced: row size matches the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: builds a row from heterogeneous printable values.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({cell_to_string(cells)...});
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Monospace-aligned rendering with a rule under the header.
+  std::string to_text() const;
+
+  /// RFC-4180-style CSV (quotes fields containing comma/quote/newline).
+  std::string to_csv() const;
+
+  /// GitHub-flavored markdown.
+  std::string to_markdown() const;
+
+ private:
+  static std::string cell_to_string(const std::string& s) { return s; }
+  static std::string cell_to_string(const char* s) { return s; }
+  static std::string cell_to_string(double v);
+  template <typename T>
+  static std::string cell_to_string(const T& v) {
+    if constexpr (std::is_integral_v<T>) {
+      return std::to_string(v);
+    } else {
+      return to_display_string(v);  // ADL hook for custom types.
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting without trailing-zero noise.
+std::string format_double(double v, int precision = 3);
+
+}  // namespace fpss::util

@@ -1,0 +1,20 @@
+// Core identifier types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fpss {
+
+/// Identifier of a node (an Autonomous System) in the AS graph. Nodes are
+/// numbered densely `0 .. n-1`; the AS-number presentation ("AS7018") is a
+/// display concern only.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (e.g. absent parent in a sink tree).
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// A synchronous-stage counter in the BGP computational model of Sect. 5.
+using Stage = std::uint32_t;
+
+}  // namespace fpss

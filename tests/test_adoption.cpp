@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "common.h"
+#include "pricing/adoption.h"
+#include "routing/all_pairs.h"
+
+namespace fpss {
+namespace {
+
+TEST(Adoption, RandomParticipantsHasRequestedSize) {
+  util::Rng rng(1);
+  const auto p = pricing::random_participants(20, 7, rng);
+  std::size_t count = 0;
+  for (char x : p) count += (x != 0);
+  EXPECT_EQ(count, 7u);
+  EXPECT_EQ(p.size(), 20u);
+}
+
+TEST(Adoption, FullAdoptionIsExact) {
+  const auto g = test::make_instance({"er", 18, 801, 6});
+  const mechanism::VcgMechanism truth(g);
+  const std::vector<char> all(g.node_count(), 1);
+  const auto report = pricing::measure_adoption(g, all, truth);
+  EXPECT_EQ(report.exact, report.price_entries);
+  EXPECT_EQ(report.unknown, 0u);
+  EXPECT_EQ(report.overestimate, 0u);
+  EXPECT_EQ(report.underestimate, 0u);
+}
+
+TEST(Adoption, PartialAdoptionNeverUndercharges) {
+  util::Rng rng(2);
+  for (const char* family : {"er", "ba", "tiered"}) {
+    const auto g = test::make_instance({family, 20, 802, 7});
+    const mechanism::VcgMechanism truth(g);
+    for (std::size_t count : {5u, 10u, 15u}) {
+      const auto participates =
+          pricing::random_participants(g.node_count(), count, rng);
+      const auto report = pricing::measure_adoption(g, participates, truth);
+      EXPECT_EQ(report.underestimate, 0u)
+          << family << " with " << count << " participants";
+      EXPECT_EQ(report.participants, count);
+    }
+  }
+}
+
+TEST(Adoption, ZeroAdoptionHasNothingToGrade) {
+  const auto g = test::make_instance({"ba", 14, 803, 5});
+  const mechanism::VcgMechanism truth(g);
+  const std::vector<char> none(g.node_count(), 0);
+  const auto report = pricing::measure_adoption(g, none, truth);
+  EXPECT_EQ(report.price_entries, 0u);
+  EXPECT_DOUBLE_EQ(report.exact_fraction(), 1.0);
+}
+
+TEST(Adoption, MixedNetworkRoutingUnaffected) {
+  // Routing must be byte-identical to the pure network at any adoption.
+  const auto g = test::make_instance({"tiered", 24, 804, 6});
+  util::Rng rng(3);
+  const auto participates =
+      pricing::random_participants(g.node_count(), g.node_count() / 3, rng);
+  bgp::Network net(g, pricing::make_mixed_factory(
+                          participates, bgp::UpdatePolicy::kIncremental));
+  bgp::SyncEngine engine(net);
+  ASSERT_TRUE(engine.run().converged);
+  const routing::AllPairsRoutes routes(g);
+  for (NodeId i = 0; i < g.node_count(); ++i) {
+    const auto& agent = static_cast<const bgp::PlainBgpAgent&>(net.agent(i));
+    for (NodeId j = 0; j < g.node_count(); ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(agent.selected(j).path, routes.path(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpss

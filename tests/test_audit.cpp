@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "audit/audit.h"
+#include "audit/cheating_agent.h"
+#include "common.h"
+#include "pricing/session.h"
+
+namespace fpss {
+namespace {
+
+using audit::CheatMode;
+using audit::ViolationKind;
+using pricing::Session;
+
+Session run_with_cheater(const graph::Graph& g, NodeId cheater,
+                         CheatMode mode) {
+  Session session(g, audit::make_cheating_factory(
+                         cheater, mode, bgp::UpdatePolicy::kIncremental));
+  // A deviant implementation can keep the network noisy; cap the stages.
+  session.engine().run(500);
+  return session;
+}
+
+/// A transit-heavy node (so its adverts actually matter).
+NodeId busiest_node(const graph::Graph& g) {
+  NodeId best = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    if (g.degree(v) > g.degree(best)) best = v;
+  return best;
+}
+
+TEST(Audit, HonestNetworkIsClean) {
+  for (const char* family : {"er", "ba", "tiered"}) {
+    const auto g = test::make_instance({family, 20, 301, 7});
+    Session session(g, pricing::Protocol::kPriceVector);
+    ASSERT_TRUE(session.run().converged);
+    const auto violations = audit::audit_network(session);
+    EXPECT_TRUE(violations.empty())
+        << family << ": " << violations.size() << " violations, first: "
+        << violations.front().detail;
+  }
+}
+
+TEST(Audit, HonestAvoidanceNetworkPassesStructuralChecks) {
+  // The avoidance protocol advertises B-values, not prices, so only the
+  // price checks are protocol-specific; structural checks (A/A') must
+  // still pass. Audit is defined for the price protocol; here we verify
+  // the structural half on the price protocol with full tables.
+  const auto g = test::make_instance({"ba", 18, 302, 5});
+  Session session(g, pricing::Protocol::kPriceVector,
+                  bgp::UpdatePolicy::kFullTable);
+  ASSERT_TRUE(session.run().converged);
+  EXPECT_TRUE(audit::audit_network(session).empty());
+}
+
+TEST(Audit, DeflaterIsCaughtByNeighbors) {
+  const auto g = test::make_instance({"er", 18, 303, 6});
+  const NodeId cheater = busiest_node(g);
+  Session session = run_with_cheater(g, cheater, CheatMode::kDeflatePrices);
+  const auto violations = audit::audit_network(session);
+  ASSERT_FALSE(violations.empty());
+  const auto flagged = audit::suspects(violations);
+  EXPECT_TRUE(std::find(flagged.begin(), flagged.end(), cheater) !=
+              flagged.end());
+  // Deflation shows up as prices below declared cost.
+  const bool below_cost = std::any_of(
+      violations.begin(), violations.end(), [&](const audit::Violation& v) {
+        return v.suspect == cheater &&
+               v.kind == ViolationKind::kPriceBelowCost;
+      });
+  EXPECT_TRUE(below_cost);
+}
+
+TEST(Audit, InflaterIsCaughtByNeighbors) {
+  const auto g = test::make_instance({"ba", 18, 304, 6});
+  const NodeId cheater = busiest_node(g);
+  Session session = run_with_cheater(g, cheater, CheatMode::kInflatePrices);
+  const auto violations = audit::audit_network(session);
+  const auto flagged = audit::suspects(violations);
+  ASSERT_TRUE(std::find(flagged.begin(), flagged.end(), cheater) !=
+              flagged.end());
+  const bool above_bound = std::any_of(
+      violations.begin(), violations.end(), [&](const audit::Violation& v) {
+        return v.suspect == cheater &&
+               v.kind == ViolationKind::kPriceAboveBound;
+      });
+  EXPECT_TRUE(above_bound);
+}
+
+TEST(Audit, CostPadderIsCaughtArithmetically) {
+  const auto g = test::make_instance({"tiered", 24, 305, 5});
+  const NodeId cheater = busiest_node(g);
+  Session session = run_with_cheater(g, cheater, CheatMode::kPadPathCost);
+  const auto violations = audit::audit_network(session);
+  const bool mismatch = std::any_of(
+      violations.begin(), violations.end(), [&](const audit::Violation& v) {
+        return v.suspect == cheater &&
+               v.kind == ViolationKind::kCostSumMismatch;
+      });
+  EXPECT_TRUE(mismatch);
+}
+
+TEST(Audit, InflationFlagsASmallSuspectSetContainingTheCheater) {
+  // Inflated values survive an honest min-update only where the cheater
+  // sits on the sole avoidance chain, so taint is possible but limited;
+  // the flagged set stays a small neighborhood around the real deviant.
+  const auto g = test::make_instance({"er", 16, 306, 6});
+  const NodeId cheater = busiest_node(g);
+  Session session = run_with_cheater(g, cheater, CheatMode::kInflatePrices);
+  const auto flagged = audit::suspects(audit::audit_network(session));
+  ASSERT_FALSE(flagged.empty());
+  EXPECT_TRUE(std::find(flagged.begin(), flagged.end(), cheater) !=
+              flagged.end());
+  EXPECT_LE(flagged.size(), g.node_count() / 2);
+}
+
+TEST(Audit, DeflationTaintPropagatesThroughHonestNodes) {
+  // Zeroed prices flow into honest nodes' min-updates, so the honest
+  // victims end up re-advertising below-cost prices themselves: the audit
+  // detects the anomaly network-wide but origin attribution needs more
+  // than local checks — the residual open problem.
+  const auto g = test::make_instance({"er", 16, 306, 6});
+  const NodeId cheater = busiest_node(g);
+  Session session = run_with_cheater(g, cheater, CheatMode::kDeflatePrices);
+  const auto flagged = audit::suspects(audit::audit_network(session));
+  EXPECT_TRUE(std::find(flagged.begin(), flagged.end(), cheater) !=
+              flagged.end());
+  EXPECT_GT(flagged.size(), 1u);  // the taint spread
+}
+
+TEST(Audit, ViolationKindNames) {
+  EXPECT_STREQ(audit::to_string(ViolationKind::kCostSumMismatch),
+               "cost-sum-mismatch");
+  EXPECT_STREQ(audit::to_string(ViolationKind::kPriceBelowCost),
+               "price-below-cost");
+  EXPECT_STREQ(audit::to_string(ViolationKind::kPriceAboveBound),
+               "price-above-bound");
+  EXPECT_STREQ(audit::to_string(ViolationKind::kNodeCostDisagreement),
+               "node-cost-disagreement");
+  EXPECT_STREQ(audit::to_string(CheatMode::kInflatePrices),
+               "inflate-prices");
+}
+
+}  // namespace
+}  // namespace fpss

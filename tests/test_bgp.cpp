@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgp/engine.h"
+#include "bgp/hop_count_agent.h"
+#include "bgp/plain_agent.h"
+#include "common.h"
+#include "routing/all_pairs.h"
+#include "routing/metrics.h"
+
+namespace fpss {
+namespace {
+
+using bgp::Network;
+using bgp::PlainBgpAgent;
+using bgp::SyncEngine;
+using bgp::UpdatePolicy;
+
+bgp::AgentFactory plain_factory(UpdatePolicy policy) {
+  return [policy](NodeId self, std::size_t n,
+                  Cost cost) -> std::unique_ptr<bgp::Agent> {
+    return std::make_unique<PlainBgpAgent>(self, n, cost, policy);
+  };
+}
+
+/// Every agent's selected route matches the centralized computation.
+void expect_routes_match(Network& net, const graph::Graph& g) {
+  const routing::AllPairsRoutes routes(g);
+  for (NodeId i = 0; i < g.node_count(); ++i) {
+    const auto& agent = static_cast<const PlainBgpAgent&>(net.agent(i));
+    for (NodeId j = 0; j < g.node_count(); ++j) {
+      if (i == j) continue;
+      const auto& selected = agent.selected(j);
+      ASSERT_TRUE(selected.valid()) << i << "->" << j;
+      EXPECT_EQ(selected.path, routes.path(i, j)) << i << "->" << j;
+      EXPECT_EQ(selected.cost, routes.cost(i, j));
+    }
+  }
+}
+
+TEST(PlainBgp, Fig1ConvergesToLcps) {
+  const auto f = graphgen::fig1();
+  Network net(f.g, plain_factory(UpdatePolicy::kIncremental));
+  SyncEngine engine(net);
+  const auto stats = engine.run();
+  EXPECT_TRUE(stats.converged);
+  expect_routes_match(net, f.g);
+}
+
+class PlainBgpFamilies : public ::testing::TestWithParam<test::InstanceSpec> {
+};
+
+TEST_P(PlainBgpFamilies, ConvergesToCentralizedRoutes) {
+  const auto g = test::make_instance(GetParam());
+  Network net(g, plain_factory(UpdatePolicy::kIncremental));
+  SyncEngine engine(net);
+  const auto stats = engine.run();
+  EXPECT_TRUE(stats.converged);
+  expect_routes_match(net, g);
+}
+
+TEST_P(PlainBgpFamilies, RouteConvergenceWithinDStages) {
+  const auto g = test::make_instance(GetParam());
+  const routing::AllPairsRoutes routes(g);
+  Network net(g, plain_factory(UpdatePolicy::kIncremental));
+  SyncEngine engine(net);
+  const auto stats = engine.run();
+  // Sect. 5: "BGP converges within d stages of computation". Routes stop
+  // changing once every LCP has propagated; allow one extra stage for the
+  // initial self-announcement.
+  EXPECT_LE(stats.last_route_change_stage, routes.lcp_diameter() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, PlainBgpFamilies,
+                         ::testing::ValuesIn(test::standard_instances()));
+
+TEST(PlainBgp, FullTableModeAlsoConverges) {
+  const auto g = test::make_instance({"er", 20, 7, 6});
+  Network net(g, plain_factory(UpdatePolicy::kFullTable));
+  SyncEngine engine(net);
+  EXPECT_TRUE(engine.run().converged);
+  expect_routes_match(net, g);
+}
+
+TEST(PlainBgp, FullTableSendsMoreWords) {
+  const auto g = test::make_instance({"ba", 24, 8, 6});
+  Network inc_net(g, plain_factory(UpdatePolicy::kIncremental));
+  Network full_net(g, plain_factory(UpdatePolicy::kFullTable));
+  SyncEngine inc(inc_net), full(full_net);
+  const auto inc_stats = inc.run();
+  const auto full_stats = full.run();
+  EXPECT_GT(full_stats.traffic.total_words(), inc_stats.traffic.total_words());
+}
+
+TEST(PlainBgp, QuiescentAfterConvergence) {
+  const auto g = test::make_instance({"ring", 9, 9, 4});
+  Network net(g, plain_factory(UpdatePolicy::kIncremental));
+  SyncEngine engine(net);
+  engine.run();
+  const auto before = engine.stats().messages;
+  const auto again = engine.run();  // nothing should happen
+  EXPECT_EQ(again.stages, 0u);
+  EXPECT_EQ(engine.stats().messages, before);
+}
+
+TEST(PlainBgp, MessageCountsPositive) {
+  const auto g = test::make_instance({"er", 16, 10, 5});
+  Network net(g, plain_factory(UpdatePolicy::kIncremental));
+  SyncEngine engine(net);
+  const auto stats = engine.run();
+  EXPECT_GT(stats.messages, 0u);
+  EXPECT_GT(stats.traffic.entries, 0u);
+  EXPECT_GT(stats.traffic.path_words, 0u);
+  EXPECT_GT(stats.max_link_messages, 0u);
+  EXPECT_EQ(stats.traffic.value_words, 0u);  // no pricing extension
+}
+
+TEST(PlainBgp, StateSizeReasonable) {
+  const auto g = test::make_instance({"er", 20, 11, 5});
+  Network net(g, plain_factory(UpdatePolicy::kIncremental));
+  SyncEngine engine(net);
+  engine.run();
+  const auto state = net.total_state();
+  // Every node holds a selected route (>= 2 path words) per destination.
+  EXPECT_GE(state.selected_words, g.node_count() * (g.node_count() - 1) * 2);
+  EXPECT_GT(state.rib_in_words, 0u);
+  EXPECT_EQ(state.value_words, 0u);
+}
+
+// --- dynamics -------------------------------------------------------------
+
+TEST(PlainBgpDynamics, LinkFailureReroutes) {
+  const auto f = graphgen::fig1();
+  Network net(f.g, plain_factory(UpdatePolicy::kIncremental));
+  SyncEngine engine(net);
+  engine.run();
+  // Kill the D-Z link: X must fall back to XAZ (cost 5).
+  net.remove_link(f.d, f.z);
+  const auto stats = engine.run();
+  EXPECT_TRUE(stats.converged);
+  graph::Graph expected = f.g;
+  expected.remove_edge(f.d, f.z);
+  expect_routes_match(net, expected);
+  const auto& agent_x = static_cast<const PlainBgpAgent&>(net.agent(f.x));
+  EXPECT_EQ(agent_x.selected(f.z).path, (graph::Path{f.x, f.a, f.z}));
+}
+
+TEST(PlainBgpDynamics, LinkAdditionImproves) {
+  auto g = graphgen::ring_graph(8);
+  graphgen::assign_uniform_cost(g, Cost{3});
+  Network net(g, plain_factory(UpdatePolicy::kIncremental));
+  SyncEngine engine(net);
+  engine.run();
+  net.add_link(0, 4);  // shortcut across the ring
+  EXPECT_TRUE(engine.run().converged);
+  graph::Graph expected = g;
+  expected.add_edge(0, 4);
+  expect_routes_match(net, expected);
+}
+
+TEST(PlainBgpDynamics, CostChangePropagates) {
+  const auto f = graphgen::fig1();
+  Network net(f.g, plain_factory(UpdatePolicy::kIncremental));
+  SyncEngine engine(net);
+  engine.run();
+  // Make D expensive: X's best route to Z becomes XAZ.
+  net.change_cost(f.d, Cost{50});
+  EXPECT_TRUE(engine.run().converged);
+  graph::Graph expected = f.g;
+  expected.set_cost(f.d, Cost{50});
+  expect_routes_match(net, expected);
+}
+
+TEST(PlainBgpDynamics, PartitionWithdrawsRoutes) {
+  // 0-1  2-3 joined by a single link 1-2; removing it partitions.
+  graph::Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  Network net(g, plain_factory(UpdatePolicy::kIncremental));
+  SyncEngine engine(net);
+  engine.run();
+  const auto& agent0 = static_cast<const PlainBgpAgent&>(net.agent(0));
+  ASSERT_TRUE(agent0.selected(3).valid());
+  net.remove_link(1, 2);
+  EXPECT_TRUE(engine.run().converged);
+  EXPECT_FALSE(agent0.selected(3).valid());
+  EXPECT_TRUE(agent0.selected(1).valid());
+}
+
+// --- hop-count selection (unmodified BGP, Sect. 1) --------------------------
+
+TEST(HopCountBgp, PrefersFewerHopsOverCheaperPath) {
+  // 0-1-3 (transit cost 9) vs 0-2-4-3 (transit cost 0): stock BGP takes
+  // the 2-hop path regardless of cost.
+  graph::Graph g{5};
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 4);
+  g.add_edge(4, 3);
+  g.set_cost(1, Cost{9});
+  Network net(g, bgp::make_hop_count_factory(UpdatePolicy::kIncremental));
+  SyncEngine engine(net);
+  ASSERT_TRUE(engine.run().converged);
+  const auto& agent0 = static_cast<const PlainBgpAgent&>(net.agent(0));
+  EXPECT_EQ(agent0.selected(3).path, (graph::Path{0, 1, 3}));
+  EXPECT_EQ(agent0.selected(3).cost, Cost{9});
+}
+
+TEST(HopCountBgp, MatchesBfsDistances) {
+  const auto g = test::make_instance({"ba", 20, 15, 9});
+  Network net(g, bgp::make_hop_count_factory(UpdatePolicy::kIncremental));
+  SyncEngine engine(net);
+  ASSERT_TRUE(engine.run().converged);
+  // Selected hop counts equal unweighted BFS distances.
+  for (NodeId j = 0; j < g.node_count(); ++j) {
+    std::vector<std::uint32_t> depth(g.node_count(), UINT32_MAX);
+    std::vector<NodeId> frontier{j};
+    depth[j] = 0;
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      for (NodeId v : g.neighbors(frontier[head])) {
+        if (depth[v] == UINT32_MAX) {
+          depth[v] = depth[frontier[head]] + 1;
+          frontier.push_back(v);
+        }
+      }
+    }
+    for (NodeId i = 0; i < g.node_count(); ++i) {
+      if (i == j) continue;
+      const auto& agent = static_cast<const PlainBgpAgent&>(net.agent(i));
+      ASSERT_TRUE(agent.selected(j).valid());
+      EXPECT_EQ(agent.selected(j).hops(), depth[i]) << i << "->" << j;
+    }
+  }
+}
+
+// --- async engine ----------------------------------------------------------
+
+TEST(AsyncBgp, ConvergesToCentralizedRoutes) {
+  const auto g = test::make_instance({"ba", 20, 12, 7});
+  Network net(g, plain_factory(UpdatePolicy::kIncremental));
+  bgp::AsyncEngine::Config config;
+  config.seed = 99;
+  bgp::AsyncEngine engine(net, config);
+  const auto stats = engine.run();
+  EXPECT_TRUE(stats.converged);
+  expect_routes_match(net, g);
+  EXPECT_GT(stats.async_end_time, 0.0);
+}
+
+TEST(AsyncBgp, MraiReducesMessages) {
+  const auto g = test::make_instance({"er", 24, 13, 6});
+  Network raw_net(g, plain_factory(UpdatePolicy::kIncremental));
+  Network mrai_net(g, plain_factory(UpdatePolicy::kIncremental));
+  bgp::AsyncEngine::Config raw_config;
+  raw_config.seed = 5;
+  bgp::AsyncEngine raw(raw_net, raw_config);
+  bgp::AsyncEngine::Config mrai_config;
+  mrai_config.seed = 5;
+  mrai_config.mrai = 2.0;
+  bgp::AsyncEngine mrai(mrai_net, mrai_config);
+  const auto raw_stats = raw.run();
+  const auto mrai_stats = mrai.run();
+  ASSERT_TRUE(raw_stats.converged);
+  ASSERT_TRUE(mrai_stats.converged);
+  EXPECT_LT(mrai_stats.messages, raw_stats.messages);
+  expect_routes_match(mrai_net, g);
+}
+
+TEST(AsyncBgp, DeterministicGivenSeed) {
+  const auto g = test::make_instance({"er", 16, 14, 5});
+  auto run_once = [&g]() {
+    Network net(g, plain_factory(UpdatePolicy::kIncremental));
+    bgp::AsyncEngine::Config config;
+    config.seed = 7;
+    bgp::AsyncEngine engine(net, config);
+    return engine.run().messages;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace fpss

@@ -1,0 +1,174 @@
+// Unit tests for the BGP substrate pieces below the agent level: the
+// message size accounting and the Rib's ingest/reselect/withdraw logic.
+#include <gtest/gtest.h>
+
+#include "bgp/message.h"
+#include "bgp/rib.h"
+
+namespace fpss {
+namespace {
+
+using bgp::MessageSize;
+using bgp::Rib;
+using bgp::RouteAdvert;
+using bgp::TableMessage;
+
+RouteAdvert make_advert(NodeId from, graph::Path path,
+                        std::vector<Cost::rep> costs) {
+  RouteAdvert advert;
+  advert.destination = path.back();
+  advert.path = std::move(path);
+  advert.node_costs.reserve(costs.size());
+  for (Cost::rep c : costs) advert.node_costs.emplace_back(c);
+  Cost total = Cost::zero();
+  for (std::size_t t = 1; t + 1 < advert.path.size(); ++t)
+    total += advert.node_costs[t];
+  advert.cost = total;
+  (void)from;
+  return advert;
+}
+
+TEST(MessageSizeTest, CountsWords) {
+  TableMessage msg;
+  msg.sender = 0;
+  msg.sender_cost = Cost{1};
+  RouteAdvert advert = make_advert(0, {0, 1, 2}, {1, 2, 3});
+  advert.transit_values = {{1, Cost{5}}};
+  msg.entries.push_back(advert);
+  const MessageSize size = measure(msg);
+  EXPECT_EQ(size.entries, 1u);
+  EXPECT_EQ(size.path_words, 3u);
+  EXPECT_EQ(size.cost_words, 1u + 1u + 3u);  // sender + path cost + node costs
+  EXPECT_EQ(size.value_words, 2u);
+  EXPECT_EQ(size.total_words(), size.base_words() + 2u);
+}
+
+TEST(MessageSizeTest, AccumulateAndSubtract) {
+  MessageSize a{1, 2, 3, 4};
+  const MessageSize b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.entries, 11u);
+  a -= b;
+  EXPECT_EQ(a.entries, 1u);
+  EXPECT_EQ(a.path_words, 2u);
+}
+
+TEST(RibTest, SelfRouteAlwaysPresent) {
+  const Rib rib(2, 5, Cost{3});
+  const auto& self = rib.selected(2);
+  EXPECT_TRUE(self.valid());
+  EXPECT_EQ(self.path, (graph::Path{2}));
+  EXPECT_EQ(self.cost, Cost::zero());
+  EXPECT_EQ(self.node_costs, (std::vector<Cost>{Cost{3}}));
+}
+
+TEST(RibTest, IngestAndReselect) {
+  Rib rib(0, 4, Cost{1});
+  // Neighbor 1 (cost 2) offers a direct route to 3.
+  rib.ingest(1, Cost{2}, make_advert(1, {1, 3}, {2, 0}));
+  EXPECT_TRUE(rib.reselect(3));
+  const auto& route = rib.selected(3);
+  EXPECT_EQ(route.path, (graph::Path{0, 1, 3}));
+  EXPECT_EQ(route.cost, Cost{2});  // transit = neighbor 1 itself
+  EXPECT_EQ(route.next_hop, 1u);
+  EXPECT_FALSE(rib.reselect(3));  // unchanged on re-run
+}
+
+TEST(RibTest, PrefersCheaperThenFewerHopsThenLowerId) {
+  Rib rib(0, 6, Cost{0});
+  rib.ingest(1, Cost{5}, make_advert(1, {1, 3}, {5, 0}));
+  rib.ingest(2, Cost{1}, make_advert(2, {2, 4, 3}, {1, 1, 0}));
+  rib.reselect(3);
+  // Via 2: transit cost 1(c2)+1(c4)=2 < via 1: 5.
+  EXPECT_EQ(rib.selected(3).next_hop, 2u);
+
+  // Equal costs: fewer hops wins.
+  rib.ingest(1, Cost{2}, make_advert(1, {1, 3}, {2, 0}));
+  rib.reselect(3);
+  EXPECT_EQ(rib.selected(3).next_hop, 1u);
+
+  // Equal cost and hops: lower neighbor id wins.
+  rib.ingest(2, Cost{2}, make_advert(2, {2, 3}, {2, 0}));
+  rib.reselect(3);
+  EXPECT_EQ(rib.selected(3).next_hop, 1u);
+}
+
+TEST(RibTest, LoopPreventionRejectsOwnPath) {
+  Rib rib(0, 4, Cost{1});
+  // Neighbor 1 offers a path that already contains us.
+  rib.ingest(1, Cost{2}, make_advert(1, {1, 0, 3}, {2, 1, 0}));
+  EXPECT_FALSE(rib.reselect(3));
+  EXPECT_FALSE(rib.selected(3).valid());
+}
+
+TEST(RibTest, WithdrawalRemovesRoute) {
+  Rib rib(0, 4, Cost{1});
+  rib.ingest(1, Cost{2}, make_advert(1, {1, 3}, {2, 0}));
+  rib.reselect(3);
+  ASSERT_TRUE(rib.selected(3).valid());
+  RouteAdvert withdrawal;
+  withdrawal.destination = 3;
+  rib.ingest(1, Cost{2}, withdrawal);
+  EXPECT_TRUE(rib.reselect(3));
+  EXPECT_FALSE(rib.selected(3).valid());
+}
+
+TEST(RibTest, PurgeNeighborDropsItsRoutes) {
+  Rib rib(0, 4, Cost{1});
+  rib.ingest(1, Cost{2}, make_advert(1, {1, 3}, {2, 0}));
+  rib.ingest(1, Cost{2}, make_advert(1, {1, 2}, {2, 0}));
+  rib.reselect(3);
+  const auto dropped = rib.purge_neighbor(1);
+  EXPECT_EQ(dropped, (std::vector<NodeId>{2, 3}));
+  EXPECT_TRUE(rib.reselect(3));
+  EXPECT_FALSE(rib.selected(3).valid());
+  EXPECT_FALSE(rib.heard_from(1));
+}
+
+TEST(RibTest, NeighborCostChangeReratesRoutes) {
+  Rib rib(0, 4, Cost{0});
+  rib.ingest(1, Cost{2}, make_advert(1, {1, 3}, {2, 0}));
+  rib.ingest(2, Cost{3}, make_advert(2, {2, 3}, {3, 0}));
+  rib.reselect(3);
+  EXPECT_EQ(rib.selected(3).next_hop, 1u);
+  // Neighbor 2 becomes free: note its new cost, plus its refreshed advert.
+  rib.ingest(2, Cost{0}, make_advert(2, {2, 3}, {0, 0}));
+  EXPECT_TRUE(rib.reselect(3));
+  EXPECT_EQ(rib.selected(3).next_hop, 2u);
+}
+
+TEST(RibTest, ClearStoredValuesKeepsRoutes) {
+  Rib rib(0, 4, Cost{0});
+  RouteAdvert advert = make_advert(1, {1, 2, 3}, {1, 1, 0});
+  advert.transit_values = {{2, Cost{9}}};
+  rib.ingest(1, Cost{1}, advert);
+  rib.clear_stored_values();
+  const RouteAdvert* stored = rib.stored(1, 3);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_TRUE(stored->transit_values.empty());
+  EXPECT_EQ(stored->cost, Cost{1});  // routing fields intact
+}
+
+TEST(RibTest, StateWordAccounting) {
+  Rib rib(0, 4, Cost{1});
+  const std::size_t before = rib.selected_words();
+  rib.ingest(1, Cost{2}, make_advert(1, {1, 3}, {2, 0}));
+  rib.reselect(3);
+  EXPECT_GT(rib.selected_words(), before);
+  EXPECT_GT(rib.adj_rib_in_words(), 0u);
+}
+
+TEST(RibTest, ForceSelectInstallsAndReportsChange) {
+  Rib rib(0, 4, Cost{0});
+  bgp::SelectedRoute route;
+  route.path = {0, 2, 3};
+  route.cost = Cost{4};
+  route.node_costs = {Cost{0}, Cost{4}, Cost{0}};
+  route.next_hop = 2;
+  EXPECT_TRUE(rib.force_select(3, route));
+  EXPECT_FALSE(rib.force_select(3, route));  // idempotent
+  EXPECT_EQ(rib.selected(3).path, (graph::Path{0, 2, 3}));
+}
+
+}  // namespace
+}  // namespace fpss

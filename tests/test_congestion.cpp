@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "common.h"
+#include "congestion/congestion.h"
+
+namespace fpss {
+namespace {
+
+using congestion::CapacityPlan;
+using congestion::DynamicsParams;
+using congestion::Outcome;
+using payments::TrafficMatrix;
+
+TEST(Loads, TransitOnlyCountsIntermediates) {
+  const auto f = graphgen::fig1();
+  const routing::AllPairsRoutes routes(f.g);
+  TrafficMatrix traffic(6);
+  traffic.set(f.x, f.z, 10);  // LCP XBDZ: B and D transit 10 packets
+  const auto loads = congestion::transit_loads(routes, traffic);
+  EXPECT_EQ(loads[f.b], 10u);
+  EXPECT_EQ(loads[f.d], 10u);
+  EXPECT_EQ(loads[f.x], 0u);
+  EXPECT_EQ(loads[f.z], 0u);
+  EXPECT_EQ(loads[f.a], 0u);
+}
+
+TEST(Loads, SumMatchesPathLengths) {
+  const auto g = test::make_instance({"er", 16, 30, 6});
+  const routing::AllPairsRoutes routes(g);
+  const auto traffic = TrafficMatrix::uniform(g.node_count(), 2);
+  const auto loads = congestion::transit_loads(routes, traffic);
+  std::uint64_t total = 0;
+  for (auto l : loads) total += l;
+  std::uint64_t expected = 0;
+  for (NodeId i = 0; i < g.node_count(); ++i)
+    for (NodeId j = 0; j < g.node_count(); ++j)
+      if (i != j) expected += 2 * (routes.path(i, j).size() - 2);
+  EXPECT_EQ(total, expected);
+}
+
+TEST(CapacityPlan, UniformAndByDegree) {
+  const auto g = graphgen::wheel_graph(6);
+  const auto uniform = CapacityPlan::uniform(6, 100);
+  EXPECT_EQ(uniform.capacity, std::vector<std::uint64_t>(6, 100));
+  const auto degree = CapacityPlan::by_degree(g, 10);
+  EXPECT_EQ(degree.capacity[0], 50u);  // hub degree 5
+  EXPECT_EQ(degree.capacity[1], 30u);  // rim degree 3
+}
+
+TEST(Assess, OverloadAccounting) {
+  CapacityPlan plan{std::vector<std::uint64_t>{10, 10, 10}};
+  const auto report = congestion::assess({5, 10, 17}, plan);
+  EXPECT_EQ(report.total_transit, 32u);
+  EXPECT_EQ(report.peak_load, 17u);
+  EXPECT_DOUBLE_EQ(report.peak_utilization, 1.7);
+  EXPECT_EQ(report.overloaded_nodes, 1u);
+  EXPECT_EQ(report.overflow_packets, 7u);
+}
+
+TEST(Dynamics, NoOverloadIsImmediateFixedPoint) {
+  const auto g = test::make_instance({"ba", 16, 31, 5});
+  const auto traffic = TrafficMatrix::uniform(g.node_count(), 1);
+  const auto plan = CapacityPlan::uniform(g.node_count(), 1'000'000);
+  const auto result =
+      congestion::congestion_best_response(g, traffic, plan, {});
+  EXPECT_EQ(result.outcome, Outcome::kFixedPoint);
+  EXPECT_EQ(result.final_costs, g.costs());
+  EXPECT_EQ(result.initial.overloaded_nodes, 0u);
+}
+
+TEST(Dynamics, SurchargeShedsLoadFromHotNode) {
+  // Hub-and-rim: everything crosses the free hub; with a tight hub
+  // capacity, the surcharge must push some traffic onto the rim.
+  const auto g = graphgen::hub_adversarial(10, 3);
+  const auto traffic = TrafficMatrix::uniform(g.node_count(), 1);
+  CapacityPlan plan = CapacityPlan::uniform(g.node_count(), 1'000'000);
+  plan.capacity[0] = 10;  // hub
+  DynamicsParams params;
+  params.surcharge_per_unit = 1;
+  params.packets_per_unit = 10;
+  const auto result =
+      congestion::congestion_best_response(g, traffic, plan, params);
+  EXPECT_GT(result.initial.overflow_packets, 0u);
+  // At some round the surcharge must have pushed traffic off the hub
+  // (possibly flapping back later — that is the open problem).
+  std::uint64_t min_overflow = result.initial.overflow_packets;
+  for (const auto& round : result.history)
+    min_overflow = std::min(min_overflow, round.overflow_packets);
+  EXPECT_LT(min_overflow, result.initial.overflow_packets);
+  EXPECT_NE(result.outcome, Outcome::kCutoff);
+}
+
+TEST(Dynamics, ParallelPathsCanFlap) {
+  // Two identical middle nodes between every source/destination pair: the
+  // congested one surcharges, all traffic flips to the other, which then
+  // surcharges back — a 2-cycle (route flapping).
+  graph::Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.set_cost(1, Cost{1});
+  g.set_cost(2, Cost{2});
+  TrafficMatrix traffic(4);
+  traffic.set(0, 3, 100);
+  traffic.set(3, 0, 100);
+  const auto plan = CapacityPlan::uniform(4, 50);
+  DynamicsParams params;
+  params.surcharge_per_unit = 5;
+  params.packets_per_unit = 50;
+  const auto result =
+      congestion::congestion_best_response(g, traffic, plan, params);
+  EXPECT_EQ(result.outcome, Outcome::kCycle);
+  EXPECT_GE(result.cycle_length, 2u);
+}
+
+TEST(Dynamics, RoundCapRespected) {
+  const auto g = test::make_instance({"er", 12, 32, 4});
+  const auto traffic = TrafficMatrix::uniform(g.node_count(), 50);
+  const auto plan = CapacityPlan::uniform(g.node_count(), 1);
+  DynamicsParams params;
+  params.max_rounds = 3;
+  const auto result =
+      congestion::congestion_best_response(g, traffic, plan, params);
+  EXPECT_LE(result.rounds, 3u);
+}
+
+}  // namespace
+}  // namespace fpss

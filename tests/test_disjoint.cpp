@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "common.h"
+#include "graph/analysis.h"
+#include "routing/all_pairs.h"
+#include "routing/disjoint.h"
+
+namespace fpss {
+namespace {
+
+using routing::disjoint_path_pair;
+using routing::DisjointPair;
+
+/// Brute force: enumerate every simple s -> t path (DFS), then every
+/// internally-disjoint pair, and return the minimum total transit cost.
+std::optional<Cost> brute_force_pair_cost(const graph::Graph& g, NodeId s,
+                                          NodeId t) {
+  std::vector<graph::Path> paths;
+  graph::Path current{s};
+  std::vector<char> used(g.node_count(), 0);
+  used[s] = 1;
+  auto dfs = [&](auto&& self, NodeId v) -> void {
+    if (v == t) {
+      paths.push_back(current);
+      return;
+    }
+    for (NodeId w : g.neighbors(v)) {
+      if (used[w]) continue;
+      used[w] = 1;
+      current.push_back(w);
+      self(self, w);
+      current.pop_back();
+      used[w] = 0;
+    }
+  };
+  dfs(dfs, s);
+
+  std::optional<Cost> best;
+  for (std::size_t a = 0; a < paths.size(); ++a) {
+    for (std::size_t b = a + 1; b < paths.size(); ++b) {
+      bool disjoint = true;
+      for (std::size_t i = 1; i + 1 < paths[a].size() && disjoint; ++i)
+        disjoint = !graph::is_transit_node(paths[b], paths[a][i]);
+      if (!disjoint) continue;
+      const Cost total = graph::transit_cost(g, paths[a]) +
+                         graph::transit_cost(g, paths[b]);
+      if (!best.has_value() || total < *best) best = total;
+    }
+  }
+  return best;
+}
+
+void expect_valid_pair(const graph::Graph& g, NodeId s, NodeId t,
+                       const DisjointPair& pair) {
+  EXPECT_TRUE(graph::is_simple_path(g, pair.primary, s, t));
+  EXPECT_TRUE(graph::is_simple_path(g, pair.backup, s, t));
+  for (std::size_t i = 1; i + 1 < pair.primary.size(); ++i)
+    EXPECT_FALSE(graph::is_transit_node(pair.backup, pair.primary[i]))
+        << "paths share transit node " << pair.primary[i];
+  EXPECT_EQ(graph::transit_cost(g, pair.primary), pair.primary_cost);
+  EXPECT_EQ(graph::transit_cost(g, pair.backup), pair.backup_cost);
+  EXPECT_LE(pair.primary_cost, pair.backup_cost);
+}
+
+TEST(DisjointPair, Fig1XtoZ) {
+  const auto f = graphgen::fig1();
+  const auto pair = disjoint_path_pair(f.g, f.x, f.z);
+  ASSERT_TRUE(pair.has_value());
+  expect_valid_pair(f.g, f.x, f.z, *pair);
+  // XBDZ (3) and XAZ (5) are the only internally disjoint pair.
+  EXPECT_EQ(pair->primary, (graph::Path{f.x, f.b, f.d, f.z}));
+  EXPECT_EQ(pair->backup, (graph::Path{f.x, f.a, f.z}));
+  EXPECT_EQ(pair->total_cost(), Cost{8});
+}
+
+TEST(DisjointPair, SuurballeCancellationCase) {
+  // The classic trap: the shortest path uses the "middle" and a greedy
+  // second path would be blocked; the optimal pair reroutes both.
+  //   s=0, t=5; costs: 1:0 2:0 3:9 4:9.
+  //   paths: 0-1-2-5 (cost 0), 0-3-2-5?... build the textbook lattice:
+  graph::Graph g{6};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 5);
+  g.add_edge(0, 3);
+  g.add_edge(3, 2);
+  g.add_edge(1, 4);
+  g.add_edge(4, 5);
+  g.set_cost(1, Cost{1});
+  g.set_cost(2, Cost{1});
+  g.set_cost(3, Cost{4});
+  g.set_cost(4, Cost{4});
+  // Shortest single path is 0-1-2-5 (cost 2), which blocks both 1 and 2;
+  // the optimal pair is 0-1-4-5 (5) and 0-3-2-5 (5): total 10.
+  const auto pair = disjoint_path_pair(g, 0, 5);
+  ASSERT_TRUE(pair.has_value());
+  expect_valid_pair(g, 0, 5, *pair);
+  EXPECT_EQ(pair->total_cost(), Cost{10});
+  const auto brute = brute_force_pair_cost(g, 0, 5);
+  ASSERT_TRUE(brute.has_value());
+  EXPECT_EQ(pair->total_cost(), *brute);
+}
+
+TEST(DisjointPair, NoneAcrossArticulationPoint) {
+  // Bowtie: node 2 separates 0 from 4.
+  graph::Graph g{5};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  EXPECT_FALSE(disjoint_path_pair(g, 0, 4).has_value());
+  // Within one triangle a pair exists.
+  EXPECT_TRUE(disjoint_path_pair(g, 0, 1).has_value());
+}
+
+TEST(DisjointPair, AdjacentEndpointsUseTheDirectLink) {
+  auto g = graphgen::ring_graph(6);
+  graphgen::assign_uniform_cost(g, Cost{2});
+  const auto pair = disjoint_path_pair(g, 0, 1);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->primary, (graph::Path{0, 1}));
+  EXPECT_EQ(pair->primary_cost, Cost{0});
+  EXPECT_EQ(pair->backup_cost, Cost{8});  // the long way round
+}
+
+TEST(DisjointPair, MatchesBruteForceOnRandomGraphs) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 5 + rng.below(4);  // <= 8 nodes: DFS tractable
+    graph::Graph g = graphgen::erdos_renyi(n, 0.5, rng);
+    graphgen::make_biconnected(g, rng);
+    graphgen::assign_random_costs(g, 0, 9, rng);
+    for (NodeId s = 0; s < 2; ++s) {
+      const NodeId t = static_cast<NodeId>(n - 1 - s);
+      if (s == t) continue;
+      const auto fast = disjoint_path_pair(g, s, t);
+      const auto brute = brute_force_pair_cost(g, s, t);
+      ASSERT_EQ(fast.has_value(), brute.has_value()) << "trial " << trial;
+      if (fast.has_value()) {
+        expect_valid_pair(g, s, t, *fast);
+        EXPECT_EQ(fast->total_cost(), *brute) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(DisjointPair, ExistsForAllPairsIffBiconnected) {
+  const auto g = test::make_instance({"er", 16, 1000, 5});
+  ASSERT_TRUE(graph::is_biconnected(g));
+  for (NodeId s = 0; s < g.node_count(); ++s)
+    for (NodeId t = s + 1; t < g.node_count(); ++t)
+      EXPECT_TRUE(disjoint_path_pair(g, s, t).has_value())
+          << s << "-" << t;
+}
+
+TEST(DisjointPair, PrimaryNeverCheaperThanLcp) {
+  const auto g = test::make_instance({"ba", 20, 1001, 8});
+  const routing::AllPairsRoutes routes(g);
+  for (NodeId s = 0; s < 6; ++s) {
+    for (NodeId t = 6; t < 12; ++t) {
+      const auto pair = disjoint_path_pair(g, s, t);
+      ASSERT_TRUE(pair.has_value());
+      // The pair's cheap member can cost more than the unconstrained LCP
+      // (disjointness binds), never less.
+      EXPECT_GE(pair->primary_cost, routes.cost(s, t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpss

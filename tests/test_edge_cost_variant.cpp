@@ -1,0 +1,138 @@
+// The Sect. 3 generalized cost model: per-outgoing-link costs with node
+// agents. The paper asserts the VCG mechanism "would remain strategyproof";
+// these tests verify the model reduces to the scalar one when all exits of
+// a node cost the same, and that deviations (scaling a node's whole cost
+// vector) never pay.
+#include <gtest/gtest.h>
+
+#include "common.h"
+#include "mechanism/edge_cost_variant.h"
+#include "mechanism/vcg.h"
+#include "payments/traffic.h"
+
+namespace fpss {
+namespace {
+
+namespace ec = mechanism::edgecost;
+using payments::TrafficMatrix;
+
+TEST(ExitCosts, FromNodeCostsMatchesScalarModel) {
+  const auto f = graphgen::fig1();
+  const auto costs = ec::ExitCosts::from_node_costs(f.g);
+  EXPECT_EQ(costs.cost(f.d, f.z), Cost{1});
+  EXPECT_EQ(costs.cost(f.d, f.y), Cost{1});
+  EXPECT_EQ(costs.cost(f.a, f.z), Cost{5});
+}
+
+TEST(ExitCosts, PathCostChargesForwardingLinks) {
+  const auto f = graphgen::fig1();
+  auto costs = ec::ExitCosts::from_node_costs(f.g);
+  // X-B-D-Z: B pays its exit to D, D pays its exit to Z.
+  EXPECT_EQ(costs.path_cost({f.x, f.b, f.d, f.z}), Cost{3});
+  // Make D's exit toward Z expensive; the same path now costs 2 + 9.
+  costs.set_cost(f.d, f.z, Cost{9});
+  EXPECT_EQ(costs.path_cost({f.x, f.b, f.d, f.z}), Cost{11});
+}
+
+TEST(EdgeCostRouting, ReducesToScalarModelOnUniformExits) {
+  for (const auto& spec : {test::InstanceSpec{"er", 16, 601, 8},
+                           test::InstanceSpec{"ba", 20, 602, 5},
+                           test::InstanceSpec{"tiered", 24, 603, 6}}) {
+    const auto g = test::make_instance(spec);
+    const auto costs = ec::ExitCosts::from_node_costs(g);
+    const mechanism::VcgMechanism scalar(g);
+    for (NodeId i = 0; i < g.node_count(); ++i) {
+      for (NodeId j = 0; j < g.node_count(); ++j) {
+        if (i == j) continue;
+        const auto route = ec::lowest_cost_route(costs, i, j);
+        ASSERT_FALSE(route.path.empty());
+        EXPECT_EQ(route.cost, scalar.routes().cost(i, j))
+            << i << "->" << j;
+      }
+    }
+  }
+}
+
+TEST(EdgeCostRouting, PricesReduceToScalarModel) {
+  const auto f = graphgen::fig1();
+  const auto costs = ec::ExitCosts::from_node_costs(f.g);
+  EXPECT_EQ(ec::vcg_price(costs, f.d, f.x, f.z), Cost{3});
+  EXPECT_EQ(ec::vcg_price(costs, f.b, f.x, f.z), Cost{4});
+  EXPECT_EQ(ec::vcg_price(costs, f.d, f.y, f.z), Cost{9});
+  EXPECT_EQ(ec::vcg_price(costs, f.a, f.x, f.z), Cost::zero());
+}
+
+TEST(EdgeCostRouting, AsymmetricExitsChangeRoutes) {
+  // Diamond 0-{1,2}-3 where node 1 charges nothing toward 3 but a lot
+  // toward 0: direction matters.
+  graph::Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  ec::ExitCosts costs(g);
+  costs.set_cost(1, 3, Cost{0});
+  costs.set_cost(1, 0, Cost{10});
+  costs.set_cost(2, 3, Cost{5});
+  costs.set_cost(2, 0, Cost{5});
+  // 0 -> 3 goes via 1 (exit 1->3 is free)...
+  EXPECT_EQ(ec::lowest_cost_route(costs, 0, 3).path,
+            (graph::Path{0, 1, 3}));
+  // ... and 3 -> 0 avoids 1 (exit 1->0 costs 10 > 2's 5).
+  EXPECT_EQ(ec::lowest_cost_route(costs, 3, 0).path,
+            (graph::Path{3, 2, 0}));
+}
+
+TEST(EdgeCostRouting, AvoidingRouteExcludesNode) {
+  const auto f = graphgen::fig1();
+  const auto costs = ec::ExitCosts::from_node_costs(f.g);
+  const auto detour = ec::lowest_cost_route(costs, f.x, f.z, f.d);
+  EXPECT_EQ(detour.path, (graph::Path{f.x, f.a, f.z}));
+  EXPECT_EQ(detour.cost, Cost{5});
+}
+
+TEST(EdgeCostStrategyproof, ScalingDeviationsNeverPay) {
+  // Node k misreports its whole exit-cost vector by a scalar factor;
+  // Theorem 1's VCG logic still makes truth dominant.
+  const auto g = test::make_instance({"er", 12, 604, 6});
+  util::Rng rng(9);
+  const auto truth = ec::ExitCosts::random(g, 0, 8, rng);
+  const auto traffic = TrafficMatrix::uniform(g.node_count(), 1);
+  struct Scale {
+    Cost::rep num, den;
+  };
+  const std::vector<Scale> scales = {{0, 1}, {1, 2}, {2, 1}, {5, 1}, {1, 4}};
+  for (NodeId k = 0; k < g.node_count(); ++k) {
+    const Cost::rep truthful = ec::node_utility(truth, truth, k, traffic);
+    for (const Scale& s : scales) {
+      ec::ExitCosts declared = truth;
+      declared.scale_node(k, s.num, s.den);
+      const Cost::rep lying = ec::node_utility(declared, truth, k, traffic);
+      EXPECT_LE(lying, truthful)
+          << "node " << k << " gains by scaling x" << s.num << "/" << s.den;
+    }
+  }
+}
+
+TEST(EdgeCostStrategyproof, PerExitLiesNeverPayEither) {
+  // Finer deviations: misreport a single exit cost.
+  const auto f = graphgen::fig1();
+  auto truth = ec::ExitCosts::from_node_costs(f.g);
+  const auto traffic = TrafficMatrix::uniform(6, 1);
+  for (NodeId k = 0; k < 6; ++k) {
+    const Cost::rep truthful = ec::node_utility(truth, truth, k, traffic);
+    for (NodeId v : f.g.neighbors(k)) {
+      for (Cost::rep lie : {Cost::rep{0}, Cost::rep{1}, Cost::rep{20}}) {
+        ec::ExitCosts declared = truth;
+        declared.set_cost(k, v, Cost{lie});
+        const Cost::rep lying =
+            ec::node_utility(declared, truth, k, traffic);
+        EXPECT_LE(lying, truthful)
+            << "node " << k << " gains lying about exit to " << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpss

@@ -1,0 +1,102 @@
+// End-to-end system tests: the full pipeline (distributed price discovery
+// -> per-packet charging at the nodes' own learned prices -> settlement)
+// and a larger-scale guard instance.
+#include <gtest/gtest.h>
+
+#include "common.h"
+#include "mechanism/vcg.h"
+#include "payments/ledger.h"
+#include "payments/traffic.h"
+#include "pricing/session.h"
+#include "pricing/verify.h"
+
+namespace fpss {
+namespace {
+
+using mechanism::VcgMechanism;
+using payments::TrafficMatrix;
+using pricing::Protocol;
+using pricing::Session;
+
+// Sect. 6.4 end to end: every source charges with the prices *it* learned
+// from the protocol (not an oracle); the resulting ledgers must equal the
+// settlement the centralized mechanism would produce.
+TEST(EndToEnd, DistributedPricesDriveCorrectBilling) {
+  const auto g = test::make_instance({"tiered", 24, 1100, 7});
+  Session session(g, Protocol::kPriceVector);
+  ASSERT_TRUE(session.run().converged);
+
+  util::Rng rng(4);
+  const auto traffic =
+      TrafficMatrix::sparse_random(g.node_count(), 0.4, 5, rng);
+
+  // Charge using the sources' own views.
+  payments::Ledger distributed_ledger(g.node_count());
+  for (NodeId i = 0; i < g.node_count(); ++i) {
+    const payments::PriceFn my_view = [&session, i](NodeId k, NodeId src,
+                                                    NodeId dst) {
+      (void)src;
+      return session.agent(i).price(dst, k);
+    };
+    for (NodeId j = 0; j < g.node_count(); ++j) {
+      if (i == j || traffic.at(i, j) == 0) continue;
+      distributed_ledger.record_packets(session.route(i, j).path, my_view,
+                                        traffic.at(i, j));
+    }
+  }
+
+  // The centralized reference settlement.
+  const VcgMechanism mech(g);
+  const auto statements =
+      payments::settle_traffic(g, mech.routes(), traffic, mech.price_fn());
+
+  for (NodeId k = 0; k < g.node_count(); ++k) {
+    EXPECT_EQ(distributed_ledger.owed(k), statements[k].revenue)
+        << "node " << k << " billed differently than the mechanism demands";
+  }
+}
+
+TEST(EndToEnd, LargerScaleExactness) {
+  // A guard instance well above the property-test sizes: 200 ASs.
+  util::Rng rng(2026);
+  graphgen::TieredParams params;
+  params.core_count = 8;
+  params.mid_count = 50;
+  params.stub_count = 142;
+  graph::Graph g = graphgen::tiered_internet(params, rng);
+  graphgen::assign_degree_costs(g, 1, 12);
+
+  Session session(g, Protocol::kPriceVector);
+  const auto stats = session.run();
+  ASSERT_TRUE(stats.converged);
+  const VcgMechanism mech(g);  // subtree engine
+  const auto result = pricing::verify_against_centralized(session, mech);
+  EXPECT_TRUE(result.ok) << result.first_diff;
+  EXPECT_GT(result.price_entries_checked, 10000u);
+}
+
+TEST(EndToEndDeathTest, IncrementalRestartRejectedForPriceVector) {
+  const auto f = graphgen::fig1();
+  Session session(f.g, Protocol::kPriceVector);
+  session.run();
+  EXPECT_DEATH(session.change_cost(f.d, Cost{3},
+                                   pricing::RestartPolicy::kIncremental),
+               "precondition");
+}
+
+TEST(EndToEndDeathTest, InfinitePriceCannotBeBilled) {
+  // Billing a pair whose price is undefined (monopoly) must trip the
+  // contract, not silently charge garbage.
+  graph::Graph g{3};  // path: node 1 is a monopoly
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.set_cost(1, Cost{2});
+  const VcgMechanism mech(g);
+  payments::Ledger ledger(3);
+  EXPECT_DEATH(
+      ledger.record_packets(mech.routes().path(0, 2), mech.price_fn(), 1),
+      "precondition");
+}
+
+}  // namespace
+}  // namespace fpss

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/io.h"
+#include "graphgen/fixtures.h"
+
+namespace fpss {
+namespace {
+
+using graph::from_text;
+using graph::to_text;
+
+TEST(GraphIo, RoundTripFig1) {
+  const auto f = graphgen::fig1();
+  const auto parsed = from_text(to_text(f.g));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const graph::Graph& g = *parsed.graph;
+  EXPECT_EQ(g.node_count(), f.g.node_count());
+  EXPECT_EQ(g.edges(), f.g.edges());
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    EXPECT_EQ(g.cost(v), f.g.cost(v));
+}
+
+TEST(GraphIo, RoundTripEmptyAndSingleton) {
+  const auto empty = from_text(to_text(graph::Graph{0}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.graph->node_count(), 0u);
+  const auto one = from_text(to_text(graph::Graph{1}));
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.graph->node_count(), 1u);
+}
+
+TEST(GraphIo, ParsesCommentsAndBlankLines) {
+  const auto parsed = from_text(
+      "# header comment\n"
+      "\n"
+      "graph 3   # trailing comment\n"
+      "cost 0 7\n"
+      "edge 0 1\n"
+      "edge 1 2  # another\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.graph->edge_count(), 2u);
+  EXPECT_EQ(parsed.graph->cost(0), Cost{7});
+}
+
+TEST(GraphIo, DefaultCostIsZero) {
+  const auto parsed = from_text("graph 2\nedge 0 1\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.graph->cost(1), Cost::zero());
+}
+
+TEST(GraphIo, RejectsUnknownDirective) {
+  const auto parsed = from_text("graph 2\nfrobnicate 1\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.line, 2u);
+  EXPECT_NE(parsed.error.find("unknown directive"), std::string::npos);
+}
+
+TEST(GraphIo, RejectsEdgeBeforeGraph) {
+  const auto parsed = from_text("edge 0 1\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("before 'graph'"), std::string::npos);
+}
+
+TEST(GraphIo, RejectsOutOfRangeIds) {
+  EXPECT_FALSE(from_text("graph 2\nedge 0 5\n").ok());
+  EXPECT_FALSE(from_text("graph 2\ncost 9 1\n").ok());
+}
+
+TEST(GraphIo, RejectsSelfLoopAndDuplicate) {
+  EXPECT_FALSE(from_text("graph 2\nedge 1 1\n").ok());
+  EXPECT_FALSE(from_text("graph 2\nedge 0 1\nedge 1 0\n").ok());
+}
+
+TEST(GraphIo, RejectsNegativeAndMalformed) {
+  EXPECT_FALSE(from_text("graph -3\n").ok());
+  EXPECT_FALSE(from_text("graph 2\ncost 0 -1\n").ok());
+  EXPECT_FALSE(from_text("graph 2\nedge 0\n").ok());
+  EXPECT_FALSE(from_text("graph two\n").ok());
+  EXPECT_FALSE(from_text("").ok());
+}
+
+TEST(GraphIo, RejectsTrailingGarbage) {
+  const auto parsed = from_text("graph 2 oops\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("trailing"), std::string::npos);
+}
+
+TEST(GraphIo, RejectsDuplicateGraphDirective) {
+  EXPECT_FALSE(from_text("graph 2\ngraph 3\n").ok());
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const auto f = graphgen::fig1();
+  const std::string path = ::testing::TempDir() + "/fpss_io_test.graph";
+  ASSERT_TRUE(graph::save_graph(f.g, path));
+  const auto loaded = graph::load_graph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.graph->edges(), f.g.edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadMissingFileFails) {
+  const auto result = graph::load_graph("/nonexistent/path/x.graph");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpss

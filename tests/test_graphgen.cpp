@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "graph/analysis.h"
+#include "graphgen/costs.h"
+#include "graphgen/fixtures.h"
+#include "graphgen/random.h"
+
+namespace fpss {
+namespace {
+
+TEST(Fixtures, Fig1MatchesPaper) {
+  const auto f = graphgen::fig1();
+  EXPECT_EQ(f.g.node_count(), 6u);
+  EXPECT_EQ(f.g.edge_count(), 7u);
+  EXPECT_EQ(f.g.cost(f.a), Cost{5});
+  EXPECT_EQ(f.g.cost(f.b), Cost{2});
+  EXPECT_EQ(f.g.cost(f.d), Cost{1});
+  EXPECT_EQ(f.g.cost(f.x), Cost{2});
+  EXPECT_EQ(f.g.cost(f.y), Cost{3});
+  EXPECT_EQ(f.g.cost(f.z), Cost{4});
+  EXPECT_TRUE(f.g.has_edge(f.x, f.a));
+  EXPECT_TRUE(f.g.has_edge(f.a, f.z));
+  EXPECT_TRUE(f.g.has_edge(f.x, f.b));
+  EXPECT_TRUE(f.g.has_edge(f.b, f.d));
+  EXPECT_TRUE(f.g.has_edge(f.d, f.z));
+  EXPECT_TRUE(f.g.has_edge(f.y, f.d));
+  EXPECT_TRUE(f.g.has_edge(f.y, f.b));
+}
+
+TEST(Fixtures, RingGridWheelShapes) {
+  EXPECT_EQ(graphgen::ring_graph(7).edge_count(), 7u);
+  EXPECT_EQ(graphgen::grid_graph(3, 4).edge_count(), 17u);
+  EXPECT_EQ(graphgen::wheel_graph(7).edge_count(), 12u);
+  EXPECT_EQ(graphgen::clique_graph(6).edge_count(), 15u);
+  EXPECT_EQ(graphgen::complete_bipartite(2, 3).edge_count(), 6u);
+}
+
+TEST(Fixtures, HubAdversarialShape) {
+  const auto g = graphgen::hub_adversarial(10, 7);
+  EXPECT_TRUE(graph::is_biconnected(g));
+  EXPECT_EQ(g.cost(0), Cost::zero());
+  for (NodeId v = 1; v < 10; ++v) EXPECT_EQ(g.cost(v), Cost{7});
+  EXPECT_EQ(g.degree(0), 9u);
+}
+
+TEST(Random, ErdosRenyiDensity) {
+  util::Rng rng(1);
+  const auto g = graphgen::erdos_renyi(50, 0.2, rng);
+  const double expected = 0.2 * 50 * 49 / 2;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, expected * 0.4);
+}
+
+TEST(Random, ErdosRenyiExtremes) {
+  util::Rng rng(2);
+  EXPECT_EQ(graphgen::erdos_renyi(10, 0.0, rng).edge_count(), 0u);
+  EXPECT_EQ(graphgen::erdos_renyi(10, 1.0, rng).edge_count(), 45u);
+}
+
+TEST(Random, BarabasiAlbertEdgeCount) {
+  util::Rng rng(3);
+  const auto g = graphgen::barabasi_albert(60, 2, rng);
+  // 3-clique seed + 2 per additional node.
+  EXPECT_EQ(g.edge_count(), 3u + 2u * 57u);
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(Random, BarabasiAlbertSkewedDegrees) {
+  util::Rng rng(4);
+  const auto g = graphgen::barabasi_albert(300, 2, rng);
+  const auto stats = graph::degree_stats(g);
+  // Preferential attachment should produce hubs far above the mean.
+  EXPECT_GT(static_cast<double>(stats.max), 4 * stats.mean);
+}
+
+TEST(Random, WaxmanConnectsSomething) {
+  util::Rng rng(5);
+  const auto g = graphgen::waxman(60, 0.9, 0.5, rng);
+  EXPECT_GT(g.edge_count(), 60u);
+}
+
+TEST(Random, MakeBiconnectedRepairsPath) {
+  util::Rng rng(6);
+  auto g = graphgen::path_graph(12);
+  const std::size_t added = graphgen::make_biconnected(g, rng);
+  EXPECT_GT(added, 0u);
+  EXPECT_TRUE(graph::is_biconnected(g));
+}
+
+TEST(Random, MakeBiconnectedRepairsDisconnected) {
+  util::Rng rng(7);
+  graph::Graph g{9};  // three disjoint triangles
+  for (NodeId base : {NodeId{0}, NodeId{3}, NodeId{6}}) {
+    g.add_edge(base, base + 1);
+    g.add_edge(base + 1, base + 2);
+    g.add_edge(base + 2, base);
+  }
+  graphgen::make_biconnected(g, rng);
+  EXPECT_TRUE(graph::is_biconnected(g));
+}
+
+TEST(Random, MakeBiconnectedNoopOnRing) {
+  util::Rng rng(8);
+  auto g = graphgen::ring_graph(9);
+  EXPECT_EQ(graphgen::make_biconnected(g, rng), 0u);
+}
+
+TEST(Random, TieredInternetIsBiconnected) {
+  util::Rng rng(9);
+  graphgen::TieredParams params;
+  const auto g = graphgen::tiered_internet(params, rng);
+  EXPECT_EQ(g.node_count(),
+            params.core_count + params.mid_count + params.stub_count);
+  EXPECT_TRUE(graph::is_biconnected(g));
+}
+
+TEST(Random, TieredInternetCoreIsMeshed) {
+  util::Rng rng(10);
+  graphgen::TieredParams params;
+  const auto g = graphgen::tiered_internet(params, rng);
+  for (NodeId u = 0; u < params.core_count; ++u)
+    for (NodeId v = u + 1; v < params.core_count; ++v)
+      EXPECT_TRUE(g.has_edge(u, v));
+}
+
+TEST(Costs, UniformAssignment) {
+  auto g = graphgen::ring_graph(5);
+  graphgen::assign_uniform_cost(g, Cost{6});
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.cost(v), Cost{6});
+}
+
+TEST(Costs, RandomAssignmentInRange) {
+  util::Rng rng(11);
+  auto g = graphgen::ring_graph(40);
+  graphgen::assign_random_costs(g, 2, 9, rng);
+  for (NodeId v = 0; v < 40; ++v) {
+    EXPECT_GE(g.cost(v).value(), 2);
+    EXPECT_LE(g.cost(v).value(), 9);
+  }
+}
+
+TEST(Costs, ParetoAssignmentBounds) {
+  util::Rng rng(12);
+  auto g = graphgen::ring_graph(100);
+  graphgen::assign_pareto_costs(g, 1.1, 50, rng);
+  for (NodeId v = 0; v < 100; ++v) {
+    EXPECT_GE(g.cost(v).value(), 1);
+    EXPECT_LE(g.cost(v).value(), 50);
+  }
+}
+
+TEST(Costs, DegreeCostsInverseToDegree) {
+  auto g = graphgen::wheel_graph(8);
+  graphgen::assign_degree_costs(g, 1, 10);
+  // Hub (max degree) gets the low cost, rim nodes more.
+  EXPECT_EQ(g.cost(0), Cost{1});
+  for (NodeId v = 1; v < 8; ++v) EXPECT_GT(g.cost(v), g.cost(0));
+}
+
+TEST(Random, GeneratorsAreDeterministic) {
+  util::Rng rng1(13), rng2(13);
+  const auto a = graphgen::barabasi_albert(40, 2, rng1);
+  const auto b = graphgen::barabasi_albert(40, 2, rng2);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+}  // namespace
+}  // namespace fpss

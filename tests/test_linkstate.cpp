@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "common.h"
+#include "graph/analysis.h"
+#include "linkstate/linkstate.h"
+#include "mechanism/vcg.h"
+
+namespace fpss {
+namespace {
+
+using linkstate::FloodingNetwork;
+using linkstate::Lsa;
+using linkstate::LsDatabase;
+
+TEST(LsDatabaseTest, InstallKeepsFreshest) {
+  LsDatabase db;
+  Lsa lsa;
+  lsa.origin = 3;
+  lsa.sequence = 2;
+  lsa.declared_cost = Cost{5};
+  lsa.neighbors = {1, 2};
+  EXPECT_TRUE(db.install(lsa));
+  EXPECT_FALSE(db.install(lsa));  // same sequence: stale
+  lsa.sequence = 1;
+  EXPECT_FALSE(db.install(lsa));  // older: stale
+  lsa.sequence = 3;
+  lsa.declared_cost = Cost{7};
+  EXPECT_TRUE(db.install(lsa));
+  EXPECT_EQ(db.find(3)->declared_cost, Cost{7});
+}
+
+TEST(LsDatabaseTest, ReconstructRequiresTwoWayAdjacency) {
+  LsDatabase db;
+  Lsa a{0, 1, Cost{1}, {1}};
+  Lsa b{1, 1, Cost{2}, {0, 2}};  // claims a link to 2, but 2 is silent
+  db.install(a);
+  db.install(b);
+  const graph::Graph g = db.reconstruct(3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 2));  // one-sided claim rejected
+  EXPECT_EQ(g.cost(1), Cost{2});
+}
+
+TEST(Flooding, SynchronizesAllDatabases) {
+  for (const char* family : {"er", "ba", "tiered", "ring"}) {
+    const auto g = test::make_instance({family, 24, 900, 7});
+    FloodingNetwork net(g);
+    const auto stats = net.run();
+    EXPECT_TRUE(stats.converged);
+    EXPECT_TRUE(net.all_synchronized()) << family;
+  }
+}
+
+TEST(Flooding, ConvergesWithinHopDiameterStages) {
+  const auto g = test::make_instance({"er", 32, 901, 5});
+  FloodingNetwork net(g);
+  const auto stats = net.run();
+  // Every LSA travels at most (hop diameter) links, plus the initial
+  // self-origination stage.
+  EXPECT_LE(stats.stages, graph::hop_diameter(g) + 1);
+}
+
+TEST(Flooding, CostChangeRefloods) {
+  const auto g = test::make_instance({"ba", 16, 902, 6});
+  FloodingNetwork net(g);
+  ASSERT_TRUE(net.run().converged);
+  net.change_cost(3, Cost{42});
+  const auto stats = net.run();
+  EXPECT_TRUE(stats.converged);
+  EXPECT_GT(stats.messages, 0u);
+  EXPECT_TRUE(net.all_synchronized());
+  EXPECT_EQ(net.database(0).find(3)->declared_cost, Cost{42});
+}
+
+TEST(Flooding, LinkChurnResynchronizes) {
+  auto g = test::make_instance({"ring", 10, 903, 4});
+  FloodingNetwork net(g);
+  ASSERT_TRUE(net.run().converged);
+  net.add_link(0, 5);
+  ASSERT_TRUE(net.run().converged);
+  EXPECT_TRUE(net.all_synchronized());
+  net.remove_link(0, 5);
+  ASSERT_TRUE(net.run().converged);
+  EXPECT_TRUE(net.all_synchronized());
+}
+
+TEST(Flooding, LocalComputationYieldsExactVcgPrices) {
+  // The link-state counterfactual: once databases are synchronized, any
+  // node can run the centralized Theorem 1 computation on its own
+  // reconstruction and obtain the exact prices.
+  const auto g = test::make_instance({"tiered", 24, 904, 6});
+  FloodingNetwork net(g);
+  ASSERT_TRUE(net.run().converged);
+  const mechanism::VcgMechanism truth(g);
+  const graph::Graph view = net.database(7).reconstruct(g.node_count());
+  const mechanism::VcgMechanism local(view);
+  for (NodeId i = 0; i < g.node_count(); ++i) {
+    for (NodeId j = 0; j < g.node_count(); ++j) {
+      if (i == j) continue;
+      const auto path = truth.routes().path(i, j);
+      for (std::size_t t = 1; t + 1 < path.size(); ++t) {
+        ASSERT_EQ(local.price(path[t], i, j), truth.price(path[t], i, j));
+      }
+    }
+  }
+}
+
+TEST(Flooding, QuiescentWhenNothingChanges) {
+  const auto g = test::make_instance({"er", 12, 905, 3});
+  FloodingNetwork net(g);
+  net.run();
+  const auto again = net.run();
+  EXPECT_EQ(again.stages, 0u);
+  EXPECT_EQ(again.messages, 0u);
+}
+
+}  // namespace
+}  // namespace fpss

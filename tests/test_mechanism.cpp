@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "common.h"
+#include "mechanism/nisan_ronen.h"
+#include "mechanism/strategyproof.h"
+#include "mechanism/vcg.h"
+#include "mechanism/welfare.h"
+#include "payments/traffic.h"
+
+namespace fpss {
+namespace {
+
+using mechanism::VcgMechanism;
+using payments::TrafficMatrix;
+
+TEST(Feasibility, Fig1Feasible) {
+  const auto report = mechanism::check_feasibility(graphgen::fig1().g);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_TRUE(report.monopolies.empty());
+}
+
+TEST(Feasibility, PathGraphHasMonopolies) {
+  const auto report = mechanism::check_feasibility(graphgen::path_graph(4));
+  EXPECT_FALSE(report.feasible);
+  EXPECT_EQ(report.monopolies, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Feasibility, DisconnectedInfeasible) {
+  graph::Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto report = mechanism::check_feasibility(g);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_FALSE(report.connected);
+}
+
+// --- The Sect. 4 worked example, exactly as printed in the paper --------
+
+TEST(Vcg, Fig1PaymentsForXtoZ) {
+  const auto f = graphgen::fig1();
+  const VcgMechanism mech(f.g);
+  // "The LCP is XBDZ, which has transit cost 3."
+  EXPECT_EQ(mech.routes().cost(f.x, f.z), Cost{3});
+  // "Theorem 1 says that D should be paid c_D + [5 - 3] = 3."
+  EXPECT_EQ(mech.price(f.d, f.x, f.z), Cost{3});
+  // "Similarly, AS B is paid c_B + [5 - 3] = 4."
+  EXPECT_EQ(mech.price(f.b, f.x, f.z), Cost{4});
+  // Total payments (7) exceed the path's cost (3): overcharging.
+  EXPECT_EQ(mech.pair_payment(f.x, f.z), Cost{7});
+}
+
+TEST(Vcg, Fig1PaymentsForYtoZ) {
+  const auto f = graphgen::fig1();
+  const VcgMechanism mech(f.g);
+  // "The LCP is YDZ, which has transit cost 1 ... D's payment for this
+  //  packet is 1 + [9 - 1] = 9, even though D's cost is still 1."
+  EXPECT_EQ(mech.routes().cost(f.y, f.z), Cost{1});
+  EXPECT_EQ(mech.price(f.d, f.y, f.z), Cost{9});
+  EXPECT_EQ(mech.pair_payment(f.y, f.z), Cost{9});
+}
+
+TEST(Vcg, OffPathNodesGetZero) {
+  const auto f = graphgen::fig1();
+  const VcgMechanism mech(f.g);
+  EXPECT_EQ(mech.price(f.a, f.x, f.z), Cost::zero());  // A not on XBDZ
+  EXPECT_EQ(mech.price(f.y, f.x, f.z), Cost::zero());
+  // Endpoints are never paid.
+  EXPECT_EQ(mech.price(f.x, f.x, f.z), Cost::zero());
+  EXPECT_EQ(mech.price(f.z, f.x, f.z), Cost::zero());
+}
+
+TEST(Vcg, EnginesAgree) {
+  for (const auto& spec : test::standard_instances()) {
+    const auto g = test::make_instance(spec);
+    const VcgMechanism fast(g, VcgMechanism::Engine::kSubtree);
+    const VcgMechanism naive(g, VcgMechanism::Engine::kNaiveGroundTruth);
+    for (NodeId i = 0; i < g.node_count(); ++i) {
+      for (NodeId j = 0; j < g.node_count(); ++j) {
+        if (i == j) continue;
+        const auto path = fast.routes().path(i, j);
+        for (std::size_t t = 1; t + 1 < path.size(); ++t) {
+          EXPECT_EQ(fast.price(path[t], i, j), naive.price(path[t], i, j));
+        }
+      }
+    }
+  }
+}
+
+TEST(Vcg, PriceAtLeastDeclaredCost) {
+  const auto g = test::make_instance({"ba", 24, 77, 10});
+  const VcgMechanism mech(g);
+  for (NodeId i = 0; i < g.node_count(); ++i) {
+    for (NodeId j = 0; j < g.node_count(); ++j) {
+      if (i == j) continue;
+      const auto path = mech.routes().path(i, j);
+      for (std::size_t t = 1; t + 1 < path.size(); ++t) {
+        const NodeId k = path[t];
+        EXPECT_GE(mech.price(k, i, j), g.cost(k));
+      }
+    }
+  }
+}
+
+TEST(Vcg, MonopolyPriceInfinite) {
+  // Bowtie: node 2 is an articulation point between the triangles.
+  graph::Graph g{5};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  g.set_cost(2, Cost{1});
+  const VcgMechanism mech(g);
+  EXPECT_TRUE(mech.price(2, 0, 4).is_infinite());
+}
+
+TEST(Vcg, ZeroCostsGiveZeroPricesOnClique) {
+  // On a clique with zero costs every pair routes directly: no payments.
+  const auto g = graphgen::clique_graph(6);
+  const VcgMechanism mech(g);
+  for (NodeId i = 0; i < 6; ++i) {
+    for (NodeId j = 0; j < 6; ++j) {
+      if (i != j) {
+        EXPECT_EQ(mech.pair_payment(i, j), Cost::zero());
+      }
+    }
+  }
+}
+
+// --- Strategyproofness (Theorem 1) ---------------------------------------
+
+TEST(Strategyproof, Fig1TruthIsDominantForD) {
+  const auto f = graphgen::fig1();
+  const auto traffic = TrafficMatrix::uniform(6, 1);
+  const auto sweep = mechanism::sweep_deviations(
+      f.g, f.d, traffic, mechanism::default_deviation_grid(f.g.cost(f.d)));
+  EXPECT_TRUE(sweep.strategyproof())
+      << "max gain " << sweep.max_gain();
+  // Truthful utility is strictly positive: D profits from the premium.
+  EXPECT_GT(sweep.truthful_utility, 0);
+}
+
+TEST(Strategyproof, RandomInstancesAllNodes) {
+  const auto g = test::make_instance({"er", 14, 99, 6});
+  const auto traffic = TrafficMatrix::uniform(g.node_count(), 1);
+  for (NodeId k = 0; k < g.node_count(); ++k) {
+    const auto sweep = mechanism::sweep_deviations(
+        g, k, traffic, mechanism::default_deviation_grid(g.cost(k)));
+    EXPECT_TRUE(sweep.strategyproof())
+        << "node " << k << " gains " << sweep.max_gain() << " by lying";
+  }
+}
+
+TEST(Strategyproof, SkewedTrafficStillStrategyproof) {
+  const auto g = test::make_instance({"ba", 14, 100, 8});
+  util::Rng rng(5);
+  const auto traffic =
+      TrafficMatrix::hotspot(g.node_count(), 2, 50, rng);
+  for (NodeId k = 0; k < g.node_count(); ++k) {
+    const auto sweep = mechanism::sweep_deviations(
+        g, k, traffic, mechanism::default_deviation_grid(g.cost(k)));
+    EXPECT_TRUE(sweep.strategyproof()) << "node " << k;
+  }
+}
+
+TEST(Strategyproof, NoTransitTrafficNoPayment) {
+  // A stub node that no LCP crosses must receive zero (the condition that
+  // pins down the VCG member in Theorem 1's uniqueness proof).
+  const auto g = test::make_instance({"tiered", 24, 101, 5});
+  const VcgMechanism mech(g);
+  const auto traffic = TrafficMatrix::uniform(g.node_count(), 1);
+  const auto statements =
+      payments::settle_traffic(g, mech.routes(), traffic, mech.price_fn());
+  for (NodeId k = 0; k < g.node_count(); ++k) {
+    if (statements[k].transit_packets == 0) {
+      EXPECT_EQ(statements[k].revenue, 0);
+    }
+  }
+}
+
+TEST(Strategyproof, UtilityIsPaymentMinusCost) {
+  const auto f = graphgen::fig1();
+  const auto traffic = TrafficMatrix::uniform(6, 1);
+  const VcgMechanism mech(f.g);
+  const auto statements =
+      payments::settle_traffic(f.g, mech.routes(), traffic, mech.price_fn());
+  const Cost::rep utility =
+      mechanism::node_utility(f.g, f.d, f.g.cost(f.d), traffic);
+  EXPECT_EQ(utility, statements[f.d].profit());
+}
+
+// --- Welfare --------------------------------------------------------------
+
+TEST(Welfare, TruthMinimizesTotalCost) {
+  const auto g = test::make_instance({"er", 12, 102, 7});
+  const auto traffic = TrafficMatrix::uniform(g.node_count(), 1);
+  for (NodeId k = 0; k < g.node_count(); ++k) {
+    EXPECT_GE(mechanism::welfare_loss_of_lie(g, k, Cost{0}, traffic), 0);
+    EXPECT_GE(mechanism::welfare_loss_of_lie(
+                  g, k, Cost{g.cost(k).value() * 10 + 3}, traffic),
+              0);
+  }
+}
+
+TEST(Welfare, BigLieCausesStrictLoss) {
+  const auto f = graphgen::fig1();
+  const auto traffic = TrafficMatrix::uniform(6, 1);
+  // D pretending to cost 100 diverts traffic onto strictly worse paths.
+  EXPECT_GT(mechanism::welfare_loss_of_lie(f.g, f.d, Cost{100}, traffic), 0);
+}
+
+TEST(Welfare, OverchargeFig1) {
+  const auto f = graphgen::fig1();
+  const VcgMechanism mech(f.g);
+  TrafficMatrix traffic(6);
+  traffic.set(f.y, f.z, 1);
+  const auto report = mechanism::measure_overcharge(mech, traffic);
+  EXPECT_EQ(report.total_payment, 9);
+  EXPECT_EQ(report.total_true_cost, 1);
+  EXPECT_DOUBLE_EQ(report.aggregate_ratio(), 9.0);
+  EXPECT_DOUBLE_EQ(report.worst_ratio, 9.0);
+}
+
+TEST(Welfare, OverchargeAtLeastOne) {
+  const auto g = test::make_instance({"ba", 20, 103, 9});
+  const VcgMechanism mech(g);
+  const auto traffic = TrafficMatrix::uniform(g.node_count(), 1);
+  const auto report = mechanism::measure_overcharge(mech, traffic);
+  EXPECT_GE(report.aggregate_ratio(), 1.0);
+  EXPECT_GE(report.worst_ratio, 1.0);
+}
+
+// --- Nisan-Ronen baseline --------------------------------------------------
+
+TEST(NisanRonen, DiamondPayments) {
+  // x=0, y=3; edges: top path 0-1-3 (costs 1+1), bottom 0-2-3 (costs 2+2).
+  mechanism::nr::EdgeGraph g(4);
+  const auto top1 = g.add_edge(0, 1, Cost{1});
+  const auto top2 = g.add_edge(1, 3, Cost{1});
+  g.add_edge(0, 2, Cost{2});
+  g.add_edge(2, 3, Cost{2});
+  const auto result = mechanism::nr::single_pair_mechanism(g, 0, 3);
+  EXPECT_EQ(result.lcp_cost, Cost{2});
+  ASSERT_EQ(result.lcp_edges.size(), 2u);
+  EXPECT_EQ(result.lcp_edges[0], top1);
+  EXPECT_EQ(result.lcp_edges[1], top2);
+  // Payment per LCP edge: d_{e=inf} - d_{e=0} = 4 - 1 = 3.
+  for (const auto& p : result.payments) EXPECT_EQ(p.payment, Cost{3});
+}
+
+TEST(NisanRonen, BridgeGetsInfinitePayment) {
+  mechanism::nr::EdgeGraph g(3);
+  g.add_edge(0, 1, Cost{1});
+  g.add_edge(1, 2, Cost{1});
+  const auto result = mechanism::nr::single_pair_mechanism(g, 0, 2);
+  ASSERT_EQ(result.payments.size(), 2u);
+  EXPECT_TRUE(result.payments[0].payment.is_infinite());
+}
+
+TEST(NisanRonen, PaymentAtLeastDeclaredCost) {
+  const auto node_graph = test::make_instance({"er", 16, 104, 5});
+  const auto g = mechanism::nr::edge_twin(node_graph);
+  const auto result = mechanism::nr::single_pair_mechanism(g, 0, 5);
+  for (const auto& p : result.payments) {
+    if (p.payment.is_finite()) {
+      EXPECT_GE(p.payment, g.edge_cost(p.edge));
+    }
+  }
+}
+
+TEST(NisanRonen, ShortestPathCostMatchesOverride) {
+  mechanism::nr::EdgeGraph g(3);
+  const auto e = g.add_edge(0, 1, Cost{5});
+  g.add_edge(1, 2, Cost{1});
+  g.add_edge(0, 2, Cost{10});
+  EXPECT_EQ(g.shortest_path_cost(0, 2), Cost{6});
+  EXPECT_EQ(g.shortest_path_cost(0, 2, e, Cost::infinity()), Cost{10});
+  EXPECT_EQ(g.shortest_path_cost(0, 2, e, Cost::zero()), Cost{1});
+}
+
+TEST(NisanRonen, EdgeTwinTopologyMatches) {
+  const auto node_graph = test::make_instance({"ring", 8, 105, 4});
+  const auto twin = mechanism::nr::edge_twin(node_graph);
+  EXPECT_EQ(twin.node_count(), node_graph.node_count());
+  EXPECT_EQ(twin.edge_count(), node_graph.edge_count());
+}
+
+}  // namespace
+}  // namespace fpss

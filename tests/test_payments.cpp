@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "common.h"
+#include "mechanism/vcg.h"
+#include "payments/ledger.h"
+#include "payments/traffic.h"
+
+namespace fpss {
+namespace {
+
+using payments::Ledger;
+using payments::TrafficMatrix;
+
+TEST(Traffic, UniformMatrix) {
+  const auto t = TrafficMatrix::uniform(4, 3);
+  EXPECT_EQ(t.at(0, 1), 3u);
+  EXPECT_EQ(t.at(2, 2), 0u);  // diagonal empty
+  EXPECT_EQ(t.total(), 3u * 12u);
+}
+
+TEST(Traffic, SetAndAdd) {
+  TrafficMatrix t(3);
+  t.set(0, 1, 5);
+  t.add(0, 1, 2);
+  EXPECT_EQ(t.at(0, 1), 7u);
+}
+
+TEST(TrafficDeathTest, DiagonalRejected) {
+  TrafficMatrix t(3);
+  EXPECT_DEATH(t.set(1, 1, 4), "precondition");
+}
+
+TEST(Traffic, GravityMeanRoughlyRight) {
+  util::Rng rng(1);
+  const auto t = TrafficMatrix::gravity(30, 2.0, 10, rng);
+  const double mean = static_cast<double>(t.total()) / (30.0 * 29.0);
+  EXPECT_GT(mean, 1.0);
+  EXPECT_LT(mean, 200.0);
+}
+
+TEST(Traffic, HotspotConcentrates) {
+  util::Rng rng(2);
+  const auto t = TrafficMatrix::hotspot(10, 1, 4, rng);
+  // Exactly one destination column is populated.
+  std::size_t populated_columns = 0;
+  for (NodeId j = 0; j < 10; ++j) {
+    std::uint64_t col = 0;
+    for (NodeId i = 0; i < 10; ++i) col += t.at(i, j);
+    populated_columns += (col > 0);
+  }
+  EXPECT_EQ(populated_columns, 1u);
+  EXPECT_EQ(t.total(), 9u * 4u);
+}
+
+TEST(Traffic, SparseDensity) {
+  util::Rng rng(3);
+  const auto t = TrafficMatrix::sparse_random(40, 0.1, 5, rng);
+  std::size_t active = 0;
+  for (NodeId i = 0; i < 40; ++i)
+    for (NodeId j = 0; j < 40; ++j) active += (t.at(i, j) > 0);
+  EXPECT_GT(active, 60u);
+  EXPECT_LT(active, 300u);
+}
+
+TEST(Ledger, RecordsTransitCharges) {
+  const auto f = graphgen::fig1();
+  const mechanism::VcgMechanism mech(f.g);
+  Ledger ledger(6);
+  // One packet X->Z along XBDZ: D earns 3, B earns 4.
+  ledger.record_packets(mech.routes().path(f.x, f.z), mech.price_fn(), 1);
+  EXPECT_EQ(ledger.owed(f.d), 3);
+  EXPECT_EQ(ledger.owed(f.b), 4);
+  EXPECT_EQ(ledger.owed(f.a), 0);
+  EXPECT_EQ(ledger.total_outstanding(), 7);
+}
+
+TEST(Ledger, PacketsMultiply) {
+  const auto f = graphgen::fig1();
+  const mechanism::VcgMechanism mech(f.g);
+  Ledger ledger(6);
+  ledger.record_packets(mech.routes().path(f.y, f.z), mech.price_fn(), 10);
+  EXPECT_EQ(ledger.owed(f.d), 90);  // 10 packets x price 9
+}
+
+TEST(Ledger, SettleMovesBalances) {
+  const auto f = graphgen::fig1();
+  const mechanism::VcgMechanism mech(f.g);
+  Ledger ledger(6);
+  ledger.record_packets(mech.routes().path(f.x, f.z), mech.price_fn(), 2);
+  ledger.settle();
+  EXPECT_EQ(ledger.owed(f.d), 0);
+  EXPECT_EQ(ledger.settled(f.d), 6);
+  ledger.record_packets(mech.routes().path(f.x, f.z), mech.price_fn(), 1);
+  ledger.settle();
+  EXPECT_EQ(ledger.settled(f.d), 9);  // cumulative
+}
+
+TEST(Settlement, MatchesLedgerTotals) {
+  const auto g = test::make_instance({"er", 14, 20, 6});
+  const mechanism::VcgMechanism mech(g);
+  const auto traffic = TrafficMatrix::uniform(g.node_count(), 2);
+  const auto statements =
+      payments::settle_traffic(g, mech.routes(), traffic, mech.price_fn());
+
+  Ledger ledger(g.node_count());
+  for (NodeId i = 0; i < g.node_count(); ++i)
+    for (NodeId j = 0; j < g.node_count(); ++j)
+      if (i != j && traffic.at(i, j) > 0)
+        ledger.record_packets(mech.routes().path(i, j), mech.price_fn(),
+                              traffic.at(i, j));
+  for (NodeId k = 0; k < g.node_count(); ++k)
+    EXPECT_EQ(ledger.owed(k), statements[k].revenue) << "node " << k;
+}
+
+TEST(Settlement, ProfitNonNegativeUnderTruth) {
+  // VCG prices are >= declared cost on-path, so truthful nodes never lose.
+  const auto g = test::make_instance({"ba", 16, 21, 7});
+  const mechanism::VcgMechanism mech(g);
+  const auto traffic = TrafficMatrix::uniform(g.node_count(), 1);
+  const auto statements =
+      payments::settle_traffic(g, mech.routes(), traffic, mech.price_fn());
+  for (const auto& s : statements) EXPECT_GE(s.profit(), 0);
+}
+
+TEST(Settlement, TransitPacketCountsConsistent) {
+  const auto g = test::make_instance({"ring", 8, 22, 3});
+  const mechanism::VcgMechanism mech(g);
+  const auto traffic = TrafficMatrix::uniform(g.node_count(), 1);
+  const auto statements =
+      payments::settle_traffic(g, mech.routes(), traffic, mech.price_fn());
+  std::uint64_t total_transit = 0;
+  for (const auto& s : statements) total_transit += s.transit_packets;
+  // Each pair contributes (hops - 1) transit crossings.
+  std::uint64_t expected = 0;
+  for (NodeId i = 0; i < g.node_count(); ++i)
+    for (NodeId j = 0; j < g.node_count(); ++j)
+      if (i != j) expected += mech.routes().path(i, j).size() - 2;
+  EXPECT_EQ(total_transit, expected);
+}
+
+}  // namespace
+}  // namespace fpss

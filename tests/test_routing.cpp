@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "common.h"
+#include "graph/path.h"
+#include "routing/all_pairs.h"
+#include "routing/dijkstra.h"
+#include "routing/metrics.h"
+#include "routing/replacement.h"
+
+namespace fpss {
+namespace {
+
+using graph::Path;
+using routing::AllPairsRoutes;
+using routing::AvoidanceTable;
+using routing::SinkTree;
+
+TEST(Dijkstra, Fig1TreeTZMatchesFig2) {
+  const auto f = graphgen::fig1();
+  const SinkTree tz = routing::compute_sink_tree(f.g, f.z);
+  // Fig. 2: A->Z, D->Z, B->D, Y->D, X->B.
+  EXPECT_EQ(tz.parent(f.a), f.z);
+  EXPECT_EQ(tz.parent(f.d), f.z);
+  EXPECT_EQ(tz.parent(f.b), f.d);
+  EXPECT_EQ(tz.parent(f.y), f.d);
+  EXPECT_EQ(tz.parent(f.x), f.b);
+}
+
+TEST(Dijkstra, Fig1CostsToZ) {
+  const auto f = graphgen::fig1();
+  const SinkTree tz = routing::compute_sink_tree(f.g, f.z);
+  EXPECT_EQ(tz.cost(f.x), Cost{3});  // XBDZ
+  EXPECT_EQ(tz.cost(f.y), Cost{1});  // YDZ
+  EXPECT_EQ(tz.cost(f.a), Cost{0});  // AZ direct
+  EXPECT_EQ(tz.cost(f.b), Cost{1});  // BDZ
+  EXPECT_EQ(tz.cost(f.d), Cost{0});  // DZ direct
+  EXPECT_EQ(tz.cost(f.z), Cost{0});
+}
+
+TEST(Dijkstra, Fig1PathsToZ) {
+  const auto f = graphgen::fig1();
+  const SinkTree tz = routing::compute_sink_tree(f.g, f.z);
+  EXPECT_EQ(tz.path_from(f.x), (Path{f.x, f.b, f.d, f.z}));
+  EXPECT_EQ(tz.path_from(f.y), (Path{f.y, f.d, f.z}));
+  EXPECT_EQ(tz.path_from(f.z), (Path{f.z}));
+}
+
+TEST(Dijkstra, AvoidingTreeFig1) {
+  const auto f = graphgen::fig1();
+  // Lowest-cost D-avoiding path X->Z is XAZ with transit cost 5.
+  const SinkTree avoid_d = routing::compute_sink_tree_avoiding(f.g, f.z, f.d);
+  EXPECT_EQ(avoid_d.cost(f.x), Cost{5});
+  EXPECT_EQ(avoid_d.path_from(f.x), (Path{f.x, f.a, f.z}));
+  // Y's D-avoiding path is YBXAZ with cost 9.
+  EXPECT_EQ(avoid_d.cost(f.y), Cost{9});
+  EXPECT_EQ(avoid_d.path_from(f.y), (Path{f.y, f.b, f.x, f.a, f.z}));
+  // D itself is excluded.
+  EXPECT_FALSE(avoid_d.reachable(f.d));
+}
+
+TEST(Dijkstra, UnreachableOnDisconnected) {
+  graph::Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const SinkTree t0 = routing::compute_sink_tree(g, 0);
+  EXPECT_TRUE(t0.reachable(1));
+  EXPECT_FALSE(t0.reachable(2));
+  EXPECT_FALSE(t0.reachable(3));
+}
+
+TEST(Dijkstra, TieBreakPrefersFewerHops) {
+  // 0-1-3 and 0-2-3 both cost 1... make 0-3 direct with detour of cost 0:
+  // path 0-1-2-3 with zero-cost transits vs direct 0-3: same cost 0,
+  // direct has fewer hops.
+  graph::Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  const SinkTree t3 = routing::compute_sink_tree(g, 3);
+  EXPECT_EQ(t3.path_from(0), (Path{0, 3}));
+}
+
+TEST(Dijkstra, TieBreakPrefersSmallerNextHop) {
+  // Diamond: 0-1-3 and 0-2-3 with equal costs and hops; pick next hop 1.
+  graph::Graph g{4};
+  g.set_cost(1, Cost{5});
+  g.set_cost(2, Cost{5});
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const SinkTree t3 = routing::compute_sink_tree(g, 3);
+  EXPECT_EQ(t3.path_from(0), (Path{0, 1, 3}));
+}
+
+TEST(SinkTreeStructure, ChildrenInverseOfParent) {
+  const auto g = test::make_instance({"ba", 24, 42, 9});
+  const SinkTree t = routing::compute_sink_tree(g, 3);
+  const auto kids = t.children();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (NodeId c : kids[v]) EXPECT_EQ(t.parent(c), v);
+  }
+}
+
+TEST(SinkTreeStructure, SubtreeMembersRouteThroughRoot) {
+  const auto g = test::make_instance({"er", 24, 43, 9});
+  const SinkTree t = routing::compute_sink_tree(g, 0);
+  for (NodeId k = 1; k < g.node_count(); ++k) {
+    const auto sub = t.subtree(k);
+    for (NodeId i : sub) {
+      if (i == k) continue;
+      EXPECT_TRUE(t.is_transit(i, k))
+          << "node " << i << " in subtree(" << k << ") but k not transit";
+    }
+  }
+}
+
+TEST(SinkTreeStructure, IsTransitNeverEndpoints) {
+  const auto f = graphgen::fig1();
+  const SinkTree tz = routing::compute_sink_tree(f.g, f.z);
+  EXPECT_FALSE(tz.is_transit(f.x, f.x));
+  EXPECT_FALSE(tz.is_transit(f.x, f.z));
+  EXPECT_TRUE(tz.is_transit(f.x, f.b));
+  EXPECT_TRUE(tz.is_transit(f.x, f.d));
+}
+
+// The suffix property: the selected path from any intermediate node equals
+// the suffix of the selected path from upstream — what makes T(j) a tree.
+class SuffixProperty : public ::testing::TestWithParam<test::InstanceSpec> {};
+
+TEST_P(SuffixProperty, SelectedPathsFormTree) {
+  const auto g = test::make_instance(GetParam());
+  for (NodeId j = 0; j < g.node_count(); ++j) {
+    const SinkTree t = routing::compute_sink_tree(g, j);
+    for (NodeId i = 0; i < g.node_count(); ++i) {
+      if (!t.reachable(i)) continue;
+      const Path p = t.path_from(i);
+      EXPECT_TRUE(graph::is_simple_path(g, p, i, j));
+      EXPECT_EQ(graph::transit_cost(g, p), t.cost(i));
+      // Each suffix is the selected path of its head.
+      for (std::size_t s = 1; s < p.size(); ++s) {
+        const Path expected(p.begin() + static_cast<std::ptrdiff_t>(s),
+                            p.end());
+        EXPECT_EQ(t.path_from(p[s]), expected);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, SuffixProperty,
+                         ::testing::ValuesIn(test::standard_instances()));
+
+// The avoidance engines agree with each other and with first principles.
+class AvoidanceEquivalence
+    : public ::testing::TestWithParam<test::InstanceSpec> {};
+
+TEST_P(AvoidanceEquivalence, SubtreeEngineMatchesNaive) {
+  const auto g = test::make_instance(GetParam());
+  for (NodeId j = 0; j < g.node_count(); ++j) {
+    const SinkTree tree = routing::compute_sink_tree(g, j);
+    const AvoidanceTable fast = AvoidanceTable::compute(g, tree);
+    const AvoidanceTable naive = AvoidanceTable::compute_naive(g, tree);
+    ASSERT_EQ(fast.entry_count(), naive.entry_count());
+    for (const auto& [i, k] : naive.keys()) {
+      ASSERT_TRUE(fast.has(i, k));
+      EXPECT_EQ(fast.avoiding_cost(i, k), naive.avoiding_cost(i, k))
+          << "dest " << j << " i " << i << " k " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, AvoidanceEquivalence,
+                         ::testing::ValuesIn(test::standard_instances()));
+
+TEST(Avoidance, AvoidingCostAtLeastLcp) {
+  const auto g = test::make_instance({"ba", 32, 44, 11});
+  for (NodeId j = 0; j < g.node_count(); ++j) {
+    const SinkTree tree = routing::compute_sink_tree(g, j);
+    const AvoidanceTable table = AvoidanceTable::compute(g, tree);
+    for (const auto& [i, k] : table.keys()) {
+      EXPECT_GE(table.avoiding_cost(i, k), tree.cost(i));
+    }
+  }
+}
+
+TEST(Avoidance, MonopolyReportsInfinite) {
+  // Path graph: middle node is a monopoly between the ends.
+  auto g = graphgen::path_graph(3);
+  const SinkTree tree = routing::compute_sink_tree(g, 2);
+  const AvoidanceTable table = AvoidanceTable::compute(g, tree);
+  ASSERT_TRUE(table.has(0, 1));
+  EXPECT_TRUE(table.avoiding_cost(0, 1).is_infinite());
+}
+
+TEST(AllPairs, CompleteOnConnected) {
+  const auto g = test::make_instance({"er", 20, 45, 5});
+  const AllPairsRoutes routes(g);
+  EXPECT_TRUE(routes.complete());
+}
+
+TEST(AllPairs, SymmetricCostsOnUndirectedGraph) {
+  // Transit costs are symmetric: the same intermediate nodes in reverse.
+  const auto g = test::make_instance({"ba", 20, 46, 8});
+  const AllPairsRoutes routes(g);
+  for (NodeId i = 0; i < g.node_count(); ++i)
+    for (NodeId j = i + 1; j < g.node_count(); ++j)
+      EXPECT_EQ(routes.cost(i, j), routes.cost(j, i));
+}
+
+TEST(AllPairs, LcpDiameterRing) {
+  auto g = graphgen::ring_graph(8);
+  graphgen::assign_uniform_cost(g, Cost{1});
+  const AllPairsRoutes routes(g);
+  EXPECT_EQ(routes.lcp_diameter(), 4u);
+}
+
+TEST(Metrics, HubAdversarialHasLargeDPrime) {
+  const auto g = graphgen::hub_adversarial(12, 10);
+  const auto report = routing::lcp_and_avoiding_diameter(g);
+  EXPECT_EQ(report.d, 2u);           // everything routes via the hub
+  // Hub-avoiding paths walk the rim: up to floor(11/2) = 5 hops.
+  EXPECT_EQ(report.d_prime, 5u);
+  EXPECT_EQ(report.stage_bound(), report.d_prime);
+}
+
+TEST(Metrics, RingDPrimeIsCycleLength) {
+  auto g = graphgen::ring_graph(9);
+  graphgen::assign_uniform_cost(g, Cost{2});
+  const auto report = routing::lcp_and_avoiding_diameter(g);
+  EXPECT_EQ(report.d, 4u);
+  // For neighbors-of-neighbors (2-hop LCP through k) the only k-avoiding
+  // path is the rest of the cycle: 9 - 2 = 7 hops.
+  EXPECT_EQ(report.d_prime, 7u);
+}
+
+TEST(Metrics, PerNodeBoundsDominateHops) {
+  const auto g = test::make_instance({"tiered", 24, 47, 6});
+  const auto bounds = routing::per_node_stage_bounds(g);
+  const AllPairsRoutes routes(g);
+  for (NodeId i = 0; i < g.node_count(); ++i) {
+    for (NodeId j = 0; j < g.node_count(); ++j) {
+      if (i == j) continue;
+      EXPECT_GE(bounds[i], routes.tree(j).hops(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpss

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "stats/experiment.h"
+
+namespace fpss {
+namespace {
+
+TEST(Experiment, AllHoldWhenEveryClaimPasses) {
+  stats::Experiment exp("T1", "test experiment");
+  exp.claim("claim one", "measured one", true);
+  exp.claim("claim two", "measured two", true);
+  EXPECT_TRUE(exp.all_hold());
+  EXPECT_EQ(exp.claim_count(), 2u);
+}
+
+TEST(Experiment, OneFailureFlips) {
+  stats::Experiment exp("T2", "test");
+  exp.claim("good", "yes", true);
+  exp.claim("bad", "no", false);
+  EXPECT_FALSE(exp.all_hold());
+}
+
+TEST(Experiment, EmptyExperimentHolds) {
+  const stats::Experiment exp("T3", "nothing");
+  EXPECT_TRUE(exp.all_hold());
+  EXPECT_EQ(exp.claim_count(), 0u);
+}
+
+TEST(Experiment, PrintContainsAllParts) {
+  stats::Experiment exp("E99", "printing test");
+  exp.note("a free-form note");
+  util::Table t({"col"});
+  t.add("cell-value");
+  exp.table("the table caption", std::move(t));
+  exp.claim("paper said so", "we measured it", true);
+  exp.claim("paper also said", "we could not", false);
+
+  std::ostringstream out;
+  exp.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("[E99] printing test"), std::string::npos);
+  EXPECT_NE(text.find("a free-form note"), std::string::npos);
+  EXPECT_NE(text.find("the table caption"), std::string::npos);
+  EXPECT_NE(text.find("cell-value"), std::string::npos);
+  EXPECT_NE(text.find("[PASS] paper said so"), std::string::npos);
+  EXPECT_NE(text.find("[FAIL] paper also said"), std::string::npos);
+  EXPECT_NE(text.find("CLAIM FAILURES"), std::string::npos);
+}
+
+TEST(Experiment, CsvExportWritesOneFilePerTable) {
+  stats::Experiment exp("E42", "csv export");
+  util::Table a({"x"});
+  a.add(1);
+  util::Table b({"y"});
+  b.add(2);
+  exp.table("First Table!", std::move(a));
+  exp.table("second (table)", std::move(b));
+  const std::string dir = ::testing::TempDir();
+  EXPECT_EQ(exp.export_csv(dir), 2u);
+  std::ifstream first(dir + "/e42_first-table.csv");
+  ASSERT_TRUE(first.good());
+  std::string header;
+  std::getline(first, header);
+  EXPECT_EQ(header, "x");
+}
+
+TEST(Experiment, CsvExportToBadDirectoryWritesNothing) {
+  stats::Experiment exp("E43", "bad dir");
+  util::Table t({"x"});
+  t.add(1);
+  exp.table("t", std::move(t));
+  EXPECT_EQ(exp.export_csv("/nonexistent/place"), 0u);
+}
+
+TEST(Experiment, PassBannerWhenAllHold) {
+  stats::Experiment exp("E0", "ok");
+  exp.claim("c", "m", true);
+  std::ostringstream out;
+  exp.print(out);
+  EXPECT_NE(out.str().find("all claims hold"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpss

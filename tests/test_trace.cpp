@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgp/engine.h"
+#include "bgp/trace.h"
+#include "common.h"
+#include "pricing/session.h"
+
+namespace fpss {
+namespace {
+
+TEST(StageSeries, RecordsConvergenceCurve) {
+  const auto g = test::make_instance({"er", 16, 700, 6});
+  pricing::Session session(g, pricing::Protocol::kPriceVector);
+  bgp::StageSeries series;
+  session.engine().set_trace(&series);
+  const auto stats = session.run();
+  session.engine().set_trace(nullptr);
+  ASSERT_TRUE(stats.converged);
+  ASSERT_FALSE(series.rows().empty());
+
+  // The curve's totals must agree with the engine's own accounting.
+  std::uint64_t messages = 0, words = 0;
+  for (const auto& row : series.rows()) {
+    messages += row.messages;
+    words += row.words;
+  }
+  EXPECT_EQ(messages, stats.messages);
+  EXPECT_EQ(words, stats.traffic.total_words());
+
+  // Activity dies out: the last recorded stage is the last change stage.
+  Stage last_route = 0, last_value = 0;
+  for (const auto& row : series.rows()) {
+    if (row.route_changes > 0) last_route = row.stage;
+    if (row.value_changes > 0) last_value = row.stage;
+  }
+  EXPECT_EQ(last_route, stats.last_route_change_stage);
+  EXPECT_EQ(last_value, stats.last_value_change_stage);
+}
+
+TEST(StageSeries, TableHasOneRowPerActiveStage) {
+  const auto g = test::make_instance({"ring", 8, 701, 4});
+  pricing::Session session(g, pricing::Protocol::kPriceVector);
+  bgp::StageSeries series;
+  session.engine().set_trace(&series);
+  session.run();
+  const util::Table table = series.to_table();
+  EXPECT_EQ(table.row_count(), series.rows().size());
+  EXPECT_EQ(table.header().front(), "stage");
+}
+
+TEST(TextTrace, EmitsReadableLines) {
+  const auto f = graphgen::fig1();
+  pricing::Session session(f.g, pricing::Protocol::kPriceVector);
+  std::ostringstream log;
+  bgp::TextTrace trace(log);
+  session.engine().set_trace(&trace);
+  session.run();
+  session.engine().set_trace(nullptr);
+  const std::string text = log.str();
+  EXPECT_NE(text.find("stage 1"), std::string::npos);
+  EXPECT_NE(text.find("->"), std::string::npos);
+  EXPECT_NE(text.find("changed routes"), std::string::npos);
+  EXPECT_NE(text.find("quiescent after stage"), std::string::npos);
+}
+
+TEST(Trace, DetachedEngineStaysSilent) {
+  const auto f = graphgen::fig1();
+  pricing::Session session(f.g, pricing::Protocol::kPriceVector);
+  bgp::StageSeries series;
+  session.engine().set_trace(&series);
+  session.engine().set_trace(nullptr);  // detach before running
+  session.run();
+  EXPECT_TRUE(series.rows().empty());
+}
+
+}  // namespace
+}  // namespace fpss
