@@ -1,0 +1,97 @@
+// The performance layer's threads × n sweep (ISSUE 1 / E10 extension):
+//   * all-pairs centralized VCG construction — the embarrassingly parallel
+//     per-destination sink-tree + avoidance work — at widths 1..8;
+//   * threaded SyncEngine cold start on the d' ≈ 2n worst case (ring) and
+//     the Internet-like tiered family;
+//   * the raw ThreadPool dispatch overhead, which bounds how fine a stage
+//     can be before the pool stops paying for itself.
+//
+// scripts/bench_baseline.sh runs this binary (plus bench_scaling) and
+// records BENCH_scaling.json so successive PRs have a perf trajectory.
+// Speedups are only expected when the host actually has the cores: on a
+// single-core container every width collapses to ~serial time.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "graphgen/fixtures.h"
+#include "mechanism/vcg.h"
+#include "pricing/session.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace fpss;
+
+// All-pairs VCG (subtree engine): Args are {n, threads}. n = 1024 at 8
+// threads vs n = 1024 at 1 thread is the ISSUE 1 acceptance ratio.
+void BM_VcgAllPairs(benchmark::State& state) {
+  const auto g = bench::internet_like(
+      static_cast<std::size_t>(state.range(0)), 12001);
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    mechanism::VcgMechanism mech(
+        g, mechanism::VcgMechanism::Engine::kSubtree, threads);
+    benchmark::DoNotOptimize(&mech);
+  }
+}
+BENCHMARK(BM_VcgAllPairs)
+    ->ArgsProduct({{256, 1024}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime()
+    ->Iterations(2);
+
+// Threaded SyncEngine cold start on a costed ring: the d' ≈ 2n stage count
+// maximizes how often the per-stage pool dispatch happens, so this is the
+// workload where replacing spawn/join with a persistent pool matters most.
+void BM_RingColdStart(benchmark::State& state) {
+  auto g = graphgen::ring_graph(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(12002);
+  graphgen::assign_random_costs(g, 1, 10, rng);
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    pricing::Session session(g, pricing::Protocol::kPriceVector,
+                             bgp::UpdatePolicy::kIncremental, threads);
+    benchmark::DoNotOptimize(session.run());
+  }
+}
+BENCHMARK(BM_RingColdStart)
+    ->ArgsProduct({{256}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime()
+    ->Iterations(2);
+
+// Tiered topology at protocol scale, width sweep.
+void BM_TieredColdStart(benchmark::State& state) {
+  const auto g = bench::internet_like(
+      static_cast<std::size_t>(state.range(0)), 12003);
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    pricing::Session session(g, pricing::Protocol::kPriceVector,
+                             bgp::UpdatePolicy::kIncremental, threads);
+    benchmark::DoNotOptimize(session.run());
+  }
+}
+BENCHMARK(BM_TieredColdStart)
+    ->ArgsProduct({{128, 512}, {1, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(2);
+
+// Dispatch overhead of one parallel_for with trivial work: the per-stage
+// fixed cost the SyncEngine now pays instead of thread creation.
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  util::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  std::vector<std::uint64_t> slot(1024, 0);
+  for (auto _ : state) {
+    pool.parallel_for(slot.size(), [&](std::size_t i) { slot[i] += i; });
+  }
+  benchmark::DoNotOptimize(slot.data());
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -65,15 +65,18 @@ BENCHMARK(BM_ProtocolColdStart)->RangeMultiplier(2)->Range(32, 256)
 void BM_ProtocolColdStartParallel(benchmark::State& state) {
   const auto g = bench::internet_like(
       static_cast<std::size_t>(state.range(0)), 11002);
+  const unsigned threads = static_cast<unsigned>(state.range(1));
   for (auto _ : state) {
     bgp::Network net(g, pricing::make_agent_factory(
                             pricing::Protocol::kPriceVector,
                             bgp::UpdatePolicy::kIncremental));
-    bgp::SyncEngine engine(net, /*threads=*/4);
+    bgp::SyncEngine engine(net, threads);
     benchmark::DoNotOptimize(engine.run());
   }
 }
-BENCHMARK(BM_ProtocolColdStartParallel)->RangeMultiplier(2)->Range(32, 256)
+BENCHMARK(BM_ProtocolColdStartParallel)
+    ->ArgsProduct({benchmark::CreateRange(32, 256, /*multi=*/2),
+                   {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 
 void BM_DeviationSweepOneNode(benchmark::State& state) {

@@ -7,7 +7,7 @@
 // message words), then routes a gravity-model traffic matrix and prints
 // the settlement: who carried what and what they were paid (Sect. 6.4).
 //
-//   $ ./internet_scale [n]        (default n = 200)
+//   $ ./internet_scale [n] [threads]   (default n = 200, threads = cores)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -24,11 +24,15 @@
 #include "pricing/verify.h"
 #include "routing/metrics.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace fpss;
   const std::size_t n =
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 200;
+  const unsigned threads =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2]))
+               : util::ThreadPool::hardware_threads();
 
   // --- build the AS-level topology ----------------------------------------
   util::Rng rng(2026);
@@ -46,7 +50,9 @@ int main(int argc, char** argv) {
               degrees.mean);
 
   // --- run the distributed protocol ----------------------------------------
-  pricing::Session session(g, pricing::Protocol::kPriceVector);
+  std::printf("threads: %u (results are identical at any width)\n", threads);
+  pricing::Session session(g, pricing::Protocol::kPriceVector,
+                           bgp::UpdatePolicy::kIncremental, threads);
   bgp::StageSeries curve;
   session.engine().set_trace(&curve);
   const bgp::RunStats stats = session.run();
@@ -71,7 +77,8 @@ int main(int argc, char** argv) {
               curve.to_table().to_text().c_str());
 
   // --- verify against the centralized mechanism ----------------------------
-  const mechanism::VcgMechanism mech(g);
+  const mechanism::VcgMechanism mech(
+      g, mechanism::VcgMechanism::Engine::kSubtree, threads);
   const auto verify = pricing::verify_against_centralized(session, mech);
   std::printf("  exactness            : %zu price entries vs centralized, "
               "%zu mismatches %s\n",

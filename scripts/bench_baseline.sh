@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Records the scaling/parallelism perf baseline as BENCH_scaling.json so
+# future PRs have a trajectory to compare against.
+#
+# Runs bench_scaling (kernel microbenchmarks, threads x n protocol sweep)
+# and bench_parallel (parallel all-pairs VCG, pool dispatch overhead) in
+# JSON mode and merges the outputs, annotated with host context (cores,
+# compiler, commit). Usage:
+#
+#   scripts/bench_baseline.sh [output.json]
+#
+# Environment:
+#   BUILD_DIR       build tree holding the bench binaries (default: build)
+#   BENCH_FILTER    --benchmark_filter regex forwarded to both binaries
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_scaling.json}
+FILTER=${BENCH_FILTER:-.}
+
+for bin in bench_scaling bench_parallel; do
+  if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
+    echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+for bin in bench_scaling bench_parallel; do
+  echo "== $bin" >&2
+  "$BUILD_DIR/bench/$bin" \
+    --benchmark_filter="$FILTER" \
+    --benchmark_out="$tmpdir/$bin.json" \
+    --benchmark_out_format=json \
+    --benchmark_counters_tabular=true >&2
+done
+
+python3 - "$tmpdir" "$OUT" <<'EOF'
+import json, subprocess, sys
+
+tmpdir, out = sys.argv[1], sys.argv[2]
+merged = {"benchmarks": []}
+for name in ("bench_scaling", "bench_parallel"):
+    # A filter matching nothing in one binary leaves a 0-byte file
+    # (google-benchmark still exits 0); skip it instead of dying.
+    with open(f"{tmpdir}/{name}.json") as f:
+        text = f.read()
+    if not text.strip():
+        continue
+    data = json.loads(text)
+    merged.setdefault("context", data.get("context", {}))
+    for row in data.get("benchmarks", []):
+        row["binary"] = name
+        merged["benchmarks"].append(row)
+try:
+    commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                            capture_output=True, text=True).stdout.strip()
+except OSError:
+    commit = ""
+merged.setdefault("context", {})["git_commit"] = commit
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print(f"wrote {out}: {len(merged['benchmarks'])} benchmark rows")
+EOF

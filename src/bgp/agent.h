@@ -58,6 +58,13 @@ class Agent {
     return msg;
   }
 
+  /// True iff export_filter may return something other than `msg`
+  /// unchanged. When false (the default), the engine skips the filter and
+  /// shares one immutable copy of the advertisement across all neighbors
+  /// instead of deep-copying the table per neighbor. Any override of
+  /// export_filter MUST also override this to return true.
+  virtual bool filters_exports() const { return false; }
+
   // --- dynamic events (Sect. 6: route changes restart convergence) -------
   virtual void on_link_down(NodeId neighbor) = 0;
   virtual void on_link_up(NodeId neighbor) = 0;

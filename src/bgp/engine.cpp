@@ -1,7 +1,7 @@
 #include "bgp/engine.h"
 
 #include <algorithm>
-#include <thread>
+#include <utility>
 
 #include "bgp/trace.h"
 #include "util/contract.h"
@@ -69,7 +69,13 @@ StateSize Network::max_state() const {
 // ---------------------------------------------------------------------------
 
 SyncEngine::SyncEngine(Network& net, unsigned threads)
-    : net_(net), inbox_(net.node_count()), threads_(std::max(1u, threads)) {}
+    : net_(net),
+      inbox_(net.node_count()),
+      arriving_(net.node_count()),
+      outputs_(net.node_count()),
+      threads_(std::max(1u, threads)) {
+  if (threads_ > 1) pool_ = std::make_unique<util::ThreadPool>(threads_);
+}
 
 RunStats SyncEngine::run(Stage max_stages) {
   const RunStats before = stats_;
@@ -84,28 +90,23 @@ RunStats SyncEngine::run(Stage max_stages) {
     bool had_input = false;
     // Receive + local-compute phase. Each node only touches its own
     // state here, so the work parallelizes across nodes; delivery below
-    // stays in node order either way, keeping runs bit-identical.
-    std::vector<std::vector<TableMessage>> arriving(net_.node_count());
-    arriving.swap(inbox_);
-    for (const auto& box : arriving) had_input |= !box.empty();
+    // stays in node order either way, keeping runs bit-identical. The
+    // stage buffers are members reused across stages: the swap takes this
+    // stage's input, and the cleared vectors (capacities kept) become the
+    // next inbox.
+    arriving_.swap(inbox_);
+    for (auto& box : inbox_) box.clear();
+    for (const auto& box : arriving_) had_input |= !box.empty();
 
-    std::vector<std::optional<TableMessage>> outputs(net_.node_count());
-    auto compute_node = [&](NodeId v) {
-      for (const TableMessage& msg : arriving[v]) net_.agent(v).receive(msg);
-      outputs[v] = net_.agent(v).advertise();
+    auto compute_node = [&](std::size_t v_) {
+      const NodeId v = static_cast<NodeId>(v_);
+      for (const MessageRef& msg : arriving_[v]) net_.agent(v).receive(*msg);
+      outputs_[v] = net_.agent(v).advertise();
     };
-    if (threads_ > 1 && trace_ == nullptr && net_.node_count() > 1) {
-      const unsigned workers = std::min<unsigned>(
-          threads_, static_cast<unsigned>(net_.node_count()));
-      std::vector<std::thread> pool;
-      pool.reserve(workers);
-      for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&, w] {
-          for (NodeId v = w; v < net_.node_count(); v += workers)
-            compute_node(v);
-        });
-      }
-      for (std::thread& worker : pool) worker.join();
+    // Tracing never hears from this phase — every TraceSink callback fires
+    // from the serial phase below — so it does not force serial compute.
+    if (pool_ != nullptr && net_.node_count() > 1) {
+      pool_->parallel_for(net_.node_count(), compute_node);
     } else {
       for (NodeId v = 0; v < net_.node_count(); ++v) compute_node(v);
     }
@@ -123,22 +124,41 @@ RunStats SyncEngine::run(Stage max_stages) {
         stats_.last_value_change_stage = stage;
         if (trace_ != nullptr) trace_->on_value_change(stage, v);
       }
-      const std::optional<TableMessage>& out = outputs[v];
+      std::optional<TableMessage>& out = outputs_[v];
       if (!out.has_value()) continue;
-      for (NodeId neighbor : net_.topology().neighbors(v)) {
-        TableMessage filtered = agent.export_filter(neighbor, *out);
-        if (filtered.entries.empty()) continue;
-        const MessageSize size = measure(filtered);
+      const auto deliver = [&](NodeId neighbor, MessageRef msg,
+                               const MessageSize& size) {
         stats_.traffic += size;
         if (trace_ != nullptr) trace_->on_message(stage, v, neighbor, size);
-        inbox_[neighbor].push_back(std::move(filtered));
+        inbox_[neighbor].push_back(std::move(msg));
         ++produced;
         ++stats_.messages;
         const std::uint64_t link =
             (static_cast<std::uint64_t>(v) << 32) | neighbor;
         stats_.max_link_messages =
             std::max(stats_.max_link_messages, ++link_messages_[link]);
+      };
+      if (!agent.filters_exports()) {
+        // Identity export: all neighbors share one immutable payload
+        // instead of a deep copy of the full table per neighbor.
+        if (!out->entries.empty()) {
+          const auto shared =
+              std::make_shared<const TableMessage>(std::move(*out));
+          const MessageSize size = measure(*shared);
+          for (NodeId neighbor : net_.topology().neighbors(v))
+            deliver(neighbor, shared, size);
+        }
+      } else {
+        for (NodeId neighbor : net_.topology().neighbors(v)) {
+          TableMessage filtered = agent.export_filter(neighbor, *out);
+          if (filtered.entries.empty()) continue;
+          const MessageSize size = measure(filtered);
+          deliver(neighbor,
+                  std::make_shared<const TableMessage>(std::move(filtered)),
+                  size);
+        }
       }
+      out.reset();
     }
     if (!had_input && produced == 0) {
       stats_.converged = true;  // probe stage: nothing happened, not counted

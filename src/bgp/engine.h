@@ -24,6 +24,7 @@
 #include "bgp/message.h"
 #include "graph/graph.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/types.h"
 
 namespace fpss::bgp {
@@ -77,11 +78,18 @@ class TraceSink;
 /// Lockstep stage engine.
 ///
 /// With `threads > 1` the per-node local computation of each stage
-/// (ingesting the inbox and recomputing routes/prices) runs on a thread
-/// pool; agents only touch their own state during that phase, and message
-/// delivery stays serialized in node order, so results are bit-identical
-/// to the single-threaded engine. A non-null trace sink forces the serial
-/// path (callbacks are not synchronized).
+/// (ingesting the inbox and recomputing routes/prices) runs on a
+/// persistent deterministic-partition thread pool (util::ThreadPool) that
+/// lives for the whole engine, so a run of S stages costs one wake per
+/// stage instead of S spawn/join cycles. Agents only touch their own
+/// state during that phase, and message delivery stays serialized in node
+/// order, so results are bit-identical to the single-threaded engine.
+///
+/// set_trace ⇒ serial only where it matters: every TraceSink callback is
+/// emitted from the serial accounting+delivery phase, in node order, never
+/// from the parallel compute phase — so attaching a trace neither forces
+/// the compute phase serial nor requires a synchronized sink, and traced
+/// runs are identical at any thread count.
 class SyncEngine {
  public:
   explicit SyncEngine(Network& net, unsigned threads = 1);
@@ -99,12 +107,22 @@ class SyncEngine {
   void set_trace(TraceSink* trace) { trace_ = trace; }
 
  private:
+  /// Messages are shared, immutable after send: when an agent's export
+  /// filter is the identity (filters_exports() == false) all neighbors
+  /// receive the same refcounted payload instead of per-neighbor copies.
+  using MessageRef = std::shared_ptr<const TableMessage>;
+
   Network& net_;
   RunStats stats_;
-  std::vector<std::vector<TableMessage>> inbox_;
+  std::vector<std::vector<MessageRef>> inbox_;
+  /// Per-stage scratch, sized once and reused so the hot loop does not
+  /// reallocate: last stage's inboxes (capacity kept) and per-node outputs.
+  std::vector<std::vector<MessageRef>> arriving_;
+  std::vector<std::optional<TableMessage>> outputs_;
   std::unordered_map<std::uint64_t, std::uint64_t> link_messages_;
   TraceSink* trace_ = nullptr;
   unsigned threads_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< non-null iff threads_ > 1
   bool bootstrapped_ = false;
 };
 

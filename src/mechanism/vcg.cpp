@@ -1,5 +1,7 @@
 #include "mechanism/vcg.h"
 
+#include <optional>
+
 #include "graph/analysis.h"
 #include "util/contract.h"
 
@@ -14,15 +16,31 @@ FeasibilityReport check_feasibility(const graph::Graph& g) {
   return report;
 }
 
-VcgMechanism::VcgMechanism(const graph::Graph& g, Engine engine)
-    : graph_(g), routes_(g) {
-  avoidance_.reserve(g.node_count());
-  for (NodeId j = 0; j < g.node_count(); ++j) {
+VcgMechanism::VcgMechanism(const graph::Graph& g, Engine engine,
+                           unsigned threads)
+    : graph_(g),
+      pool_(threads > 1 ? std::make_unique<util::ThreadPool>(threads)
+                        : nullptr),
+      routes_(g, pool_.get()) {
+  const std::size_t n = g.node_count();
+  const auto build = [&](NodeId j) {
     const routing::SinkTree& tree = routes_.tree(j);
-    avoidance_.push_back(engine == Engine::kNaiveGroundTruth
-                             ? routing::AvoidanceTable::compute_naive(g, tree)
-                             : routing::AvoidanceTable::compute(g, tree));
+    return engine == Engine::kNaiveGroundTruth
+               ? routing::AvoidanceTable::compute_naive(g, tree)
+               : routing::AvoidanceTable::compute(g, tree);
+  };
+  avoidance_.reserve(n);
+  if (pool_ == nullptr || n <= 1) {
+    for (NodeId j = 0; j < n; ++j) avoidance_.push_back(build(j));
+  } else {
+    // Each destination is independent; workers fill disjoint slots.
+    std::vector<std::optional<routing::AvoidanceTable>> tables(n);
+    pool_->parallel_for(
+        n, [&](std::size_t j) { tables[j] = build(static_cast<NodeId>(j)); });
+    for (auto& table : tables) avoidance_.push_back(std::move(*table));
   }
+  pool_.reset();  // workers are construction-scoped; don't idle for the
+                  // lifetime of the mechanism
 }
 
 Cost VcgMechanism::price(NodeId k, NodeId i, NodeId j) const {

@@ -19,6 +19,7 @@
 #include "routing/all_pairs.h"
 #include "routing/replacement.h"
 #include "util/cost.h"
+#include "util/thread_pool.h"
 #include "util/types.h"
 
 namespace fpss::mechanism {
@@ -46,8 +47,15 @@ class VcgMechanism {
   /// declared costs. Works on any connected graph; prices that would be
   /// undefined by a monopoly come back infinite (use check_feasibility to
   /// reject such inputs up front).
+  ///
+  /// With `threads > 1` the per-destination work (sink tree + avoidance
+  /// table — independent across destinations) is fanned out over a
+  /// deterministic-partition thread pool; the result is bit-identical to
+  /// the serial construction for either engine. The pool lives only for
+  /// the duration of the constructor.
   explicit VcgMechanism(const graph::Graph& g,
-                        Engine engine = Engine::kSubtree);
+                        Engine engine = Engine::kSubtree,
+                        unsigned threads = 1);
 
   const routing::AllPairsRoutes& routes() const { return routes_; }
 
@@ -69,6 +77,9 @@ class VcgMechanism {
 
  private:
   graph::Graph graph_;
+  /// Construction-time pool; non-null only inside the constructor. Declared
+  /// before routes_ so the member-init order lets routes_ share it.
+  std::unique_ptr<util::ThreadPool> pool_;
   routing::AllPairsRoutes routes_;
   std::vector<routing::AvoidanceTable> avoidance_;
 };

@@ -35,6 +35,7 @@ class PolicyBgpAgent : public bgp::PlainBgpAgent {
   bool reselect_destination(NodeId destination) override;
   bgp::TableMessage export_filter(NodeId neighbor,
                                   const bgp::TableMessage& msg) override;
+  bool filters_exports() const override { return true; }
 
   /// Relation class (customer=0 / peer=1 / provider=2) of the neighbor the
   /// current route to `destination` was learned from; 3 if no route.

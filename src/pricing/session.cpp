@@ -18,15 +18,16 @@ bgp::AgentFactory make_agent_factory(Protocol protocol,
 }
 
 Session::Session(const graph::Graph& g, Protocol protocol,
-                 bgp::UpdatePolicy policy)
+                 bgp::UpdatePolicy policy, unsigned threads)
     : network_(std::make_unique<bgp::Network>(
           g, make_agent_factory(protocol, policy))),
-      engine_(std::make_unique<bgp::SyncEngine>(*network_)),
+      engine_(std::make_unique<bgp::SyncEngine>(*network_, threads)),
       protocol_(protocol) {}
 
-Session::Session(const graph::Graph& g, const bgp::AgentFactory& factory)
+Session::Session(const graph::Graph& g, const bgp::AgentFactory& factory,
+                 unsigned threads)
     : network_(std::make_unique<bgp::Network>(g, factory)),
-      engine_(std::make_unique<bgp::SyncEngine>(*network_)) {}
+      engine_(std::make_unique<bgp::SyncEngine>(*network_, threads)) {}
 
 Session Session::async(const graph::Graph& g, Protocol protocol,
                        const bgp::AsyncEngine::Config& config,

@@ -38,12 +38,17 @@ bgp::AgentFactory make_agent_factory(Protocol protocol,
 /// A network of pricing agents plus a synchronous engine.
 class Session {
  public:
+  /// `threads` is the SyncEngine's parallel width for the per-stage
+  /// compute phase (see bgp::SyncEngine); results are bit-identical at any
+  /// width. Ignored by the async engine.
   Session(const graph::Graph& g, Protocol protocol,
-          bgp::UpdatePolicy policy = bgp::UpdatePolicy::kIncremental);
+          bgp::UpdatePolicy policy = bgp::UpdatePolicy::kIncremental,
+          unsigned threads = 1);
 
   /// A session over custom agents (they must derive from PricingAgent) —
   /// used to inject deviant implementations for the audit experiments.
-  Session(const graph::Graph& g, const bgp::AgentFactory& factory);
+  Session(const graph::Graph& g, const bgp::AgentFactory& factory,
+          unsigned threads = 1);
 
   /// Cold-start (or continue) until quiescence; returns this segment's
   /// stats.

@@ -4,13 +4,23 @@
 
 #include "routing/dijkstra.h"
 #include "util/contract.h"
+#include "util/thread_pool.h"
 
 namespace fpss::routing {
 
-AllPairsRoutes::AllPairsRoutes(const graph::Graph& g) {
-  trees_.reserve(g.node_count());
-  for (NodeId j = 0; j < g.node_count(); ++j)
-    trees_.push_back(compute_sink_tree(g, j));
+AllPairsRoutes::AllPairsRoutes(const graph::Graph& g, util::ThreadPool* pool) {
+  const std::size_t n = g.node_count();
+  if (pool == nullptr || pool->width() <= 1 || n <= 1) {
+    trees_.reserve(n);
+    for (NodeId j = 0; j < n; ++j) trees_.push_back(compute_sink_tree(g, j));
+    return;
+  }
+  // Placeholder trees first so each worker assigns only its own slot.
+  trees_.reserve(n);
+  for (NodeId j = 0; j < n; ++j) trees_.emplace_back(j, n);
+  pool->parallel_for(n, [&](std::size_t j) {
+    trees_[j] = compute_sink_tree(g, static_cast<NodeId>(j));
+  });
 }
 
 const SinkTree& AllPairsRoutes::tree(NodeId destination) const {

@@ -10,14 +10,22 @@
 #include "routing/sink_tree.h"
 #include "util/types.h"
 
+namespace fpss::util {
+class ThreadPool;
+}
+
 namespace fpss::routing {
 
 /// One sink tree per destination. `d` in the paper's bounds — the maximum
 /// number of AS hops over all selected LCPs — is `lcp_diameter()`.
 class AllPairsRoutes {
  public:
-  /// Runs the per-destination computation for every node of g.
-  explicit AllPairsRoutes(const graph::Graph& g);
+  /// Runs the per-destination computation for every node of g. Each
+  /// destination's sink tree is independent, so with a non-null pool the
+  /// trees are computed in parallel (deterministic partition; every tree
+  /// is bit-identical to the serial computation).
+  explicit AllPairsRoutes(const graph::Graph& g,
+                          util::ThreadPool* pool = nullptr);
 
   std::size_t node_count() const { return trees_.size(); }
   const SinkTree& tree(NodeId destination) const;

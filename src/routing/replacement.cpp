@@ -22,15 +22,50 @@ std::vector<NodeId> transit_nodes(const SinkTree& tree) {
 
 }  // namespace
 
+AvoidanceTable::AvoidanceTable(const SinkTree& tree)
+    : destination_(tree.destination()),
+      depth_(tree.node_count(), 0),
+      row_offset_(tree.node_count() + 1, 0) {
+  const std::size_t n = tree.node_count();
+  for (NodeId v = 0; v < n; ++v)
+    if (tree.reachable(v)) depth_[v] = tree.hops(v);
+  // Row i has one slot per proper ancestor of i: depth(i) - 1 of them.
+  for (NodeId i = 0; i < n; ++i)
+    row_offset_[i + 1] =
+        row_offset_[i] + (depth_[i] >= 2 ? depth_[i] - 1 : 0);
+  entries_.resize(row_offset_[n]);
+  // The ancestor at depth t occupies slot t - 1 of the row; walking the
+  // parent chain visits each exactly once.
+  for (NodeId i = 0; i < n; ++i) {
+    if (depth_[i] < 2) continue;
+    for (NodeId a = tree.parent(i); a != destination_; a = tree.parent(a))
+      entries_[row_offset_[i] + depth_[a] - 1].k = a;
+  }
+}
+
+std::size_t AvoidanceTable::index_of(NodeId i, NodeId k) const {
+  if (i >= depth_.size() || k >= depth_.size()) return kNoEntry;
+  const std::uint32_t d = depth_[k];
+  if (d == 0 || d >= depth_[i]) return kNoEntry;  // not a proper ancestor
+  const std::size_t idx = row_offset_[i] + d - 1;
+  return entries_[idx].k == k ? idx : kNoEntry;
+}
+
+void AvoidanceTable::set(NodeId i, NodeId k, Cost cost) {
+  const std::size_t idx = index_of(i, k);
+  FPSS_ASSERT(idx != kNoEntry);
+  entries_[idx].cost = cost;
+}
+
 AvoidanceTable AvoidanceTable::compute_naive(const graph::Graph& g,
                                              const SinkTree& tree) {
-  AvoidanceTable out(tree.destination());
+  AvoidanceTable out(tree);
   const NodeId j = tree.destination();
   for (NodeId k : transit_nodes(tree)) {
     const SinkTree avoiding = compute_sink_tree_avoiding(g, j, k);
     for (NodeId i : tree.subtree(k)) {
       if (i == k) continue;
-      out.table_.emplace(key(i, k), avoiding.cost(i));
+      out.set(i, k, avoiding.cost(i));
     }
   }
   return out;
@@ -38,7 +73,7 @@ AvoidanceTable AvoidanceTable::compute_naive(const graph::Graph& g,
 
 AvoidanceTable AvoidanceTable::compute(const graph::Graph& g,
                                        const SinkTree& tree) {
-  AvoidanceTable out(tree.destination());
+  AvoidanceTable out(tree);
   const NodeId j = tree.destination();
   const std::size_t n = g.node_count();
 
@@ -95,7 +130,7 @@ AvoidanceTable AvoidanceTable::compute(const graph::Graph& g,
     }
 
     for (NodeId u : sub) {
-      if (u != k) out.table_.emplace(key(u, k), dist[u]);
+      if (u != k) out.set(u, k, dist[u]);
       dist[u] = Cost::infinity();
       in_subtree[u] = 0;
     }
@@ -104,23 +139,21 @@ AvoidanceTable AvoidanceTable::compute(const graph::Graph& g,
 }
 
 bool AvoidanceTable::has(NodeId i, NodeId k) const {
-  return table_.contains(key(i, k));
+  return index_of(i, k) != kNoEntry;
 }
 
 Cost AvoidanceTable::avoiding_cost(NodeId i, NodeId k) const {
-  const auto it = table_.find(key(i, k));
-  FPSS_EXPECTS(it != table_.end());
-  return it->second;
+  const std::size_t idx = index_of(i, k);
+  FPSS_EXPECTS(idx != kNoEntry);
+  return entries_[idx].cost;
 }
 
 std::vector<std::pair<NodeId, NodeId>> AvoidanceTable::keys() const {
   std::vector<std::pair<NodeId, NodeId>> out;
-  out.reserve(table_.size());
-  for (const auto& [packed, cost] : table_) {
-    (void)cost;
-    out.emplace_back(static_cast<NodeId>(packed & 0xffffffffu),
-                     static_cast<NodeId>(packed >> 32));
-  }
+  out.reserve(entries_.size());
+  for (NodeId i = 0; i + 1 < row_offset_.size(); ++i)
+    for (std::size_t t = row_offset_[i]; t < row_offset_[i + 1]; ++t)
+      out.emplace_back(i, entries_[t].k);
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -15,7 +15,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
@@ -28,6 +27,14 @@ namespace fpss::routing {
 /// k-avoiding path costs toward one destination j. An entry exists for
 /// every pair (i, k) where k is an intermediate node of the selected
 /// i -> j path — exactly the pairs whose VCG price can be non-zero.
+///
+/// Storage is a flat CSR-style layout instead of a hash map: the transit
+/// nodes of i are precisely its proper ancestors in T(j), and the ancestor
+/// at tree depth t (t = hops from the destination) is unique. Row i holds
+/// its hops(i) - 1 ancestors ordered by depth, so looking up (i, k) is one
+/// offset add (row_offset_[i] + depth_[k] - 1) plus an id check — no
+/// hashing on the price() hot path, and the whole table is two contiguous
+/// arrays per destination.
 class AvoidanceTable {
  public:
   /// Efficient subtree engine (see header comment).
@@ -47,20 +54,35 @@ class AvoidanceTable {
   /// Precondition: has(i, k).
   Cost avoiding_cost(NodeId i, NodeId k) const;
 
-  std::size_t entry_count() const { return table_.size(); }
+  std::size_t entry_count() const { return entries_.size(); }
 
   /// All (i, k) keys, for exhaustive comparison in tests.
   std::vector<std::pair<NodeId, NodeId>> keys() const;
 
  private:
-  explicit AvoidanceTable(NodeId destination) : destination_(destination) {}
+  /// Builds the skeleton: one row per reachable node i, one slot per
+  /// proper ancestor, every cost initialized to +infinity. The compute
+  /// engines then fill exactly these slots (a slot left infinite is a
+  /// genuine monopoly entry).
+  explicit AvoidanceTable(const SinkTree& tree);
 
-  static std::uint64_t key(NodeId i, NodeId k) {
-    return (static_cast<std::uint64_t>(k) << 32) | i;
-  }
+  struct Entry {
+    NodeId k = kInvalidNode;  ///< the avoided (transit) node
+    Cost cost = Cost::infinity();
+  };
+
+  static constexpr std::size_t kNoEntry = static_cast<std::size_t>(-1);
+
+  /// Index of the (i, k) slot in entries_, or kNoEntry.
+  std::size_t index_of(NodeId i, NodeId k) const;
+
+  /// Writes Cost(P_k(c; i, j)). Precondition: the slot exists.
+  void set(NodeId i, NodeId k, Cost cost);
 
   NodeId destination_;
-  std::unordered_map<std::uint64_t, Cost> table_;
+  std::vector<std::uint32_t> depth_;       ///< hops(v); 0 if unreachable
+  std::vector<std::size_t> row_offset_;    ///< CSR offsets, size n + 1
+  std::vector<Entry> entries_;             ///< rows ordered by ancestor depth
 };
 
 }  // namespace fpss::routing

@@ -1,0 +1,73 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/contract.h"
+
+namespace fpss::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned helpers = std::max(1u, threads) - 1;
+  workers_.reserve(helpers);
+  for (unsigned w = 0; w < helpers; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w + 1); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+unsigned ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::run_stride(unsigned worker) const {
+  for (std::size_t i = worker; i < count_; i += width()) (*fn_)(i);
+}
+
+void ThreadPool::worker_loop(unsigned worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    run_stride(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FPSS_ASSERT(outstanding_ == 0);  // one job at a time
+    fn_ = &fn;
+    count_ = count;
+    outstanding_ = static_cast<unsigned>(workers_.size());
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  run_stride(0);  // the owner is worker 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  fn_ = nullptr;
+  count_ = 0;
+}
+
+}  // namespace fpss::util

@@ -1,0 +1,255 @@
+// Determinism of the performance layer: the threaded SyncEngine, the
+// parallel VcgMechanism construction, and the flat AvoidanceTable layout
+// must all be bit-identical to their serial / ground-truth counterparts.
+// The thread pool uses a fixed stride partition with no work stealing, so
+// "same results at every width" is a hard invariant, not a statistical one.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bgp/trace.h"
+#include "common.h"
+#include "graph/graph.h"
+#include "graphgen/costs.h"
+#include "graphgen/fixtures.h"
+#include "graphgen/random.h"
+#include "mechanism/vcg.h"
+#include "pricing/session.h"
+#include "routing/dijkstra.h"
+#include "routing/replacement.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace fpss {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool unit behavior
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.width(), 4u);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobsAndWidths) {
+  for (unsigned threads : {1u, 2u, 3u, 8u}) {
+    util::ThreadPool pool(threads);
+    std::vector<std::size_t> sum(64, 0);
+    for (int job = 0; job < 50; ++job)
+      pool.parallel_for(sum.size(), [&](std::size_t i) { sum[i] += i; });
+    for (std::size_t i = 0; i < sum.size(); ++i) EXPECT_EQ(sum[i], 50 * i);
+  }
+}
+
+TEST(ThreadPool, EmptyAndTinyCounts) {
+  util::ThreadPool pool(8);
+  pool.parallel_for(0, [&](std::size_t) { FAIL(); });
+  int ran = 0;
+  pool.parallel_for(1, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 1);
+  std::vector<int> hits(3, 0);  // fewer indices than workers
+  pool.parallel_for(3, [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Threaded SyncEngine == serial SyncEngine, across topology families
+// ---------------------------------------------------------------------------
+
+graph::Graph family_graph(const std::string& family, std::size_t n,
+                          std::uint64_t seed) {
+  return test::make_instance({family.c_str(), n, seed, 10});
+}
+
+/// Everything observable from a pricing session, serialized for comparison:
+/// run stats, every selected route, and every price table entry.
+std::string fingerprint(pricing::Session& session) {
+  const bgp::RunStats stats = session.run();
+  std::ostringstream out;
+  out << "stages=" << stats.stages << " messages=" << stats.messages
+      << " words=" << stats.traffic.total_words()
+      << " route_ch=" << stats.last_route_change_stage
+      << " value_ch=" << stats.last_value_change_stage
+      << " max_link=" << stats.max_link_messages
+      << " converged=" << stats.converged << "\n";
+  const std::size_t n = session.network().node_count();
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const bgp::SelectedRoute& route = session.route(i, j);
+      out << i << "->" << j << ":";
+      for (NodeId v : route.path) out << " " << v;
+      out << " cost=" << route.cost.to_string();
+      for (std::size_t t = 1; t + 1 < route.path.size(); ++t)
+        out << " p[" << route.path[t]
+            << "]=" << session.price(route.path[t], i, j).to_string();
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+TEST(ParallelSyncEngine, BitIdenticalToSerialAcrossFamilies) {
+  for (const std::string family : {"tiered", "ba", "er", "ring"}) {
+    const graph::Graph g = family_graph(family, 32, 77);
+    pricing::Session serial(g, pricing::Protocol::kPriceVector,
+                            bgp::UpdatePolicy::kIncremental, /*threads=*/1);
+    const std::string expected = fingerprint(serial);
+    for (unsigned threads : {2u, 4u, 8u}) {
+      pricing::Session threaded(g, pricing::Protocol::kPriceVector,
+                                bgp::UpdatePolicy::kIncremental, threads);
+      EXPECT_EQ(fingerprint(threaded), expected)
+          << family << " diverged at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelSyncEngine, AvoidanceVectorProtocolAlsoIdentical) {
+  const graph::Graph g = family_graph("ba", 40, 5);
+  pricing::Session serial(g, pricing::Protocol::kAvoidanceVector,
+                          bgp::UpdatePolicy::kIncremental, 1);
+  pricing::Session threaded(g, pricing::Protocol::kAvoidanceVector,
+                            bgp::UpdatePolicy::kIncremental, 4);
+  EXPECT_EQ(fingerprint(serial), fingerprint(threaded));
+}
+
+/// Tracing must not change results or lose events under threads: all trace
+/// callbacks fire from the serial delivery phase (set_trace does not force
+/// the compute phase serial).
+TEST(ParallelSyncEngine, TraceIdenticalUnderThreads) {
+  const graph::Graph g = family_graph("er", 24, 3);
+  const auto run_traced = [&](unsigned threads) {
+    std::ostringstream log;
+    bgp::TextTrace trace(log);
+    pricing::Session session(g, pricing::Protocol::kPriceVector,
+                             bgp::UpdatePolicy::kIncremental, threads);
+    session.engine().set_trace(&trace);
+    session.run();
+    session.engine().set_trace(nullptr);
+    return log.str();
+  };
+  const std::string serial = run_traced(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(run_traced(4), serial);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel VcgMechanism == serial naive ground truth
+// ---------------------------------------------------------------------------
+
+TEST(ParallelVcg, MatchesNaiveGroundTruthExactly) {
+  const graph::Graph g = family_graph("ba", 48, 11);
+  const mechanism::VcgMechanism truth(
+      g, mechanism::VcgMechanism::Engine::kNaiveGroundTruth, /*threads=*/1);
+  const mechanism::VcgMechanism parallel(
+      g, mechanism::VcgMechanism::Engine::kSubtree, /*threads=*/8);
+  const std::size_t n = g.node_count();
+  for (NodeId j = 0; j < n; ++j) {
+    ASSERT_EQ(parallel.avoidance(j).keys(), truth.avoidance(j).keys());
+    for (NodeId i = 0; i < n; ++i) {
+      ASSERT_EQ(parallel.routes().path(i, j), truth.routes().path(i, j));
+      for (NodeId k = 0; k < n; ++k)
+        ASSERT_EQ(parallel.price(k, i, j), truth.price(k, i, j))
+            << "p^" << k << "_{" << i << "," << j << "}";
+    }
+  }
+}
+
+TEST(ParallelVcg, ParallelNaiveEngineAlsoIdentical) {
+  const graph::Graph g = family_graph("tiered", 36, 9);
+  const mechanism::VcgMechanism serial(
+      g, mechanism::VcgMechanism::Engine::kNaiveGroundTruth, 1);
+  const mechanism::VcgMechanism parallel(
+      g, mechanism::VcgMechanism::Engine::kNaiveGroundTruth, 4);
+  for (NodeId j = 0; j < g.node_count(); ++j) {
+    const auto keys = serial.avoidance(j).keys();
+    ASSERT_EQ(parallel.avoidance(j).keys(), keys);
+    for (const auto& [i, k] : keys)
+      ASSERT_EQ(parallel.avoidance(j).avoiding_cost(i, k),
+                serial.avoidance(j).avoiding_cost(i, k));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flat AvoidanceTable layout: property test vs compute_naive
+// ---------------------------------------------------------------------------
+
+void expect_tables_equal(const graph::Graph& g, NodeId j) {
+  const routing::SinkTree tree = routing::compute_sink_tree(g, j);
+  const auto fast = routing::AvoidanceTable::compute(g, tree);
+  const auto naive = routing::AvoidanceTable::compute_naive(g, tree);
+  ASSERT_EQ(fast.entry_count(), naive.entry_count());
+  const auto keys = naive.keys();
+  ASSERT_EQ(fast.keys(), keys);
+  for (const auto& [i, k] : keys) {
+    ASSERT_TRUE(fast.has(i, k));
+    ASSERT_EQ(fast.avoiding_cost(i, k), naive.avoiding_cost(i, k))
+        << "dest=" << j << " i=" << i << " k=" << k;
+  }
+  // Lookup misses: self, the destination, and off-path nodes.
+  EXPECT_FALSE(fast.has(j, j));
+  for (NodeId i = 0; i < g.node_count(); ++i) {
+    EXPECT_FALSE(fast.has(i, i));
+    EXPECT_FALSE(fast.has(i, j));
+  }
+}
+
+TEST(AvoidanceTableFlat, PropertyVsNaiveOverRandomSeeds) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t n = 12 + static_cast<std::size_t>(seed % 5) * 7;
+    graph::Graph g = (seed % 2 == 0)
+                         ? graphgen::erdos_renyi(
+                               n, 3.0 / static_cast<double>(n), rng)
+                         : graphgen::barabasi_albert(n, 2, rng);
+    // Half the seeds stay non-biconnected on purpose: articulation points
+    // produce monopoly (infinite) entries, which must also match.
+    if (seed % 3 == 0) graphgen::make_biconnected(g, rng);
+    graphgen::assign_random_costs(g, 1, 20, rng);
+    for (NodeId j = 0; j < g.node_count(); j += 3) expect_tables_equal(g, j);
+  }
+}
+
+TEST(AvoidanceTableFlat, MonopolyEntriesAreInfiniteAndMatch) {
+  // Two triangles sharing node 2: node 2 is an articulation point, so any
+  // path from {3,4} to 0 that must avoid 2 does not exist.
+  graph::Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(2, 4);
+  for (NodeId v = 0; v < 5; ++v) g.set_cost(v, Cost{1});
+  const routing::SinkTree tree = routing::compute_sink_tree(g, 0);
+  const auto fast = routing::AvoidanceTable::compute(g, tree);
+  const auto naive = routing::AvoidanceTable::compute_naive(g, tree);
+  bool saw_monopoly = false;
+  for (const auto& [i, k] : naive.keys()) {
+    ASSERT_EQ(fast.avoiding_cost(i, k), naive.avoiding_cost(i, k));
+    if (k == 2) {
+      EXPECT_TRUE(fast.avoiding_cost(i, k).is_infinite());
+      saw_monopoly = true;
+    }
+  }
+  EXPECT_TRUE(saw_monopoly);
+}
+
+TEST(AvoidanceTableFlat, RingAndGridFixtures) {
+  for (std::size_t n : {8u, 13u, 20u}) {
+    auto ring = graphgen::ring_graph(n);
+    util::Rng rng(99 + n);
+    graphgen::assign_random_costs(ring, 1, 9, rng);
+    expect_tables_equal(ring, 0);
+    expect_tables_equal(ring, static_cast<NodeId>(n / 2));
+  }
+}
+
+}  // namespace
+}  // namespace fpss
