@@ -86,11 +86,11 @@ int main() {
 
     // --- asynchronous storm, with and without MRAI -------------------------
     auto async_messages = [&](double mrai) {
-      bgp::AsyncEngine::Config config;
-      config.seed = 77;
-      config.mrai = mrai;
-      pricing::Session async = pricing::Session::async(
-          g, pricing::Protocol::kPriceVector, config);
+      bgp::ChannelConfig channel;
+      channel.seed = 77;
+      channel.mrai = mrai;
+      pricing::Session async(g, pricing::Protocol::kPriceVector,
+                             bgp::EngineConfig::event(channel));
       async.run();
       const auto event = async.remove_link(
           a, b, pricing::RestartPolicy::kRestartBarrier);

@@ -37,7 +37,7 @@ int main() {
       // Hop-count routes, computed by the protocol itself.
       bgp::Network net(g, bgp::make_hop_count_factory(
                               bgp::UpdatePolicy::kIncremental));
-      bgp::SyncEngine engine(net);
+      bgp::Engine engine(net);
       engine.run();
 
       Cost::rep v_hop = 0, v_lcp = 0;

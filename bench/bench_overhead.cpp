@@ -34,7 +34,7 @@ Run run_plain(const graph::Graph& g, bgp::UpdatePolicy policy) {
                           -> std::unique_ptr<bgp::Agent> {
     return std::make_unique<bgp::PlainBgpAgent>(self, n, cost, policy);
   });
-  bgp::SyncEngine engine(net);
+  bgp::Engine engine(net);
   Run run;
   run.stats = engine.run();
   run.state = net.total_state();

@@ -1,10 +1,12 @@
 // The performance layer's threads × n sweep (ISSUE 1 / E10 extension):
 //   * all-pairs centralized VCG construction — the embarrassingly parallel
 //     per-destination sink-tree + avoidance work — at widths 1..8;
-//   * threaded SyncEngine cold start on the d' ≈ 2n worst case (ring) and
+//   * threaded stage-engine cold start on the d' ≈ 2n worst case (ring) and
 //     the Internet-like tiered family;
 //   * the raw ThreadPool dispatch overhead, which bounds how fine a stage
-//     can be before the pool stops paying for itself.
+//     can be before the pool stops paying for itself;
+//   * the unified engine under its event scheduler — clean channel and a
+//     10% loss channel — so both schedulers have a recorded trajectory.
 //
 // scripts/bench_baseline.sh runs this binary (plus bench_scaling) and
 // records BENCH_scaling.json so successive PRs have a perf trajectory.
@@ -41,7 +43,7 @@ BENCHMARK(BM_VcgAllPairs)
     ->MeasureProcessCPUTime()
     ->Iterations(2);
 
-// Threaded SyncEngine cold start on a costed ring: the d' ≈ 2n stage count
+// Threaded stage-engine cold start on a costed ring: the d' ≈ 2n stage count
 // maximizes how often the per-stage pool dispatch happens, so this is the
 // workload where replacing spawn/join with a persistent pool matters most.
 void BM_RingColdStart(benchmark::State& state) {
@@ -79,8 +81,30 @@ BENCHMARK(BM_TieredColdStart)
     ->UseRealTime()
     ->Iterations(2);
 
+// Event-scheduler cold start on the tiered family: Args are {n, loss%}.
+// Same network and agents as the stage runs above, but every message is an
+// individually scheduled delivery through the channel model — the price of
+// dropping the synchrony assumption, and (at loss% > 0) of retransmission.
+void BM_EventColdStart(benchmark::State& state) {
+  const auto g = bench::internet_like(
+      static_cast<std::size_t>(state.range(0)), 12004);
+  bgp::ChannelConfig channel;
+  channel.seed = 12005;
+  channel.loss = static_cast<double>(state.range(1)) / 100.0;
+  for (auto _ : state) {
+    pricing::Session session(g, pricing::Protocol::kPriceVector,
+                             bgp::EngineConfig::event(channel));
+    benchmark::DoNotOptimize(session.run());
+  }
+}
+BENCHMARK(BM_EventColdStart)
+    ->ArgsProduct({{128, 256}, {0, 10}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(2);
+
 // Dispatch overhead of one parallel_for with trivial work: the per-stage
-// fixed cost the SyncEngine now pays instead of thread creation.
+// fixed cost the engine now pays instead of thread creation.
 void BM_ThreadPoolDispatch(benchmark::State& state) {
   util::ThreadPool pool(static_cast<unsigned>(state.range(0)));
   std::vector<std::uint64_t> slot(1024, 0);

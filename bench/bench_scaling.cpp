@@ -2,7 +2,8 @@
 // regressions and to back DESIGN.md's complexity notes:
 //   * per-destination LCP Dijkstra (node costs, canonical tie-break);
 //   * k-avoiding table construction, naive vs subtree engine;
-//   * one synchronous protocol stage (route + price work across all ASs);
+//   * protocol cold starts under both schedulers (lockstep stages and
+//     discrete-event delivery);
 //   * strategyproofness sweep for one node (whole-mechanism recomputation
 //     per deviation — the cost of auditing incentives centrally).
 #include <benchmark/benchmark.h>
@@ -70,13 +71,31 @@ void BM_ProtocolColdStartParallel(benchmark::State& state) {
     bgp::Network net(g, pricing::make_agent_factory(
                             pricing::Protocol::kPriceVector,
                             bgp::UpdatePolicy::kIncremental));
-    bgp::SyncEngine engine(net, threads);
+    bgp::Engine engine(net, threads);
     benchmark::DoNotOptimize(engine.run());
   }
 }
 BENCHMARK(BM_ProtocolColdStartParallel)
     ->ArgsProduct({benchmark::CreateRange(32, 256, /*multi=*/2),
                    {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+// The same cold start through the event scheduler: one heap event per
+// message instead of one batch per stage. The gap between this curve and
+// BM_ProtocolColdStart is the cost of modelling asynchrony.
+void BM_ProtocolColdStartEvent(benchmark::State& state) {
+  const auto g = bench::internet_like(
+      static_cast<std::size_t>(state.range(0)), 11002);
+  bgp::ChannelConfig channel;
+  channel.seed = 11004;
+  for (auto _ : state) {
+    pricing::Session session(g, pricing::Protocol::kPriceVector,
+                             bgp::EngineConfig::event(channel));
+    benchmark::DoNotOptimize(session.run());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ProtocolColdStartEvent)->RangeMultiplier(2)->Range(32, 256)
     ->Unit(benchmark::kMillisecond);
 
 void BM_DeviationSweepOneNode(benchmark::State& state) {

@@ -1,29 +1,50 @@
-// Protocol engines for the Sect. 5 computational model.
+// The unified protocol engine core for the Sect. 5 computational model —
+// and for everything the paper's model idealizes away.
 //
-// * SyncEngine — the model the paper's bounds are stated in: all nodes
-//   exchange routing tables in lockstep stages; "BGP converges within d
-//   stages" and the extended protocol "converges in at most max(d, d')
-//   stages" (Theorem 2).
-// * AsyncEngine — a discrete-event scheduler with randomized per-message
-//   delays (and an optional MRAI-style batching interval), showing the
-//   computation also quiesces without the synchrony assumption.
+// One `Engine` drives a `Network` to quiescence through two pluggable
+// seams:
+//
+//  * **Scheduler** (SchedulerKind) — who computes when, and what the
+//    logical clock means:
+//      - kStage: the lockstep stage model the paper's bounds are stated in
+//        ("BGP converges within d stages"; the extended protocol "converges
+//        in at most max(d, d')  stages", Theorem 2). Behaviour and stats are
+//        bit-for-bit those of the historical SyncEngine.
+//      - kEvent: a discrete-event scheduler delivering individual messages
+//        at channel-chosen virtual times (subsuming the historical
+//        AsyncEngine). The algorithm's correctness rests only on monotone
+//        convergence, so it must — and, tests prove, does — reach the exact
+//        same routes and prices without the synchrony assumption.
+//
+//  * **Channel model** (ChannelConfig) — per-link delivery semantics under
+//    the event scheduler: fixed / uniform / heavy-tailed (Pareto) delays,
+//    MRAI-style advertisement batching, and seeded fault injection —
+//    i.i.d. message loss with eventual-delivery retransmission semantics
+//    (BGP sessions run over TCP), deterministic timed link flaps, and
+//    temporary partitions. All randomness flows from one seed; every run
+//    is reproducible.
+//
+// Kernel capabilities are scheduler-independent: TraceSink observability,
+// the persistent deterministic-partition ThreadPool compute phase, shared
+// immutable TableMessage exports (identity export filters share one
+// refcounted payload across neighbors), reused per-activation buffers, and
+// flat per-directed-link accounting (no hashing on the per-message path)
+// all work under both schedulers.
 //
 // Engines count every message, entry, and word exchanged (E5), and record
-// the last stage/time at which any route or price changed (E4/E6).
+// the last logical time at which any route or price changed (E4/E6) on a
+// unified clock: under kStage the clock equals the stage number; under
+// kEvent it is the virtual event time.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <optional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "bgp/agent.h"
 #include "bgp/message.h"
 #include "graph/graph.h"
-#include "util/rng.h"
 #include "util/thread_pool.h"
 #include "util/types.h"
 
@@ -61,122 +82,220 @@ class Network {
 
 /// Counters for one engine run (cumulative across run() calls).
 struct RunStats {
-  Stage stages = 0;            ///< sync stages executed until quiescence
-  std::uint64_t messages = 0;  ///< point-to-point messages delivered
+  Stage stages = 0;            ///< lockstep stages executed (stage scheduler)
+  std::uint64_t messages = 0;  ///< point-to-point messages sent
   MessageSize traffic;         ///< cumulative message payload
   Stage last_route_change_stage = 0;  ///< 1-based; 0 = never changed
   Stage last_value_change_stage = 0;  ///< pricing extension convergence
   std::uint64_t max_link_messages = 0;
-  double async_end_time = 0;   ///< virtual clock at quiescence (async only)
-  double last_route_change_time = 0;  ///< async analogues of the stages
+  /// Unified logical clock: stage number under the stage scheduler, virtual
+  /// event time under the event scheduler.
+  double end_time = 0;                ///< clock at quiescence
+  double last_route_change_time = 0;
   double last_value_change_time = 0;
+  /// Channel-fault casualties: retransmitted copies eaten by i.i.d. loss
+  /// plus in-flight deliveries killed by a link flap / partition.
+  std::uint64_t lost_messages = 0;
   bool converged = false;      ///< quiesced before hitting the cap
 };
 
-class TraceSink;
+/// Which scheduler drives the run. See the file comment.
+enum class SchedulerKind {
+  kStage,  ///< the paper's lockstep stage model (default)
+  kEvent,  ///< discrete-event delivery through the channel model
+};
 
-/// Lockstep stage engine.
+/// One deterministic link flap: the link goes down at `down_time` and (if
+/// `up_time > down_time`) comes back at `up_time`. Virtual times are on the
+/// event scheduler's clock. In-flight messages on the flapped link are lost
+/// (the TCP session dies); after the flap the session restarts.
+struct LinkFlap {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  double down_time = 0;
+  double up_time = 0;  ///< <= down_time means the link never comes back
+};
+
+/// A temporary partition: at `down_time` every link between `group` and the
+/// rest of the network is cut; at `up_time` exactly those links return.
+struct PartitionEvent {
+  std::vector<NodeId> group;
+  double down_time = 0;
+  double up_time = 0;  ///< <= down_time means the partition is permanent
+};
+
+/// Per-link delivery semantics (event scheduler). The stage scheduler is
+/// the paper's ideal lockstep model and requires `fault_free()` — faults
+/// are a property of asynchronous channels, not of the proof model.
+struct ChannelConfig {
+  enum class Delay {
+    kFixed,    ///< every message takes exactly min_delay
+    kUniform,  ///< uniform in [min_delay, max_delay]
+    kPareto,   ///< heavy-tailed: min_delay * Pareto(alpha), capped at max_delay
+  };
+
+  Delay delay = Delay::kUniform;
+  double min_delay = 0.1;
+  double max_delay = 1.0;
+  double pareto_alpha = 1.5;  ///< tail shape for Delay::kPareto
+
+  /// MinRouteAdvertisementInterval: a node's consecutive advertisements are
+  /// spaced at least `mrai` apart (updates batch up in the meantime).
+  double mrai = 0.0;
+
+  /// i.i.d. per-transmission loss probability in [0, 1). A lost copy is
+  /// retransmitted after `rto` (plus a fresh delay draw) until it gets
+  /// through — eventual delivery, as over TCP — so loss delays but never
+  /// forfeits convergence. Lost copies count into RunStats::lost_messages.
+  double loss = 0.0;
+  double rto = 1.0;  ///< retransmission timeout added per lost copy
+
+  std::uint64_t seed = 1;  ///< drives delays and loss; same seed, same run
+
+  std::vector<LinkFlap> flaps;
+  std::vector<PartitionEvent> partitions;
+
+  bool fault_free() const {
+    return loss == 0 && flaps.empty() && partitions.empty();
+  }
+};
+
+/// Everything that shapes a run. Prefer the `stage()` / `event()` builders
+/// for the two common cases.
+struct EngineConfig {
+  SchedulerKind scheduler = SchedulerKind::kStage;
+  /// Parallel width of the compute phase (stage ingest/recompute and the
+  /// event scheduler's activation waves). Results are bit-identical at any
+  /// width; see util::ThreadPool.
+  unsigned threads = 1;
+  Stage max_stages = 100000;               ///< per-run() stage cap (kStage)
+  std::uint64_t max_messages = 50'000'000; ///< cumulative cap (kEvent)
+  ChannelConfig channel;
+
+  static EngineConfig stage(unsigned threads = 1) {
+    EngineConfig config;
+    config.threads = threads;
+    return config;
+  }
+  static EngineConfig event(ChannelConfig channel = {}) {
+    EngineConfig config;
+    config.scheduler = SchedulerKind::kEvent;
+    config.channel = channel;
+    return config;
+  }
+};
+
+class TraceSink;
+class Engine;
+class StageScheduler;
+class EventScheduler;
+
+/// The scheduler seam: a strategy owning activation order and the logical
+/// clock, driving the shared kernel (accounting, trace, thread pool, link
+/// ledger). Engine instantiates one per SchedulerKind; new execution models
+/// plug in here instead of forking a third engine.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Drives the network until quiescence or a cap; returns this segment's
+  /// stats (counters diffed against the start of the call, convergence
+  /// markers absolute). May be called again after dynamic events.
+  virtual RunStats run(Stage max_stages) = 0;
+
+  /// Current logical clock (stage number / virtual time).
+  virtual double now() const = 0;
+};
+
+/// The engine: one kernel, pluggable scheduler and channel.
 ///
-/// With `threads > 1` the per-node local computation of each stage
-/// (ingesting the inbox and recomputing routes/prices) runs on a
-/// persistent deterministic-partition thread pool (util::ThreadPool) that
-/// lives for the whole engine, so a run of S stages costs one wake per
-/// stage instead of S spawn/join cycles. Agents only touch their own
+/// With `threads > 1` the per-node local computation (ingesting input and
+/// recomputing routes/prices) runs on a persistent deterministic-partition
+/// thread pool that lives for the whole engine. Agents only touch their own
 /// state during that phase, and message delivery stays serialized in node
 /// order, so results are bit-identical to the single-threaded engine.
 ///
-/// set_trace ⇒ serial only where it matters: every TraceSink callback is
-/// emitted from the serial accounting+delivery phase, in node order, never
-/// from the parallel compute phase — so attaching a trace neither forces
-/// the compute phase serial nor requires a synchronized sink, and traced
-/// runs are identical at any thread count.
-class SyncEngine {
+/// set_trace => serial only where it matters: every TraceSink callback is
+/// emitted from the serial accounting/delivery phase, in deterministic
+/// order, never from the parallel compute phase — attaching a trace neither
+/// forces the compute phase serial nor requires a synchronized sink.
+class Engine {
  public:
-  explicit SyncEngine(Network& net, unsigned threads = 1);
+  explicit Engine(Network& net, EngineConfig config = {});
+  /// Stage-scheduler shorthand (the historical SyncEngine constructor).
+  Engine(Network& net, unsigned threads);
+  ~Engine();
 
-  /// Runs stages until no node has anything to send, or `max_stages`.
-  /// May be called again after dynamic events; stage numbering continues.
-  RunStats run(Stage max_stages = 100000);
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs until quiescence (or the configured caps).
+  RunStats run();
+  /// Same, with a one-off stage cap (stage scheduler; ignored by kEvent,
+  /// whose cap is message-count based).
+  RunStats run(Stage max_stages);
 
   /// All counters since construction.
   const RunStats& stats() const { return stats_; }
   Stage current_stage() const { return stats_.stages; }
+  /// Unified logical clock (== current_stage() under the stage scheduler).
+  double now() const;
+  SchedulerKind scheduler() const { return config_.scheduler; }
+  const EngineConfig& config() const { return config_; }
 
   /// Attaches an observer (nullptr detaches). Not owned; must outlive the
-  /// engine or be detached before destruction.
+  /// engine or be detached before destruction. Works under both schedulers.
   void set_trace(TraceSink* trace) { trace_ = trace; }
 
  private:
+  friend class StageScheduler;
+  friend class EventScheduler;
+
   /// Messages are shared, immutable after send: when an agent's export
   /// filter is the identity (filters_exports() == false) all neighbors
   /// receive the same refcounted payload instead of per-neighbor copies.
   using MessageRef = std::shared_ptr<const TableMessage>;
 
+  /// Flat per-directed-link ledger: a CSR snapshot of the adjacency lists
+  /// carrying the per-link message counters (E5's max_link_messages), the
+  /// event scheduler's per-link FIFO clocks (BGP sessions run over TCP:
+  /// deliveries on one directed link are ordered), and a TCP-session epoch
+  /// used to kill in-flight messages across link flaps. The slot of
+  /// (u, neighbors(u)[i]) is offset[u] + i, so the per-message accounting
+  /// path is an array index — no hashing. sync() remaps the keyed state
+  /// when Graph::version() moves; links that vanish drop their counters
+  /// (a re-added link is a new TCP session and starts over).
+  struct LinkLedger {
+    static constexpr std::size_t npos = ~std::size_t{0};
+
+    std::vector<std::size_t> offset;    ///< node -> first slot (n+1 fence)
+    std::vector<NodeId> to;             ///< slot -> neighbor id
+    std::vector<std::uint64_t> count;   ///< messages sent over this link
+    std::vector<double> fifo_clock;     ///< latest promised delivery time
+    std::vector<std::uint32_t> epoch;   ///< TCP-session generation
+    std::uint64_t synced_version = ~std::uint64_t{0};
+    std::uint32_t next_epoch = 0;
+
+    void sync(const graph::Graph& g);
+    std::size_t base(NodeId u) const { return offset[u]; }
+    /// Slot of directed link (u, v); npos if the link does not exist.
+    std::size_t slot(NodeId u, NodeId v) const;
+  };
+
+  /// bootstrap() every agent exactly once (parallel when a pool exists —
+  /// agents only touch their own state there).
+  void bootstrap_agents();
+
   Network& net_;
+  EngineConfig config_;
   RunStats stats_;
-  std::vector<std::vector<MessageRef>> inbox_;
-  /// Per-stage scratch, sized once and reused so the hot loop does not
-  /// reallocate: last stage's inboxes (capacity kept) and per-node outputs.
-  std::vector<std::vector<MessageRef>> arriving_;
-  std::vector<std::optional<TableMessage>> outputs_;
-  std::unordered_map<std::uint64_t, std::uint64_t> link_messages_;
   TraceSink* trace_ = nullptr;
-  unsigned threads_ = 1;
-  std::unique_ptr<util::ThreadPool> pool_;  ///< non-null iff threads_ > 1
+  std::unique_ptr<util::ThreadPool> pool_;  ///< non-null iff threads > 1
+  LinkLedger links_;
   bool bootstrapped_ = false;
-};
-
-/// Discrete-event engine with per-message latencies drawn uniformly from
-/// [min_delay, max_delay]. If `mrai > 0`, a node's consecutive
-/// advertisements are spaced at least `mrai` apart (updates batch up in the
-/// meantime) — BGP's MinRouteAdvertisementInterval.
-class AsyncEngine {
- public:
-  struct Config {
-    double min_delay = 0.1;
-    double max_delay = 1.0;
-    double mrai = 0.0;
-    std::uint64_t seed = 1;
-    std::uint64_t max_messages = 50'000'000;
-  };
-
-  AsyncEngine(Network& net, const Config& config);
-
-  /// Runs until the event queue drains (or the message cap trips).
-  RunStats run();
-
-  const RunStats& stats() const { return stats_; }
-  double now() const { return now_; }
-
- private:
-  struct Event {
-    double time = 0;
-    std::uint64_t seq = 0;  // FIFO among equal times
-    NodeId node = kInvalidNode;
-    bool is_poll = false;   // poll = deferred advertise (MRAI)
-    TableMessage msg;       // valid when !is_poll
-
-    bool operator<(const Event& other) const {
-      if (time != other.time) return time > other.time;  // min-heap
-      return seq > other.seq;
-    }
-  };
-
-  void flood(NodeId sender, const TableMessage& msg);
-  void activate(NodeId node);
-
-  Network& net_;
-  Config config_;
-  util::Rng rng_;
-  RunStats stats_;
-  std::priority_queue<Event> queue_;
-  /// BGP sessions run over TCP: deliveries on one directed link are FIFO.
-  std::unordered_map<std::uint64_t, double> link_clock_;
-  std::vector<double> last_advert_time_;
-  std::vector<char> poll_scheduled_;
-  double now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  bool bootstrapped_ = false;
+  /// Last member: destroyed first, while the kernel state it references
+  /// is still alive.
+  std::unique_ptr<Scheduler> scheduler_;
 };
 
 }  // namespace fpss::bgp

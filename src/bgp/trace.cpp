@@ -28,6 +28,16 @@ void TextTrace::on_quiescent(Stage last_stage) {
   *out_ << "quiescent after stage " << last_stage << "\n";
 }
 
+void TextTrace::on_drop(Stage stage, NodeId from, NodeId to) {
+  *out_ << "stage " << stage << ": AS" << from << " -> AS" << to
+        << " dropped\n";
+}
+
+void TextTrace::on_link_event(Stage stage, NodeId u, NodeId v, bool up) {
+  *out_ << "stage " << stage << ": link AS" << u << " -- AS" << v
+        << (up ? " up" : " down") << "\n";
+}
+
 StageSeries::Row& StageSeries::current(Stage stage) {
   if (rows_.empty() || rows_.back().stage != stage) {
     Row row;

@@ -1,7 +1,10 @@
-// Observability for the protocol engines: a trace-sink interface the
-// SyncEngine reports to, plus ready-made sinks — a text logger for
-// debugging and a per-stage series recorder that captures the convergence
-// curve (messages/words/changes per stage) used by examples and analyses.
+// Observability for the protocol engine: a trace-sink interface the Engine
+// reports to under every scheduler, plus ready-made sinks — a text logger
+// for debugging and a per-stage series recorder that captures the
+// convergence curve (messages/words/changes per stage) used by examples and
+// analyses. Under the stage scheduler the Stage argument is the lockstep
+// stage number; under the event scheduler it is the processed-event ordinal
+// (a monotone tick), so sinks keyed on it still see a totally ordered run.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +42,23 @@ class TraceSink {
     (void)node;
   }
   virtual void on_quiescent(Stage last_stage) { (void)last_stage; }
+
+  /// Event scheduler only: a message died in the channel — either an
+  /// i.i.d.-loss casualty (it will be retransmitted) or an in-flight
+  /// delivery killed because its link flapped or was partitioned away.
+  virtual void on_drop(Stage stage, NodeId from, NodeId to) {
+    (void)stage;
+    (void)from;
+    (void)to;
+  }
+  /// Event scheduler only: fault injection took the link {u, v} down
+  /// (up == false) or brought it back (up == true).
+  virtual void on_link_event(Stage stage, NodeId u, NodeId v, bool up) {
+    (void)stage;
+    (void)u;
+    (void)v;
+    (void)up;
+  }
 };
 
 /// Human-readable line per event, for debugging protocol runs.
@@ -52,6 +72,8 @@ class TextTrace : public TraceSink {
   void on_route_change(Stage stage, NodeId node) override;
   void on_value_change(Stage stage, NodeId node) override;
   void on_quiescent(Stage last_stage) override;
+  void on_drop(Stage stage, NodeId from, NodeId to) override;
+  void on_link_event(Stage stage, NodeId u, NodeId v, bool up) override;
 
  private:
   std::ostream* out_;

@@ -49,6 +49,7 @@ bool Graph::add_edge(NodeId u, NodeId v) {
   insert_sorted(adjacency_[u], v);
   insert_sorted(adjacency_[v], u);
   ++edge_count_;
+  ++version_;
   return true;
 }
 
@@ -61,6 +62,7 @@ bool Graph::remove_edge(NodeId u, NodeId v) {
   erase_sorted(adjacency_[u], v);
   erase_sorted(adjacency_[v], u);
   --edge_count_;
+  ++version_;
   return true;
 }
 

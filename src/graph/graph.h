@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -27,6 +28,12 @@ class Graph {
 
   std::size_t node_count() const { return adjacency_.size(); }
   std::size_t edge_count() const { return edge_count_; }
+
+  /// Topology generation counter: bumped on every successful edge
+  /// insertion/removal (cost changes do not count). Lets flat caches keyed
+  /// by adjacency position (e.g. the engine's per-link ledger) detect that
+  /// their layout is stale without observing every mutation call.
+  std::uint64_t version() const { return version_; }
 
   bool contains(NodeId v) const { return v < node_count(); }
 
@@ -56,6 +63,7 @@ class Graph {
   std::vector<Cost> node_cost_;
   std::vector<std::vector<NodeId>> adjacency_;
   std::size_t edge_count_ = 0;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace fpss::graph

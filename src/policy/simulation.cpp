@@ -7,7 +7,7 @@ PolicyRun run_policy_routing(const graph::Graph& g,
                              bgp::UpdatePolicy policy) {
   PolicyRun run;
   bgp::Network net(g, make_policy_factory(&relationships, policy));
-  bgp::SyncEngine engine(net);
+  bgp::Engine engine(net);
   run.stats = engine.run();
   run.converged = run.stats.converged;
 

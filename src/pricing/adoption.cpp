@@ -38,7 +38,7 @@ AdoptionReport measure_adoption(const graph::Graph& g,
   FPSS_EXPECTS(participates.size() == g.node_count());
   bgp::Network net(g, make_mixed_factory(participates,
                                          bgp::UpdatePolicy::kIncremental));
-  bgp::SyncEngine engine(net);
+  bgp::Engine engine(net);
   const auto stats = engine.run();
   FPSS_ENSURES(stats.converged);
 

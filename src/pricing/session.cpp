@@ -19,38 +19,25 @@ bgp::AgentFactory make_agent_factory(Protocol protocol,
 
 Session::Session(const graph::Graph& g, Protocol protocol,
                  bgp::UpdatePolicy policy, unsigned threads)
+    : Session(g, protocol, bgp::EngineConfig::stage(threads), policy) {}
+
+Session::Session(const graph::Graph& g, Protocol protocol,
+                 const bgp::EngineConfig& config, bgp::UpdatePolicy policy)
     : network_(std::make_unique<bgp::Network>(
           g, make_agent_factory(protocol, policy))),
-      engine_(std::make_unique<bgp::SyncEngine>(*network_, threads)),
+      engine_(std::make_unique<bgp::Engine>(*network_, config)),
       protocol_(protocol) {}
 
 Session::Session(const graph::Graph& g, const bgp::AgentFactory& factory,
                  unsigned threads)
+    : Session(g, factory, bgp::EngineConfig::stage(threads)) {}
+
+Session::Session(const graph::Graph& g, const bgp::AgentFactory& factory,
+                 const bgp::EngineConfig& config)
     : network_(std::make_unique<bgp::Network>(g, factory)),
-      engine_(std::make_unique<bgp::SyncEngine>(*network_, threads)) {}
+      engine_(std::make_unique<bgp::Engine>(*network_, config)) {}
 
-Session Session::async(const graph::Graph& g, Protocol protocol,
-                       const bgp::AsyncEngine::Config& config,
-                       bgp::UpdatePolicy policy) {
-  Session session(g, protocol, policy);
-  session.engine_.reset();
-  session.async_engine_ =
-      std::make_unique<bgp::AsyncEngine>(*session.network_, config);
-  return session;
-}
-
-bgp::RunStats Session::run() {
-  return is_async() ? async_engine_->run() : engine_->run();
-}
-
-bgp::SyncEngine& Session::engine() {
-  FPSS_EXPECTS(!is_async());
-  return *engine_;
-}
-
-const bgp::RunStats& Session::total_stats() const {
-  return is_async() ? async_engine_->stats() : engine_->stats();
-}
+bgp::RunStats Session::run() { return engine_->run(); }
 
 const PricingAgent& Session::agent(NodeId v) const {
   return static_cast<const PricingAgent&>(network_->agent(v));
@@ -80,8 +67,12 @@ bgp::RunStats Session::reconverge(RestartPolicy policy) {
     stats.stages += wave.stages;
     stats.messages += wave.messages;
     stats.traffic += wave.traffic;
+    stats.lost_messages += wave.lost_messages;
     stats.last_route_change_stage = wave.last_route_change_stage;
     stats.last_value_change_stage = wave.last_value_change_stage;
+    stats.last_route_change_time = wave.last_route_change_time;
+    stats.last_value_change_time = wave.last_value_change_time;
+    stats.end_time = wave.end_time;
     stats.converged = wave.converged;
   }
   return stats;
@@ -103,18 +94,16 @@ bgp::RunStats Session::remove_link(NodeId u, NodeId v, RestartPolicy policy) {
   return reconverge(policy);
 }
 
-std::vector<std::pair<NodeId, NodeId>> Session::fail_node(
-    NodeId v, RestartPolicy policy, bgp::RunStats* stats) {
-  std::vector<std::pair<NodeId, NodeId>> failed;
+Session::NodeFailure Session::fail_node(NodeId v, RestartPolicy policy) {
+  NodeFailure failure;
   const auto neighbors = network_->topology().neighbors(v);
-  failed.reserve(neighbors.size());
+  failure.links.reserve(neighbors.size());
   for (NodeId u : std::vector<NodeId>(neighbors.begin(), neighbors.end())) {
     network_->remove_link(v, u);
-    failed.emplace_back(v, u);
+    failure.links.emplace_back(v, u);
   }
-  const bgp::RunStats result = reconverge(policy);
-  if (stats != nullptr) *stats = result;
-  return failed;
+  failure.stats = reconverge(policy);
+  return failure;
 }
 
 bgp::RunStats Session::restore_node(

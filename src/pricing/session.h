@@ -1,13 +1,15 @@
 // Orchestration of a distributed price-computation run: builds a network
-// of pricing agents over an AS graph, drives it to quiescence with either
-// engine, exposes the resulting routes/prices, and handles dynamic events
-// with the paper's restart semantics ("the process of converging begins
-// again each time a route is changed").
+// of pricing agents over an AS graph, drives it to quiescence with the
+// unified engine (under either scheduler), exposes the resulting
+// routes/prices, and handles dynamic events with the paper's restart
+// semantics ("the process of converging begins again each time a route is
+// changed").
 #pragma once
 
 #include <memory>
 #include <optional>
-#include <string>
+#include <utility>
+#include <vector>
 
 #include "bgp/engine.h"
 #include "graph/graph.h"
@@ -35,39 +37,40 @@ enum class RestartPolicy {
 bgp::AgentFactory make_agent_factory(Protocol protocol,
                                      bgp::UpdatePolicy policy);
 
-/// A network of pricing agents plus a synchronous engine.
+/// A network of pricing agents plus the engine that drives it.
 class Session {
  public:
-  /// `threads` is the SyncEngine's parallel width for the per-stage
-  /// compute phase (see bgp::SyncEngine); results are bit-identical at any
-  /// width. Ignored by the async engine.
+  /// A stage-scheduled session. `threads` is the engine's parallel width
+  /// for the per-stage compute phase (see bgp::Engine); results are
+  /// bit-identical at any width.
   Session(const graph::Graph& g, Protocol protocol,
           bgp::UpdatePolicy policy = bgp::UpdatePolicy::kIncremental,
           unsigned threads = 1);
+
+  /// A session under any engine configuration — scheduler, threads, and
+  /// channel model (delays, MRAI, loss, flaps, partitions) all come from
+  /// `config`. The Sect. 5 bounds are stated for the stage model, but
+  /// correctness must not depend on lockstep synchrony.
+  Session(const graph::Graph& g, Protocol protocol,
+          const bgp::EngineConfig& config,
+          bgp::UpdatePolicy policy = bgp::UpdatePolicy::kIncremental);
 
   /// A session over custom agents (they must derive from PricingAgent) —
   /// used to inject deviant implementations for the audit experiments.
   Session(const graph::Graph& g, const bgp::AgentFactory& factory,
           unsigned threads = 1);
+  Session(const graph::Graph& g, const bgp::AgentFactory& factory,
+          const bgp::EngineConfig& config);
 
   /// Cold-start (or continue) until quiescence; returns this segment's
   /// stats.
   bgp::RunStats run();
 
-  /// A session driven by the asynchronous event engine instead of
-  /// synchronous stages: the Sect. 5 bounds are stated for the stage
-  /// model, but correctness must not depend on lockstep synchrony.
-  static Session async(const graph::Graph& g, Protocol protocol,
-                       const bgp::AsyncEngine::Config& config,
-                       bgp::UpdatePolicy policy =
-                           bgp::UpdatePolicy::kIncremental);
-
   bgp::Network& network() { return *network_; }
   const bgp::Network& network() const { return *network_; }
-  bool is_async() const { return async_engine_ != nullptr; }
-  /// The stage engine. Precondition: !is_async().
-  bgp::SyncEngine& engine();
-  const bgp::RunStats& total_stats() const;
+  bgp::Engine& engine() { return *engine_; }
+  const bgp::Engine& engine() const { return *engine_; }
+  const bgp::RunStats& total_stats() const { return engine_->stats(); }
 
   const PricingAgent& agent(NodeId v) const;
   PricingAgent& agent(NodeId v);
@@ -93,12 +96,17 @@ class Session {
   bgp::RunStats add_link(NodeId u, NodeId v, RestartPolicy policy);
   bgp::RunStats remove_link(NodeId u, NodeId v, RestartPolicy policy);
 
+  /// What fail_node did: the reconvergence stats plus the torn-down links
+  /// (hand them to restore_node to re-attach the AS later).
+  struct NodeFailure {
+    bgp::RunStats stats;
+    std::vector<std::pair<NodeId, NodeId>> links;
+  };
+
   /// Whole-AS failure: tears down every adjacency of v at once (the AS
   /// disappears from the topology; its prefix becomes unreachable), then
-  /// reconverges. Returns the failed links for a later restore.
-  std::vector<std::pair<NodeId, NodeId>> fail_node(NodeId v,
-                                                   RestartPolicy policy,
-                                                   bgp::RunStats* stats);
+  /// reconverges.
+  NodeFailure fail_node(NodeId v, RestartPolicy policy);
 
   /// Re-attaches a previously failed AS via the given links.
   bgp::RunStats restore_node(
@@ -109,8 +117,7 @@ class Session {
   bgp::RunStats reconverge(RestartPolicy policy);
 
   std::unique_ptr<bgp::Network> network_;
-  std::unique_ptr<bgp::SyncEngine> engine_;        // exactly one engine is set
-  std::unique_ptr<bgp::AsyncEngine> async_engine_;
+  std::unique_ptr<bgp::Engine> engine_;
   /// Set for the standard constructors; used to reject the kIncremental
   /// restart policy for the price-vector protocol, whose values are only
   /// correct relative to the (restarted) route state. Unknown for custom

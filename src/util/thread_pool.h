@@ -9,7 +9,7 @@
 //     is identical from run to run. Callers that write only to slot i from
 //     fn(i) get bit-identical results at every width, including width 1.
 //  2. Reuse. Workers are spawned once and parked on a condition variable
-//     between jobs. The SyncEngine previously paid a spawn+join per stage
+//     between jobs. The stage engine previously paid a spawn+join per stage
 //     (~2n stages on a ring); a pool turns that into one wake per stage.
 //  3. Simplicity. One job at a time, submitted and awaited by one owner
 //     thread. The owner participates as worker 0, so `threads` is the total

@@ -60,7 +60,7 @@ TEST(Adoption, MixedNetworkRoutingUnaffected) {
       pricing::random_participants(g.node_count(), g.node_count() / 3, rng);
   bgp::Network net(g, pricing::make_mixed_factory(
                           participates, bgp::UpdatePolicy::kIncremental));
-  bgp::SyncEngine engine(net);
+  bgp::Engine engine(net);
   ASSERT_TRUE(engine.run().converged);
   const routing::AllPairsRoutes routes(g);
   for (NodeId i = 0; i < g.node_count(); ++i) {

@@ -14,7 +14,7 @@ namespace {
 
 using bgp::Network;
 using bgp::PlainBgpAgent;
-using bgp::SyncEngine;
+using bgp::Engine;
 using bgp::UpdatePolicy;
 
 bgp::AgentFactory plain_factory(UpdatePolicy policy) {
@@ -42,7 +42,7 @@ void expect_routes_match(Network& net, const graph::Graph& g) {
 TEST(PlainBgp, Fig1ConvergesToLcps) {
   const auto f = graphgen::fig1();
   Network net(f.g, plain_factory(UpdatePolicy::kIncremental));
-  SyncEngine engine(net);
+  Engine engine(net);
   const auto stats = engine.run();
   EXPECT_TRUE(stats.converged);
   expect_routes_match(net, f.g);
@@ -54,7 +54,7 @@ class PlainBgpFamilies : public ::testing::TestWithParam<test::InstanceSpec> {
 TEST_P(PlainBgpFamilies, ConvergesToCentralizedRoutes) {
   const auto g = test::make_instance(GetParam());
   Network net(g, plain_factory(UpdatePolicy::kIncremental));
-  SyncEngine engine(net);
+  Engine engine(net);
   const auto stats = engine.run();
   EXPECT_TRUE(stats.converged);
   expect_routes_match(net, g);
@@ -64,7 +64,7 @@ TEST_P(PlainBgpFamilies, RouteConvergenceWithinDStages) {
   const auto g = test::make_instance(GetParam());
   const routing::AllPairsRoutes routes(g);
   Network net(g, plain_factory(UpdatePolicy::kIncremental));
-  SyncEngine engine(net);
+  Engine engine(net);
   const auto stats = engine.run();
   // Sect. 5: "BGP converges within d stages of computation". Routes stop
   // changing once every LCP has propagated; allow one extra stage for the
@@ -78,7 +78,7 @@ INSTANTIATE_TEST_SUITE_P(AllFamilies, PlainBgpFamilies,
 TEST(PlainBgp, FullTableModeAlsoConverges) {
   const auto g = test::make_instance({"er", 20, 7, 6});
   Network net(g, plain_factory(UpdatePolicy::kFullTable));
-  SyncEngine engine(net);
+  Engine engine(net);
   EXPECT_TRUE(engine.run().converged);
   expect_routes_match(net, g);
 }
@@ -87,7 +87,7 @@ TEST(PlainBgp, FullTableSendsMoreWords) {
   const auto g = test::make_instance({"ba", 24, 8, 6});
   Network inc_net(g, plain_factory(UpdatePolicy::kIncremental));
   Network full_net(g, plain_factory(UpdatePolicy::kFullTable));
-  SyncEngine inc(inc_net), full(full_net);
+  Engine inc(inc_net), full(full_net);
   const auto inc_stats = inc.run();
   const auto full_stats = full.run();
   EXPECT_GT(full_stats.traffic.total_words(), inc_stats.traffic.total_words());
@@ -96,7 +96,7 @@ TEST(PlainBgp, FullTableSendsMoreWords) {
 TEST(PlainBgp, QuiescentAfterConvergence) {
   const auto g = test::make_instance({"ring", 9, 9, 4});
   Network net(g, plain_factory(UpdatePolicy::kIncremental));
-  SyncEngine engine(net);
+  Engine engine(net);
   engine.run();
   const auto before = engine.stats().messages;
   const auto again = engine.run();  // nothing should happen
@@ -107,7 +107,7 @@ TEST(PlainBgp, QuiescentAfterConvergence) {
 TEST(PlainBgp, MessageCountsPositive) {
   const auto g = test::make_instance({"er", 16, 10, 5});
   Network net(g, plain_factory(UpdatePolicy::kIncremental));
-  SyncEngine engine(net);
+  Engine engine(net);
   const auto stats = engine.run();
   EXPECT_GT(stats.messages, 0u);
   EXPECT_GT(stats.traffic.entries, 0u);
@@ -119,7 +119,7 @@ TEST(PlainBgp, MessageCountsPositive) {
 TEST(PlainBgp, StateSizeReasonable) {
   const auto g = test::make_instance({"er", 20, 11, 5});
   Network net(g, plain_factory(UpdatePolicy::kIncremental));
-  SyncEngine engine(net);
+  Engine engine(net);
   engine.run();
   const auto state = net.total_state();
   // Every node holds a selected route (>= 2 path words) per destination.
@@ -133,7 +133,7 @@ TEST(PlainBgp, StateSizeReasonable) {
 TEST(PlainBgpDynamics, LinkFailureReroutes) {
   const auto f = graphgen::fig1();
   Network net(f.g, plain_factory(UpdatePolicy::kIncremental));
-  SyncEngine engine(net);
+  Engine engine(net);
   engine.run();
   // Kill the D-Z link: X must fall back to XAZ (cost 5).
   net.remove_link(f.d, f.z);
@@ -150,7 +150,7 @@ TEST(PlainBgpDynamics, LinkAdditionImproves) {
   auto g = graphgen::ring_graph(8);
   graphgen::assign_uniform_cost(g, Cost{3});
   Network net(g, plain_factory(UpdatePolicy::kIncremental));
-  SyncEngine engine(net);
+  Engine engine(net);
   engine.run();
   net.add_link(0, 4);  // shortcut across the ring
   EXPECT_TRUE(engine.run().converged);
@@ -162,7 +162,7 @@ TEST(PlainBgpDynamics, LinkAdditionImproves) {
 TEST(PlainBgpDynamics, CostChangePropagates) {
   const auto f = graphgen::fig1();
   Network net(f.g, plain_factory(UpdatePolicy::kIncremental));
-  SyncEngine engine(net);
+  Engine engine(net);
   engine.run();
   // Make D expensive: X's best route to Z becomes XAZ.
   net.change_cost(f.d, Cost{50});
@@ -179,7 +179,7 @@ TEST(PlainBgpDynamics, PartitionWithdrawsRoutes) {
   g.add_edge(1, 2);
   g.add_edge(2, 3);
   Network net(g, plain_factory(UpdatePolicy::kIncremental));
-  SyncEngine engine(net);
+  Engine engine(net);
   engine.run();
   const auto& agent0 = static_cast<const PlainBgpAgent&>(net.agent(0));
   ASSERT_TRUE(agent0.selected(3).valid());
@@ -202,7 +202,7 @@ TEST(HopCountBgp, PrefersFewerHopsOverCheaperPath) {
   g.add_edge(4, 3);
   g.set_cost(1, Cost{9});
   Network net(g, bgp::make_hop_count_factory(UpdatePolicy::kIncremental));
-  SyncEngine engine(net);
+  Engine engine(net);
   ASSERT_TRUE(engine.run().converged);
   const auto& agent0 = static_cast<const PlainBgpAgent&>(net.agent(0));
   EXPECT_EQ(agent0.selected(3).path, (graph::Path{0, 1, 3}));
@@ -212,7 +212,7 @@ TEST(HopCountBgp, PrefersFewerHopsOverCheaperPath) {
 TEST(HopCountBgp, MatchesBfsDistances) {
   const auto g = test::make_instance({"ba", 20, 15, 9});
   Network net(g, bgp::make_hop_count_factory(UpdatePolicy::kIncremental));
-  SyncEngine engine(net);
+  Engine engine(net);
   ASSERT_TRUE(engine.run().converged);
   // Selected hop counts equal unweighted BFS distances.
   for (NodeId j = 0; j < g.node_count(); ++j) {
@@ -241,26 +241,26 @@ TEST(HopCountBgp, MatchesBfsDistances) {
 TEST(AsyncBgp, ConvergesToCentralizedRoutes) {
   const auto g = test::make_instance({"ba", 20, 12, 7});
   Network net(g, plain_factory(UpdatePolicy::kIncremental));
-  bgp::AsyncEngine::Config config;
-  config.seed = 99;
-  bgp::AsyncEngine engine(net, config);
+  bgp::ChannelConfig channel;
+  channel.seed = 99;
+  Engine engine(net, bgp::EngineConfig::event(channel));
   const auto stats = engine.run();
   EXPECT_TRUE(stats.converged);
   expect_routes_match(net, g);
-  EXPECT_GT(stats.async_end_time, 0.0);
+  EXPECT_GT(stats.end_time, 0.0);
 }
 
 TEST(AsyncBgp, MraiReducesMessages) {
   const auto g = test::make_instance({"er", 24, 13, 6});
   Network raw_net(g, plain_factory(UpdatePolicy::kIncremental));
   Network mrai_net(g, plain_factory(UpdatePolicy::kIncremental));
-  bgp::AsyncEngine::Config raw_config;
-  raw_config.seed = 5;
-  bgp::AsyncEngine raw(raw_net, raw_config);
-  bgp::AsyncEngine::Config mrai_config;
-  mrai_config.seed = 5;
-  mrai_config.mrai = 2.0;
-  bgp::AsyncEngine mrai(mrai_net, mrai_config);
+  bgp::ChannelConfig raw_channel;
+  raw_channel.seed = 5;
+  Engine raw(raw_net, bgp::EngineConfig::event(raw_channel));
+  bgp::ChannelConfig mrai_channel;
+  mrai_channel.seed = 5;
+  mrai_channel.mrai = 2.0;
+  Engine mrai(mrai_net, bgp::EngineConfig::event(mrai_channel));
   const auto raw_stats = raw.run();
   const auto mrai_stats = mrai.run();
   ASSERT_TRUE(raw_stats.converged);
@@ -273,9 +273,9 @@ TEST(AsyncBgp, DeterministicGivenSeed) {
   const auto g = test::make_instance({"er", 16, 14, 5});
   auto run_once = [&g]() {
     Network net(g, plain_factory(UpdatePolicy::kIncremental));
-    bgp::AsyncEngine::Config config;
-    config.seed = 7;
-    bgp::AsyncEngine engine(net, config);
+    bgp::ChannelConfig channel;
+    channel.seed = 7;
+    Engine engine(net, bgp::EngineConfig::event(channel));
     return engine.run().messages;
   };
   EXPECT_EQ(run_once(), run_once());

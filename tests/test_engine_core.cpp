@@ -1,0 +1,376 @@
+// The unified engine core: the event scheduler must be seed-reproducible
+// bit for bit, carry every kernel capability the stage scheduler has
+// (trace, threads, shared exports), and — the point of the exercise —
+// still converge to the exact VCG prices when the channel model injects
+// loss, link flaps, and partitions. The paper's correctness argument is
+// monotone convergence, not synchrony, and these tests hold it to that.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bgp/engine.h"
+#include "bgp/trace.h"
+#include "common.h"
+#include "mechanism/vcg.h"
+#include "pricing/session.h"
+#include "pricing/verify.h"
+
+namespace fpss {
+namespace {
+
+using bgp::ChannelConfig;
+using bgp::EngineConfig;
+using mechanism::VcgMechanism;
+using pricing::Protocol;
+using pricing::Session;
+
+/// Everything observable from a run: stats plus all routes and prices.
+std::string fingerprint(Session& session, const bgp::RunStats& stats) {
+  std::ostringstream out;
+  out << "messages=" << stats.messages
+      << " words=" << stats.traffic.total_words()
+      << " lost=" << stats.lost_messages << " end=" << stats.end_time
+      << " route_t=" << stats.last_route_change_time
+      << " value_t=" << stats.last_value_change_time
+      << " max_link=" << stats.max_link_messages
+      << " converged=" << stats.converged << "\n";
+  const std::size_t n = session.network().node_count();
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const bgp::SelectedRoute& route = session.route(i, j);
+      out << i << "->" << j << ":";
+      for (NodeId v : route.path) out << " " << v;
+      for (std::size_t t = 1; t + 1 < route.path.size(); ++t)
+        out << " p[" << route.path[t]
+            << "]=" << session.price(route.path[t], i, j).to_string();
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+void expect_exact(const Session& session, const graph::Graph& truth,
+                  const std::string& when) {
+  const VcgMechanism mech(truth);
+  const auto result = pricing::verify_against_centralized(session, mech);
+  EXPECT_TRUE(result.ok) << when << ": " << result.first_diff;
+}
+
+// ---------------------------------------------------------------------------
+// Seed reproducibility
+// ---------------------------------------------------------------------------
+
+TEST(EventScheduler, SameSeedBitIdenticalRuns) {
+  const auto g = test::make_instance({"ba", 24, 301, 9});
+  ChannelConfig channel;
+  channel.seed = 42;
+  channel.mrai = 1.0;
+  channel.loss = 0.15;
+  auto run_once = [&]() {
+    Session session(g, Protocol::kPriceVector, EngineConfig::event(channel));
+    const auto stats = session.run();
+    EXPECT_TRUE(stats.converged);
+    EXPECT_GT(stats.lost_messages, 0u);  // the loss path really ran
+    return fingerprint(session, stats);
+  };
+  const std::string first = run_once();
+  EXPECT_EQ(first, run_once());
+}
+
+TEST(EventScheduler, DifferentSeedsStillExactSamePrices) {
+  const auto g = test::make_instance({"er", 20, 302, 8});
+  for (const std::uint64_t seed : {1ull, 7ull, 1234567ull}) {
+    ChannelConfig channel;
+    channel.seed = seed;
+    Session session(g, Protocol::kPriceVector, EngineConfig::event(channel));
+    ASSERT_TRUE(session.run().converged);
+    expect_exact(session, g, "seed " + std::to_string(seed));
+  }
+}
+
+TEST(EventScheduler, ThreadCountDoesNotChangeResults) {
+  // The pool only accelerates the initial compute wave; delays, loss draws
+  // and sequence numbers are all assigned in the serial flood phase, so the
+  // run is bit-identical at any width.
+  const auto g = test::make_instance({"tiered", 32, 303, 7});
+  ChannelConfig channel;
+  channel.seed = 9;
+  channel.loss = 0.1;
+  auto run_width = [&](unsigned threads) {
+    EngineConfig config = EngineConfig::event(channel);
+    config.threads = threads;
+    Session session(g, Protocol::kPriceVector, config);
+    const auto stats = session.run();
+    EXPECT_TRUE(stats.converged);
+    return fingerprint(session, stats);
+  };
+  const std::string serial = run_width(1);
+  EXPECT_EQ(serial, run_width(4));
+  EXPECT_EQ(serial, run_width(8));
+}
+
+// ---------------------------------------------------------------------------
+// Channel models
+// ---------------------------------------------------------------------------
+
+TEST(ChannelModel, HeavyTailedDelaysStillExact) {
+  const auto g = test::make_instance({"ba", 18, 304, 6});
+  ChannelConfig channel;
+  channel.delay = ChannelConfig::Delay::kPareto;
+  channel.max_delay = 50.0;
+  channel.pareto_alpha = 1.3;
+  channel.seed = 17;
+  Session session(g, Protocol::kAvoidanceVector, EngineConfig::event(channel));
+  ASSERT_TRUE(session.run().converged);
+  expect_exact(session, g, "pareto delays");
+}
+
+TEST(ChannelModel, MraiBatchingWithLossStillExact) {
+  const auto g = test::make_instance({"grid", 16, 305, 5});
+  ChannelConfig channel;
+  channel.mrai = 2.5;
+  channel.loss = 0.2;
+  channel.seed = 23;
+  Session session(g, Protocol::kPriceVector, EngineConfig::event(channel));
+  const auto stats = session.run();
+  ASSERT_TRUE(stats.converged);
+  EXPECT_GT(stats.lost_messages, 0u);
+  expect_exact(session, g, "mrai + loss");
+}
+
+TEST(ChannelModel, LossRetransmissionsAreCounted) {
+  const auto g = test::make_instance({"er", 16, 306, 7});
+  auto messages_at = [&](double loss) {
+    ChannelConfig channel;
+    channel.loss = loss;
+    channel.seed = 3;
+    Session session(g, Protocol::kPriceVector, EngineConfig::event(channel));
+    const auto stats = session.run();
+    EXPECT_TRUE(stats.converged);
+    return stats;
+  };
+  const auto clean = messages_at(0.0);
+  const auto lossy = messages_at(0.3);
+  EXPECT_EQ(clean.lost_messages, 0u);
+  EXPECT_GT(lossy.lost_messages, 0u);
+  // Eventual delivery: loss slows the run down but never forfeits it.
+  EXPECT_GT(lossy.end_time, clean.end_time);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: the acceptance gauntlet
+// ---------------------------------------------------------------------------
+
+// 10% i.i.d. loss plus one mid-convergence link flap, on all four topology
+// families: after the link heals the run must settle on the exact VCG
+// prices of the original graph. This is the refactor's reason to exist —
+// correctness under realistic churn, not just the lockstep proof model.
+TEST(FaultInjection, LossPlusLinkFlapExactOnAllFamilies) {
+  for (const std::string family : {"tiered", "ba", "er", "ring"}) {
+    const auto g = test::make_instance({family.c_str(), 24, 307, 8});
+    const auto [u, v] = g.edges().front();
+    ChannelConfig channel;
+    channel.loss = 0.1;
+    channel.seed = 71;
+    channel.flaps.push_back({u, v, /*down_time=*/2.0, /*up_time=*/8.0});
+    Session session(g, Protocol::kPriceVector, EngineConfig::event(channel));
+    const auto stats = session.run();
+    ASSERT_TRUE(stats.converged) << family;
+    EXPECT_GT(stats.lost_messages, 0u) << family;
+    expect_exact(session, g, family + " after loss + flap");
+  }
+}
+
+TEST(FaultInjection, TemporaryPartitionHealsExactly) {
+  const auto g = test::make_instance({"er", 20, 308, 6});
+  bgp::PartitionEvent part;
+  // Cut off a third of the network mid-convergence, heal it later.
+  for (NodeId x = 0; x < g.node_count() / 3; ++x) part.group.push_back(x);
+  part.down_time = 3.0;
+  part.up_time = 12.0;
+  ChannelConfig channel;
+  channel.seed = 5;
+  channel.partitions.push_back(part);
+  Session session(g, Protocol::kPriceVector, EngineConfig::event(channel));
+  const auto stats = session.run();
+  ASSERT_TRUE(stats.converged);
+  expect_exact(session, g, "after partition heal");
+}
+
+TEST(FaultInjection, PermanentLinkCutRoutesExactPricesAfterBarrier) {
+  // A flap with no up_time is a permanent failure — a *worsening* event.
+  // Routes reconverge exactly on their own, but price-vector values only
+  // move downward, so prices for surviving routes can be stuck below the
+  // new (higher) truth; per the paper's Sect. 6 semantics the price
+  // computation must restart once the routes have settled. The restart
+  // barrier recovers exactness.
+  const auto g = test::make_instance({"er", 18, 309, 7});
+  // Pick a link whose removal keeps the graph biconnected so prices stay
+  // defined everywhere.
+  for (const auto& [u, v] : g.edges()) {
+    graph::Graph probe = g;
+    probe.remove_edge(u, v);
+    if (!graph::is_biconnected(probe)) continue;
+    ChannelConfig channel;
+    channel.seed = 13;
+    channel.flaps.push_back({u, v, /*down_time=*/2.0, /*up_time=*/0.0});
+    Session session(g, Protocol::kPriceVector, EngineConfig::event(channel));
+    ASSERT_TRUE(session.run().converged);
+    const VcgMechanism mech(probe);
+    for (NodeId i = 0; i < probe.node_count(); ++i)
+      for (NodeId j = 0; j < probe.node_count(); ++j) {
+        if (i == j) continue;
+        ASSERT_EQ(session.route(i, j).path, mech.routes().path(i, j))
+            << "route " << i << "->" << j << " after permanent cut";
+      }
+    // Restart barrier: price state refills on the settled routes.
+    for (NodeId x = 0; x < probe.node_count(); ++x)
+      session.agent(x).restart_values();
+    ASSERT_TRUE(session.run().converged);
+    expect_exact(session, probe, "after permanent cut + barrier");
+    return;
+  }
+  GTEST_SKIP() << "no removable link keeps the instance biconnected";
+}
+
+// ---------------------------------------------------------------------------
+// Trace under the event scheduler
+// ---------------------------------------------------------------------------
+
+/// Records every callback with its tick so ordering can be asserted.
+class RecordingTrace : public bgp::TraceSink {
+ public:
+  struct Entry {
+    char kind;  // 'm'essage, 'r'oute, 'v'alue, 'd'rop, 'l'ink, 'q'uiescent
+    Stage tick;
+  };
+
+  void on_message(Stage s, NodeId, NodeId, const bgp::MessageSize&) override {
+    entries.push_back({'m', s});
+  }
+  void on_route_change(Stage s, NodeId) override {
+    entries.push_back({'r', s});
+  }
+  void on_value_change(Stage s, NodeId) override {
+    entries.push_back({'v', s});
+  }
+  void on_drop(Stage s, NodeId, NodeId) override {
+    entries.push_back({'d', s});
+  }
+  void on_link_event(Stage s, NodeId, NodeId, bool) override {
+    entries.push_back({'l', s});
+  }
+  void on_quiescent(Stage s) override { entries.push_back({'q', s}); }
+
+  std::vector<Entry> entries;
+};
+
+TEST(EventTrace, CallbacksFireInTickOrder) {
+  const auto g = test::make_instance({"ba", 16, 310, 6});
+  const auto [u, v] = g.edges().front();
+  ChannelConfig channel;
+  channel.seed = 29;
+  channel.loss = 0.2;
+  channel.flaps.push_back({u, v, /*down_time=*/1.5, /*up_time=*/5.0});
+  Session session(g, Protocol::kPriceVector, EngineConfig::event(channel));
+  RecordingTrace trace;
+  session.engine().set_trace(&trace);
+  const auto stats = session.run();
+  session.engine().set_trace(nullptr);
+  ASSERT_TRUE(stats.converged);
+
+  std::size_t messages = 0, drops = 0, links = 0, quiescents = 0;
+  Stage last_tick = 0;
+  for (const auto& entry : trace.entries) {
+    EXPECT_GE(entry.tick, last_tick) << "trace ticks must be monotone";
+    last_tick = entry.tick;
+    messages += entry.kind == 'm';
+    drops += entry.kind == 'd';
+    links += entry.kind == 'l';
+    quiescents += entry.kind == 'q';
+  }
+  EXPECT_EQ(messages, stats.messages);
+  EXPECT_GT(drops, 0u);       // loss and/or flap killed something
+  EXPECT_EQ(links, 2u);       // one down + one up
+  EXPECT_EQ(quiescents, 1u);  // fired exactly once, at the end
+  EXPECT_EQ(trace.entries.back().kind, 'q');
+}
+
+TEST(EventTrace, SinkIdenticalAcrossIdenticalRuns) {
+  const auto g = test::make_instance({"er", 14, 311, 5});
+  auto record = [&]() {
+    ChannelConfig channel;
+    channel.seed = 31;
+    channel.loss = 0.1;
+    Session session(g, Protocol::kAvoidanceVector,
+                    EngineConfig::event(channel));
+    RecordingTrace trace;
+    session.engine().set_trace(&trace);
+    EXPECT_TRUE(session.run().converged);
+    session.engine().set_trace(nullptr);
+    std::ostringstream out;
+    for (const auto& entry : trace.entries)
+      out << entry.kind << entry.tick << ";";
+    return out.str();
+  };
+  EXPECT_EQ(record(), record());
+}
+
+// ---------------------------------------------------------------------------
+// The unified clock
+// ---------------------------------------------------------------------------
+
+TEST(UnifiedClock, StageSchedulerMirrorsStagesIntoTimeFields) {
+  const auto g = test::make_instance({"ba", 16, 312, 6});
+  Session session(g, Protocol::kPriceVector);
+  const auto stats = session.run();
+  ASSERT_TRUE(stats.converged);
+  EXPECT_EQ(session.engine().stats().end_time,
+            static_cast<double>(session.engine().stats().stages));
+  EXPECT_EQ(session.engine().stats().last_route_change_time,
+            static_cast<double>(session.engine().stats().last_route_change_stage));
+  EXPECT_EQ(session.engine().stats().last_value_change_time,
+            static_cast<double>(session.engine().stats().last_value_change_stage));
+  EXPECT_EQ(session.engine().now(), stats.end_time);
+}
+
+TEST(UnifiedClock, EventSchedulerReportsVirtualTime) {
+  const auto g = test::make_instance({"er", 14, 313, 6});
+  ChannelConfig channel;
+  channel.seed = 37;
+  Session session(g, Protocol::kPriceVector, EngineConfig::event(channel));
+  const auto stats = session.run();
+  ASSERT_TRUE(stats.converged);
+  EXPECT_EQ(stats.stages, 0u);  // no lockstep stages under kEvent
+  EXPECT_GT(stats.end_time, 0.0);
+  EXPECT_GE(stats.end_time, stats.last_value_change_time);
+  EXPECT_GE(stats.last_value_change_time, 0.0);
+  EXPECT_EQ(session.engine().now(), stats.end_time);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamics through the session, under the event scheduler
+// ---------------------------------------------------------------------------
+
+TEST(EventDynamics, FailAndRestoreNodeRoundTrips) {
+  const auto g = test::make_instance({"er", 16, 314, 7});
+  ChannelConfig channel;
+  channel.seed = 41;
+  Session session(g, Protocol::kPriceVector, EngineConfig::event(channel));
+  ASSERT_TRUE(session.run().converged);
+  const NodeId victim = 0;
+  const auto failure =
+      session.fail_node(victim, pricing::RestartPolicy::kRestartBarrier);
+  ASSERT_TRUE(failure.stats.converged);
+  EXPECT_EQ(failure.links.size(), g.degree(victim));
+  const auto stats =
+      session.restore_node(failure.links, pricing::RestartPolicy::kRestartBarrier);
+  ASSERT_TRUE(stats.converged);
+  expect_exact(session, g, "event-scheduled crash+restore");
+}
+
+}  // namespace
+}  // namespace fpss

@@ -38,11 +38,9 @@ TEST(NodeFailure, CrashPartitionsPrefixOnly) {
                            g.neighbors(victim).end()))
     after.remove_edge(victim, u);
 
-  bgp::RunStats stats;
-  const auto links =
-      session.fail_node(victim, RestartPolicy::kRestartBarrier, &stats);
-  ASSERT_TRUE(stats.converged);
-  EXPECT_EQ(links.size(), g.degree(victim));
+  const auto failure = session.fail_node(victim, RestartPolicy::kRestartBarrier);
+  ASSERT_TRUE(failure.stats.converged);
+  EXPECT_EQ(failure.links.size(), g.degree(victim));
 
   for (NodeId i = 0; i < g.node_count(); ++i) {
     if (i == victim) continue;
@@ -84,10 +82,9 @@ TEST(NodeFailure, CrashAndRestoreRoundTripsExactly) {
   }
   ASSERT_NE(victim, kInvalidNode);
 
-  const auto links =
-      session.fail_node(victim, RestartPolicy::kRestartBarrier, nullptr);
+  const auto failure = session.fail_node(victim, RestartPolicy::kRestartBarrier);
   const auto stats =
-      session.restore_node(links, RestartPolicy::kRestartBarrier);
+      session.restore_node(failure.links, RestartPolicy::kRestartBarrier);
   ASSERT_TRUE(stats.converged);
   expect_exact(session, g, "after crash+restore");
 }

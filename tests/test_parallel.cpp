@@ -1,4 +1,4 @@
-// Determinism of the performance layer: the threaded SyncEngine, the
+// Determinism of the performance layer: the threaded stage engine, the
 // parallel VcgMechanism construction, and the flat AvoidanceTable layout
 // must all be bit-identical to their serial / ground-truth counterparts.
 // The thread pool uses a fixed stride partition with no work stealing, so
@@ -59,7 +59,7 @@ TEST(ThreadPool, EmptyAndTinyCounts) {
 }
 
 // ---------------------------------------------------------------------------
-// Threaded SyncEngine == serial SyncEngine, across topology families
+// Threaded stage engine == serial stage engine, across topology families
 // ---------------------------------------------------------------------------
 
 graph::Graph family_graph(const std::string& family, std::size_t n,

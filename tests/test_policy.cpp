@@ -122,7 +122,7 @@ TEST(PolicyRouting, StableUnderReRun) {
   const auto rel = Relationships::from_tiered(tiered);
   bgp::Network net(tiered.g, policy::make_policy_factory(
                                  &rel, bgp::UpdatePolicy::kIncremental));
-  bgp::SyncEngine engine(net);
+  bgp::Engine engine(net);
   ASSERT_TRUE(engine.run().converged);
   const auto again = engine.run();
   EXPECT_EQ(again.stages, 0u);  // a Gao-Rexford stable state: nothing moves
@@ -177,7 +177,7 @@ TEST(PolicyRouting, StaysValleyFreeAfterLinkFailure) {
   const auto rel = Relationships::from_tiered(tiered);
   bgp::Network net(tiered.g, policy::make_policy_factory(
                                  &rel, bgp::UpdatePolicy::kIncremental));
-  bgp::SyncEngine engine(net);
+  bgp::Engine engine(net);
   ASSERT_TRUE(engine.run().converged);
 
   // Remove one stub uplink (stubs are multihomed, so routing survives).

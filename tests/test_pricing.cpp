@@ -279,10 +279,10 @@ class AsyncPricing : public ::testing::TestWithParam<AsyncCase> {};
 
 TEST_P(AsyncPricing, ExactWithoutSynchrony) {
   const auto g = test::make_instance(GetParam().spec);
-  bgp::AsyncEngine::Config config;
-  config.seed = GetParam().spec.seed * 31 + 7;
-  config.mrai = GetParam().mrai;
-  Session session = Session::async(g, GetParam().protocol, config);
+  bgp::ChannelConfig channel;
+  channel.seed = GetParam().spec.seed * 31 + 7;
+  channel.mrai = GetParam().mrai;
+  Session session(g, GetParam().protocol, bgp::EngineConfig::event(channel));
   const auto stats = session.run();
   ASSERT_TRUE(stats.converged);
   const VcgMechanism mech(g);
@@ -304,9 +304,9 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(AsyncPricingDynamics, EventThenBarrierExact) {
   const auto g = test::make_instance({"er", 14, 209, 6});
-  bgp::AsyncEngine::Config config;
-  config.seed = 11;
-  Session session = Session::async(g, Protocol::kPriceVector, config);
+  bgp::ChannelConfig channel;
+  channel.seed = 11;
+  Session session(g, Protocol::kPriceVector, bgp::EngineConfig::event(channel));
   ASSERT_TRUE(session.run().converged);
   const auto stats =
       session.change_cost(1, Cost{13}, RestartPolicy::kRestartBarrier);
@@ -329,7 +329,7 @@ TEST(ParallelEngine, BitIdenticalToSerial) {
   bgp::Network net(g, pricing::make_agent_factory(
                           Protocol::kPriceVector,
                           bgp::UpdatePolicy::kIncremental));
-  bgp::SyncEngine engine(net, /*threads=*/4);
+  bgp::Engine engine(net, /*threads=*/4);
   const auto parallel_stats = engine.run();
 
   EXPECT_EQ(parallel_stats.stages, serial_stats.stages);
@@ -354,7 +354,7 @@ TEST(ParallelEngine, ExactAgainstCentralized) {
   bgp::Network net(g, pricing::make_agent_factory(
                           Protocol::kPriceVector,
                           bgp::UpdatePolicy::kIncremental));
-  bgp::SyncEngine engine(net, /*threads=*/8);
+  bgp::Engine engine(net, /*threads=*/8);
   ASSERT_TRUE(engine.run().converged);
   const VcgMechanism mech(g);
   for (NodeId i = 0; i < g.node_count(); ++i) {
