@@ -135,8 +135,8 @@ int main(int argc, char** argv) {
     const auto seed = static_cast<std::uint64_t>(std::atoll(argv[4]));
     const graph::Graph g = generate(argv[2], n, seed);
     if (argc >= 6) {
-      if (!graph::save_graph(g, argv[5])) {
-        std::fprintf(stderr, "cannot write '%s'\n", argv[5]);
+      if (const auto saved = graph::save_graph(g, argv[5]); !saved.ok()) {
+        std::fprintf(stderr, "%s\n", saved.error.c_str());
         return 1;
       }
       std::printf("wrote %zu nodes / %zu links to %s\n", g.node_count(),

@@ -1,0 +1,162 @@
+// route_server: the serving layer under live load.
+//
+// Boots a RouteService on a tiered AS graph and demonstrates the full
+// lifecycle the ISSUE's acceptance bar asks for:
+//
+//   1. reader threads (4 by default) hammer price/cost/path/payment queries
+//      while the background updater applies topology churn and republishes
+//      — each reader validates every answer against the snapshot's own
+//      invariant (route cost == sum of transit node costs), so a torn read
+//      cannot go unnoticed;
+//   2. at least two full re-convergence cycles happen mid-flight;
+//   3. traffic charges accumulate into payment totals (Sect. 6.4);
+//   4. the final snapshot is saved to disk and reloaded bit-identically.
+//
+//   $ ./route_server [nodes] [readers] [cycles]
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graphgen/costs.h"
+#include "graphgen/random.h"
+#include "service/service.h"
+#include "service/snapshot.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fpss;
+
+graph::Graph make_network(std::size_t nodes) {
+  util::Rng rng(4202);
+  graphgen::TieredParams params;
+  params.core_count = nodes / 12 + 2;
+  params.mid_count = nodes / 4 + 2;
+  params.stub_count = nodes - params.core_count - params.mid_count;
+  graph::Graph g = graphgen::tiered_internet(params, rng);
+  graphgen::assign_degree_costs(g, 1, 9);
+  return g;
+}
+
+/// One reader: random queries against whatever epoch is current, checking
+/// the cross-array invariant that only holds inside one complete snapshot.
+void reader_loop(const service::RouteService& svc, std::uint64_t seed,
+                 const std::atomic<bool>& stop, std::atomic<std::uint64_t>& reads,
+                 std::atomic<std::uint64_t>& torn) {
+  util::Rng rng(seed);
+  const auto n = svc.node_count();
+  while (!stop.load(std::memory_order_relaxed)) {
+    const auto snap = svc.snapshot();
+    const NodeId i = static_cast<NodeId>(rng.below(n));
+    const NodeId j = static_cast<NodeId>(rng.below(n));
+    const Cost c = snap->cost(i, j);
+    if (c.is_infinite()) {
+      reads.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Within one snapshot the stored route's transit costs must sum to the
+    // stored route cost; across a torn pair of epochs they generally don't.
+    Cost::rep along = 0;
+    for (const NodeId k : snap->path(i, j))
+      if (k != i && k != j) along += snap->node_cost(k).value();
+    if (Cost{along} != c) torn.fetch_add(1, std::memory_order_relaxed);
+    reads.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fpss;
+
+  const std::size_t nodes =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 60;
+  const std::size_t readers =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4;
+  const std::size_t cycles =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 3;
+
+  const graph::Graph g = make_network(nodes);
+  service::RouteService svc(g);
+  std::printf("route_server: %zu nodes, %zu edges; serving snapshot v%llu\n",
+              g.node_count(), g.edge_count(),
+              static_cast<unsigned long long>(svc.version()));
+
+  // --- readers on, churn in the background -------------------------------
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> pool;
+  for (std::size_t r = 0; r < readers; ++r)
+    pool.emplace_back(reader_loop, std::cref(svc), 97 + r, std::cref(stop),
+                      std::ref(reads), std::ref(torn));
+
+  // Each cycle perturbs costs and forces a full re-convergence + publish
+  // while the readers stay hot.
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    const NodeId node = static_cast<NodeId>(1 + cycle % (nodes - 1));
+    svc.submit({service::RouteService::Delta::cost_change(
+                    node, Cost{static_cast<Cost::rep>(2 + cycle)}),
+                service::RouteService::Delta::cost_change(
+                    0, Cost{static_cast<Cost::rep>(1 + cycle % 3)})});
+    const auto version = svc.drain();
+    std::printf("cycle %zu: republished v%llu (%llu reads so far)\n",
+                cycle + 1, static_cast<unsigned long long>(version),
+                static_cast<unsigned long long>(
+                    reads.load(std::memory_order_relaxed)));
+  }
+
+  // --- traffic accounting -------------------------------------------------
+  const NodeId src = 0;
+  const NodeId dst = static_cast<NodeId>(nodes - 1);
+  svc.charge(src, dst, 1000);
+  svc.settle();
+  svc.submit(service::RouteService::Delta::republish());
+  svc.drain();
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : pool) t.join();
+
+  const auto total_reads = reads.load();
+  const auto torn_reads = torn.load();
+  std::printf("%zu readers: %llu reads, %llu torn\n", readers,
+              static_cast<unsigned long long>(total_reads),
+              static_cast<unsigned long long>(torn_reads));
+
+  Cost::rep collected = 0;
+  const auto snap = svc.snapshot();
+  for (NodeId k = 0; k < snap->node_count(); ++k)
+    collected += svc.payment(k);
+  std::printf("payments after 1000 packets %u -> %u: %lld collected\n", src,
+              dst, static_cast<long long>(collected));
+
+  // --- persistence --------------------------------------------------------
+  const std::string file = "route_server_snapshot.bin";
+  if (auto saved = service::save_snapshot(*snap, file); !saved.ok()) {
+    std::printf("save failed: %s\n", saved.error.c_str());
+    return 1;
+  }
+  const auto loaded = service::load_snapshot(file);
+  if (!loaded.ok()) {
+    std::printf("load failed: %s\n", loaded.error.c_str());
+    return 1;
+  }
+  const bool identical =
+      loaded.snapshot->checksum() == snap->checksum() &&
+      loaded.snapshot->version() == snap->version() &&
+      loaded.snapshot->self_check();
+  std::printf("snapshot v%llu saved + reloaded: checksum %016llx (%s)\n",
+              static_cast<unsigned long long>(snap->version()),
+              static_cast<unsigned long long>(snap->checksum()),
+              identical ? "bit-identical" : "MISMATCH");
+  std::remove(file.c_str());
+
+  std::printf("%s\n", svc.counters_table().to_text().c_str());
+
+  const bool ok = torn_reads == 0 && identical && total_reads > 0;
+  std::printf(ok ? "route_server: OK\n" : "route_server: FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -1,25 +1,31 @@
 #!/usr/bin/env bash
-# Records the scaling/parallelism perf baseline as BENCH_scaling.json so
-# future PRs have a trajectory to compare against.
+# Records the perf baselines so future PRs have a trajectory to compare
+# against:
 #
-# Runs bench_scaling (kernel microbenchmarks, threads x n protocol sweep)
-# and bench_parallel (parallel all-pairs VCG, pool dispatch overhead) in
-# JSON mode and merges the outputs, annotated with host context (cores,
-# compiler, commit). Usage:
+#   BENCH_scaling.json  — bench_scaling (kernel microbenchmarks, threads x n
+#                         protocol sweep) + bench_parallel (parallel
+#                         all-pairs VCG, pool dispatch overhead)
+#   BENCH_service.json  — bench_service (serving layer: snapshot export,
+#                         save/load, single/batched/concurrent queries,
+#                         publish cycle)
 #
-#   scripts/bench_baseline.sh [output.json]
+# Each output is the merged JSON of its binaries, annotated with host
+# context (cores, compiler, commit). Usage:
+#
+#   scripts/bench_baseline.sh [scaling-output.json] [service-output.json]
 #
 # Environment:
 #   BUILD_DIR       build tree holding the bench binaries (default: build)
-#   BENCH_FILTER    --benchmark_filter regex forwarded to both binaries
+#   BENCH_FILTER    --benchmark_filter regex forwarded to every binary
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
-OUT=${1:-BENCH_scaling.json}
+SCALING_OUT=${1:-BENCH_scaling.json}
+SERVICE_OUT=${2:-BENCH_service.json}
 FILTER=${BENCH_FILTER:-.}
 
-for bin in bench_scaling bench_parallel; do
+for bin in bench_scaling bench_parallel bench_service; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -29,7 +35,7 @@ done
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
-for bin in bench_scaling bench_parallel; do
+for bin in bench_scaling bench_parallel bench_service; do
   echo "== $bin" >&2
   "$BUILD_DIR/bench/$bin" \
     --benchmark_filter="$FILTER" \
@@ -38,12 +44,13 @@ for bin in bench_scaling bench_parallel; do
     --benchmark_counters_tabular=true >&2
 done
 
-python3 - "$tmpdir" "$OUT" <<'EOF'
+merge() { # merge <output.json> <binary>...
+  python3 - "$tmpdir" "$@" <<'EOF'
 import json, subprocess, sys
 
 tmpdir, out = sys.argv[1], sys.argv[2]
 merged = {"benchmarks": []}
-for name in ("bench_scaling", "bench_parallel"):
+for name in sys.argv[3:]:
     # A filter matching nothing in one binary leaves a 0-byte file
     # (google-benchmark still exits 0); skip it instead of dying.
     with open(f"{tmpdir}/{name}.json") as f:
@@ -66,3 +73,7 @@ with open(out, "w") as f:
     f.write("\n")
 print(f"wrote {out}: {len(merged['benchmarks'])} benchmark rows")
 EOF
+}
+
+merge "$SCALING_OUT" bench_scaling bench_parallel
+merge "$SERVICE_OUT" bench_service

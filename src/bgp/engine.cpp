@@ -696,9 +696,13 @@ Engine::Engine(Network& net, unsigned threads)
 
 Engine::~Engine() = default;
 
-RunStats Engine::run() { return scheduler_->run(config_.max_stages); }
+RunStats Engine::run() { return run(config_.max_stages); }
 
-RunStats Engine::run(Stage max_stages) { return scheduler_->run(max_stages); }
+RunStats Engine::run(Stage max_stages) {
+  const RunStats segment = scheduler_->run(max_stages);
+  if (segment.converged) ++converged_epochs_;
+  return segment;
+}
 
 double Engine::now() const { return scheduler_->now(); }
 

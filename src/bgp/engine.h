@@ -238,6 +238,11 @@ class Engine {
   /// All counters since construction.
   const RunStats& stats() const { return stats_; }
   Stage current_stage() const { return stats_.stages; }
+  /// Snapshot-export hook: how many run() segments have ended quiescent.
+  /// Monotone, bumped only at convergence, so a reader holding state
+  /// labelled with this value knows exactly which converged network it came
+  /// from — the service layer uses it as the published snapshot version.
+  std::uint64_t converged_epochs() const { return converged_epochs_; }
   /// Unified logical clock (== current_stage() under the stage scheduler).
   double now() const;
   SchedulerKind scheduler() const { return config_.scheduler; }
@@ -289,6 +294,7 @@ class Engine {
   Network& net_;
   EngineConfig config_;
   RunStats stats_;
+  std::uint64_t converged_epochs_ = 0;
   TraceSink* trace_ = nullptr;
   std::unique_ptr<util::ThreadPool> pool_;  ///< non-null iff threads > 1
   LinkLedger links_;

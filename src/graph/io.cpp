@@ -86,11 +86,13 @@ ParseResult from_text(const std::string& text) {
   return result;
 }
 
-bool save_graph(const Graph& g, const std::string& path) {
+SaveResult save_graph(const Graph& g, const std::string& path) {
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) return {"cannot open '" + path + "' for writing"};
   out << to_text(g);
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) return {"write to '" + path + "' failed"};
+  return {};
 }
 
 ParseResult load_graph(const std::string& path) {

@@ -31,8 +31,16 @@ struct ParseResult {
 /// Parses the v1 format. Never aborts on bad input.
 ParseResult from_text(const std::string& text);
 
-/// Convenience file wrappers (return false / !ok() on I/O failure).
-bool save_graph(const Graph& g, const std::string& path);
+/// Outcome of a save. Like ParseResult, I/O failure is an expected runtime
+/// condition and comes back with a reason, not a bare bool.
+struct SaveResult {
+  std::string error;  ///< "cannot open '/ro/x.graph' for writing"
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Convenience file wrappers (!ok() on I/O failure, with the reason).
+SaveResult save_graph(const Graph& g, const std::string& path);
 ParseResult load_graph(const std::string& path);
 
 }  // namespace fpss::graph

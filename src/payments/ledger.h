@@ -41,6 +41,11 @@ class Ledger {
   /// Lifetime amount settled to k.
   Cost::rep settled(NodeId k) const;
 
+  /// Whole-ledger copies (one entry per node), used by the service layer
+  /// to embed payment totals into an immutable RouteSnapshot.
+  std::vector<Cost::rep> owed_all() const { return owed_; }
+  std::vector<Cost::rep> settled_all() const { return settled_; }
+
   /// Flushes all running counters into the settled accounts (the periodic
   /// submission "to whatever accounting and charging mechanisms are used").
   void settle();

@@ -118,10 +118,14 @@ class Session {
 
   std::unique_ptr<bgp::Network> network_;
   std::unique_ptr<bgp::Engine> engine_;
-  /// Set for the standard constructors; used to reject the kIncremental
-  /// restart policy for the price-vector protocol, whose values are only
-  /// correct relative to the (restarted) route state. Unknown for custom
-  /// factories — then the caller takes responsibility.
+  /// Which agent algorithm the factory built. Since the engine unification
+  /// (PR 2) this no longer selects an engine — every session drives the
+  /// one bgp::Engine — it only lets reconverge() enforce the restart
+  /// barrier for the price-vector protocol, whose estimates are deltas
+  /// against the pre-event route state and so cannot survive an event
+  /// in place. Empty for the custom-factory constructors (the audit
+  /// experiments' deviant agents): reconverge() then accepts either
+  /// policy and the caller owns the soundness argument.
   std::optional<Protocol> protocol_;
 };
 

@@ -1,0 +1,244 @@
+#include "service/service.h"
+
+#include <chrono>
+
+#include "util/contract.h"
+
+namespace fpss::service {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+RouteService::RouteService(const graph::Graph& g, ServiceConfig config)
+    : node_count_(g.node_count()),
+      config_(config),
+      session_(g, config.protocol, config.engine, config.update_policy),
+      ledger_(g.node_count()) {
+  // Initial convergence happens on the constructing thread, before the
+  // updater exists — the service never serves a non-converged state.
+  const bgp::RunStats stats = session_.run();
+  FPSS_ASSERT(stats.converged);
+  publish_current();
+  updater_ = std::thread([this] { updater_loop(); });
+}
+
+RouteService::~RouteService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  updater_.join();
+}
+
+// --- updater ---------------------------------------------------------------
+
+void RouteService::updater_loop() {
+  for (;;) {
+    std::vector<Delta> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      updater_busy_ = false;
+      publish_cv_.notify_all();  // drain(): queue empty and nothing in flight
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_) return;  // shutdown discards unapplied deltas
+      batch.swap(queue_);
+      updater_busy_ = true;
+    }
+    for (const Delta& delta : batch) apply(delta);
+    deltas_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
+    publish_current();
+  }
+}
+
+void RouteService::apply(const Delta& delta) {
+  switch (delta.kind) {
+    case Delta::Kind::kCostChange:
+      session_.change_cost(delta.u, delta.cost, config_.restart);
+      break;
+    case Delta::Kind::kAddLink:
+      session_.add_link(delta.u, delta.v, config_.restart);
+      break;
+    case Delta::Kind::kRemoveLink:
+      session_.remove_link(delta.u, delta.v, config_.restart);
+      break;
+    case Delta::Kind::kRepublish:
+      break;
+  }
+}
+
+void RouteService::publish_current() {
+  FPSS_ASSERT(session_.engine().stats().converged);
+  std::shared_ptr<const RouteSnapshot> snap;
+  {
+    std::lock_guard<std::mutex> lock(ledger_mutex_);
+    snap = RouteSnapshot::from_session(
+        session_, session_.engine().converged_epochs(), &ledger_);
+  }
+  store_.publish(std::move(snap));
+  {
+    // Notify under the queue mutex so a waiter cannot check the publish
+    // count and block between our publish and our notify.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+  }
+  publish_cv_.notify_all();
+}
+
+// --- read side -------------------------------------------------------------
+
+std::vector<RouteService::Answer> RouteService::query(
+    std::span<const Query> batch) const {
+  const auto start = std::chrono::steady_clock::now();
+  const std::shared_ptr<const RouteSnapshot> snap = snapshot();
+  std::vector<Answer> answers;
+  answers.reserve(batch.size());
+  for (const Query& q : batch) {
+    Answer a;
+    a.version = snap->version();
+    switch (q.kind) {
+      case Query::Kind::kCost:
+        a.value = snap->cost(q.i, q.j);
+        break;
+      case Query::Kind::kPrice:
+        a.value = snap->price(q.k, q.i, q.j);
+        break;
+      case Query::Kind::kPairPayment:
+        a.value = snap->pair_payment(q.i, q.j);
+        break;
+      case Query::Kind::kNextHop:
+        a.node = snap->next_hop(q.i, q.j);
+        a.value = snap->cost(q.i, q.j);
+        break;
+      case Query::Kind::kPath:
+        a.path = snap->path(q.i, q.j);
+        a.value = snap->cost(q.i, q.j);
+        break;
+      case Query::Kind::kPayment:
+        a.amount = snap->payment_total(q.k);
+        a.value = Cost::zero();
+        break;
+    }
+    answers.push_back(std::move(a));
+  }
+  count_batch(batch.size(), elapsed_ns(start));
+  return answers;
+}
+
+Cost RouteService::price(NodeId k, NodeId i, NodeId j) const {
+  const auto start = std::chrono::steady_clock::now();
+  const Cost p = snapshot()->price(k, i, j);
+  count_batch(1, elapsed_ns(start));
+  return p;
+}
+
+Cost RouteService::cost(NodeId i, NodeId j) const {
+  const auto start = std::chrono::steady_clock::now();
+  const Cost c = snapshot()->cost(i, j);
+  count_batch(1, elapsed_ns(start));
+  return c;
+}
+
+graph::Path RouteService::path(NodeId i, NodeId j) const {
+  const auto start = std::chrono::steady_clock::now();
+  graph::Path p = snapshot()->path(i, j);
+  count_batch(1, elapsed_ns(start));
+  return p;
+}
+
+Cost::rep RouteService::payment(NodeId k) const {
+  const auto start = std::chrono::steady_clock::now();
+  const Cost::rep total = snapshot()->payment_total(k);
+  count_batch(1, elapsed_ns(start));
+  return total;
+}
+
+void RouteService::count_batch(std::uint64_t queries, std::uint64_t ns) const {
+  queries_.fetch_add(queries, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = max_batch_ns_.load(std::memory_order_relaxed);
+  while (ns > seen && !max_batch_ns_.compare_exchange_weak(
+                          seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+RouteService::Counters RouteService::counters() const {
+  Counters c;
+  c.queries = queries_.load(std::memory_order_relaxed);
+  c.batches = batches_.load(std::memory_order_relaxed);
+  c.total_ns = total_ns_.load(std::memory_order_relaxed);
+  c.max_batch_ns = max_batch_ns_.load(std::memory_order_relaxed);
+  c.publishes = store_.publish_count();
+  c.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
+  c.charges = charges_.load(std::memory_order_relaxed);
+  return c;
+}
+
+util::Table RouteService::counters_table() const {
+  const Counters c = counters();
+  util::Table t({"counter", "value"});
+  t.add("queries answered", c.queries);
+  t.add("query batches", c.batches);
+  t.add("mean batch latency (ns)",
+        c.batches == 0 ? 0 : c.total_ns / c.batches);
+  t.add("max batch latency (ns)", c.max_batch_ns);
+  t.add("snapshots published", c.publishes);
+  t.add("deltas applied", c.deltas_applied);
+  t.add("traffic charges recorded", c.charges);
+  return t;
+}
+
+// --- traffic accounting ----------------------------------------------------
+
+void RouteService::charge(NodeId i, NodeId j, std::uint64_t packets) {
+  const std::shared_ptr<const RouteSnapshot> snap = snapshot();
+  const graph::Path p = snap->path(i, j);
+  if (p.size() < 2) return;  // self-traffic or currently unreachable
+  // A monopoly transit node has an undefined (infinite) price; such a pair
+  // cannot be settled in exact arithmetic, so it is not charged.
+  if (snap->pair_payment(i, j).is_infinite()) return;
+  {
+    std::lock_guard<std::mutex> lock(ledger_mutex_);
+    ledger_.record_packets(p, snap->price_fn(), packets);
+  }
+  charges_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RouteService::settle() {
+  std::lock_guard<std::mutex> lock(ledger_mutex_);
+  ledger_.settle();
+}
+
+// --- update side -----------------------------------------------------------
+
+void RouteService::submit(Delta delta) { submit(std::vector<Delta>{delta}); }
+
+void RouteService::submit(const std::vector<Delta>& deltas) {
+  if (deltas.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.insert(queue_.end(), deltas.begin(), deltas.end());
+  }
+  queue_cv_.notify_one();
+}
+
+void RouteService::wait_for_publishes(std::uint64_t count) const {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  publish_cv_.wait(lock, [&] { return store_.publish_count() >= count; });
+}
+
+std::uint64_t RouteService::drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  publish_cv_.wait(lock, [&] { return queue_.empty() && !updater_busy_; });
+  return store_.version();
+}
+
+}  // namespace fpss::service

@@ -1,0 +1,216 @@
+// RouteService: the long-lived serving layer over the paper's outputs.
+//
+// The mechanism's product — LCP routes and per-packet prices p^k_ij
+// (Theorem 1) — is only useful to an operator if it can be *queried* under
+// load while the network keeps changing. RouteService owns one
+// pricing::Session plus a background updater thread and a SnapshotStore:
+//
+//   readers ──► SnapshotStore::current() ──► immutable RouteSnapshot
+//   updater ──► apply queued deltas ──► reconverge (restart barrier)
+//           ──► RouteSnapshot::from_session ──► SnapshotStore::publish
+//
+// Readers never wait on reconvergence: a query acquires the current
+// snapshot (a pointer copy) and serves entirely from flat arrays, so any
+// number of threads can call price()/path()/payment() while the updater is
+// mid-reconvergence. Staleness is the price: between a submitted delta and
+// its publish, readers see the previous converged state — never a partial
+// one (the paper's restart semantics make mid-convergence prices
+// meaningless, so serving the old epoch is the only sound choice).
+//
+// Traffic accounting (Sect. 6.4) rides along: charge() records per-packet
+// prices into a payments::Ledger at the snapshot's prices, and the totals
+// are embedded into the next published snapshot.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "payments/ledger.h"
+#include "pricing/session.h"
+#include "service/snapshot.h"
+#include "service/store.h"
+#include "util/table.h"
+
+namespace fpss::service {
+
+struct ServiceConfig {
+  pricing::Protocol protocol = pricing::Protocol::kPriceVector;
+  bgp::UpdatePolicy update_policy = bgp::UpdatePolicy::kIncremental;
+  /// Engine seams (scheduler, compute-phase threads, channel model) for
+  /// the owned session.
+  bgp::EngineConfig engine;
+  /// How reconvergence restarts price state. The default is the paper's
+  /// always-correct restart barrier; kIncremental is only sound for the
+  /// avoidance-vector protocol under improving events (see
+  /// pricing::RestartPolicy).
+  pricing::RestartPolicy restart = pricing::RestartPolicy::kRestartBarrier;
+};
+
+class RouteService {
+ public:
+  /// One topology/cost change, applied asynchronously by the updater.
+  struct Delta {
+    enum class Kind {
+      kCostChange,  ///< node u declares cost
+      kAddLink,     ///< link {u, v} comes up
+      kRemoveLink,  ///< link {u, v} goes down
+      kRepublish,   ///< no topology change; refresh payment totals
+    };
+    Kind kind = Kind::kRepublish;
+    NodeId u = kInvalidNode;
+    NodeId v = kInvalidNode;
+    Cost cost;
+
+    static Delta cost_change(NodeId node, Cost c) {
+      return {Kind::kCostChange, node, kInvalidNode, c};
+    }
+    static Delta add_link(NodeId a, NodeId b) {
+      return {Kind::kAddLink, a, b, Cost::zero()};
+    }
+    static Delta remove_link(NodeId a, NodeId b) {
+      return {Kind::kRemoveLink, a, b, Cost::zero()};
+    }
+    static Delta republish() { return {}; }
+  };
+
+  /// One element of a batched read.
+  struct Query {
+    enum class Kind {
+      kCost,         ///< c(i, j)                      -> value
+      kPrice,        ///< p^k_ij                       -> value
+      kPairPayment,  ///< sum_k p^k_ij                 -> value
+      kNextHop,      ///< i's next hop toward j        -> node
+      kPath,         ///< full selected path           -> path
+      kPayment,      ///< k's owed+settled totals      -> amount
+    };
+    Kind kind = Kind::kCost;
+    NodeId k = kInvalidNode;  ///< transit node (kPrice/kPayment)
+    NodeId i = kInvalidNode;
+    NodeId j = kInvalidNode;
+  };
+
+  struct Answer {
+    Cost value = Cost::infinity();  ///< kCost/kPrice/kPairPayment
+    Cost::rep amount = 0;           ///< kPayment
+    NodeId node = kInvalidNode;     ///< kNextHop
+    graph::Path path;               ///< kPath
+    std::uint64_t version = 0;      ///< snapshot that answered
+  };
+
+  /// Aggregate read-side counters (monotone; relaxed-atomic maintained).
+  struct Counters {
+    std::uint64_t queries = 0;   ///< individual query answers produced
+    std::uint64_t batches = 0;   ///< query()/single-read calls served
+    std::uint64_t total_ns = 0;  ///< wall time summed over batches
+    std::uint64_t max_batch_ns = 0;
+    std::uint64_t publishes = 0;
+    std::uint64_t deltas_applied = 0;
+    std::uint64_t charges = 0;  ///< charge() calls recorded
+  };
+
+  /// Converges the initial network on the calling thread, publishes
+  /// snapshot #1, then starts the background updater.
+  explicit RouteService(const graph::Graph& g, ServiceConfig config = {});
+  ~RouteService();
+
+  RouteService(const RouteService&) = delete;
+  RouteService& operator=(const RouteService&) = delete;
+
+  std::size_t node_count() const { return node_count_; }
+
+  // --- read side (any thread, wait-free vs. the updater) ------------------
+
+  /// The snapshot currently served. Hold it to answer any number of
+  /// queries against one consistent epoch.
+  std::shared_ptr<const RouteSnapshot> snapshot() const {
+    return store_.current();
+  }
+
+  /// Answers a batch against one snapshot acquire (all answers share a
+  /// version) and records batch latency into the counters.
+  std::vector<Answer> query(std::span<const Query> batch) const;
+
+  /// Single-read conveniences; each counts as a batch of one.
+  Cost price(NodeId k, NodeId i, NodeId j) const;
+  Cost cost(NodeId i, NodeId j) const;
+  graph::Path path(NodeId i, NodeId j) const;
+  Cost::rep payment(NodeId k) const;
+
+  Counters counters() const;
+  /// The counters as a stats-ready table (label/value rows), for the
+  /// bench/example reports.
+  util::Table counters_table() const;
+
+  // --- traffic accounting -------------------------------------------------
+
+  /// Records `packets` packets i -> j into the ledger at the served
+  /// snapshot's prices (Sect. 6.4 counter semantics). Totals reach readers
+  /// with the next publish (submit Delta::republish() to force one).
+  /// No-op when i cannot currently reach j.
+  void charge(NodeId i, NodeId j, std::uint64_t packets);
+
+  /// Flushes owed counters into settled accounts (periodic submission).
+  void settle();
+
+  // --- update side ---------------------------------------------------------
+
+  /// Enqueues deltas for the updater; returns immediately. All deltas
+  /// submitted in one call are applied before the resulting publish.
+  void submit(Delta delta);
+  void submit(const std::vector<Delta>& deltas);
+
+  std::uint64_t publish_count() const { return store_.publish_count(); }
+  /// Version of the currently served snapshot.
+  std::uint64_t version() const { return store_.version(); }
+
+  /// Blocks until at least `count` publishes have happened (use
+  /// publish_count() + 1 before a submit to await its effect).
+  void wait_for_publishes(std::uint64_t count) const;
+
+  /// Blocks until the delta queue is empty and everything submitted so far
+  /// has been published; returns the served version.
+  std::uint64_t drain();
+
+ private:
+  void updater_loop();
+  void apply(const Delta& delta);
+  /// Builds a snapshot from the (converged) session and publishes it.
+  void publish_current();
+  void count_batch(std::uint64_t queries, std::uint64_t ns) const;
+
+  std::size_t node_count_;
+  ServiceConfig config_;
+  /// Owned network/engine. Touched only by the constructor (initial
+  /// convergence, before the updater exists) and then by the updater
+  /// thread — never by readers.
+  pricing::Session session_;
+  SnapshotStore store_;
+
+  mutable std::mutex ledger_mutex_;
+  payments::Ledger ledger_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;   ///< wakes the updater
+  mutable std::condition_variable publish_cv_;  ///< wakes drain()/waiters
+  std::vector<Delta> queue_;
+  bool stop_ = false;
+  bool updater_busy_ = false;
+
+  // Read-side counters: relaxed atomics, written from any reader thread.
+  mutable std::atomic<std::uint64_t> queries_{0};
+  mutable std::atomic<std::uint64_t> batches_{0};
+  mutable std::atomic<std::uint64_t> total_ns_{0};
+  mutable std::atomic<std::uint64_t> max_batch_ns_{0};
+  std::atomic<std::uint64_t> deltas_applied_{0};
+  std::atomic<std::uint64_t> charges_{0};
+
+  std::thread updater_;  ///< last member: joined before state tears down
+};
+
+}  // namespace fpss::service

@@ -1,0 +1,377 @@
+#include "service/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "bgp/rib.h"
+#include "graph/graph.h"
+#include "pricing/session.h"
+#include "util/checksum.h"
+#include "util/contract.h"
+
+namespace fpss::service {
+
+namespace {
+
+// Costs are serialized and checksummed as int64: -1 encodes +infinity
+// (finite costs are non-negative by construction).
+constexpr std::int64_t kInfCost = -1;
+
+std::int64_t encode_cost(Cost c) {
+  return c.is_infinite() ? kInfCost : c.value();
+}
+
+}  // namespace
+
+std::shared_ptr<const RouteSnapshot> RouteSnapshot::from_session(
+    const pricing::Session& session, std::uint64_t version,
+    const payments::Ledger* ledger) {
+  FPSS_EXPECTS(session.engine().stats().converged);
+  const graph::Graph& g = session.network().topology();
+  const std::size_t n = g.node_count();
+
+  auto snap = std::shared_ptr<RouteSnapshot>(new RouteSnapshot);
+  snap->n_ = n;
+  snap->version_ = version;
+  snap->graph_version_ = g.version();
+  snap->node_cost_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) snap->node_cost_.push_back(g.cost(v));
+  snap->next_hop_.assign(n * n, kInvalidNode);
+  snap->cost_.assign(n * n, Cost::infinity());
+  snap->price_offset_.reserve(n * n + 1);
+  snap->price_offset_.push_back(0);
+
+  for (NodeId j = 0; j < n; ++j) {
+    for (NodeId i = 0; i < n; ++i) {
+      const std::size_t slot = snap->idx(i, j);
+      if (i == j) {
+        snap->cost_[slot] = Cost::zero();
+        snap->price_offset_.push_back(snap->transit_.size());
+        continue;
+      }
+      const bgp::SelectedRoute& route = session.route(i, j);
+      if (route.valid()) {
+        snap->cost_[slot] = route.cost;
+        snap->next_hop_[slot] = route.next_hop;
+        // The row holds the path intermediates in order; p^k_ij for each.
+        for (std::size_t h = 1; h + 1 < route.path.size(); ++h) {
+          const NodeId k = route.path[h];
+          snap->transit_.push_back(k);
+          snap->price_.push_back(session.price(k, i, j));
+        }
+      }
+      snap->price_offset_.push_back(snap->transit_.size());
+    }
+  }
+
+  if (ledger != nullptr) {
+    FPSS_EXPECTS(ledger->node_count() == n);
+    snap->owed_ = ledger->owed_all();
+    snap->settled_ = ledger->settled_all();
+  } else {
+    snap->owed_.assign(n, 0);
+    snap->settled_.assign(n, 0);
+  }
+  snap->checksum_ = snap->compute_checksum();
+  return snap;
+}
+
+graph::Path RouteSnapshot::path(NodeId i, NodeId j) const {
+  graph::Path p;
+  if (i == j) return {i};
+  if (!reachable(i, j)) return p;
+  const std::size_t slot = idx(i, j);
+  p.reserve(price_offset_[slot + 1] - price_offset_[slot] + 2);
+  p.push_back(i);
+  for (std::uint64_t e = price_offset_[slot]; e < price_offset_[slot + 1]; ++e)
+    p.push_back(transit_[e]);
+  p.push_back(j);
+  return p;
+}
+
+Cost RouteSnapshot::price(NodeId k, NodeId i, NodeId j) const {
+  if (i == j) return Cost::zero();
+  const std::size_t slot = idx(i, j);
+  for (std::uint64_t e = price_offset_[slot]; e < price_offset_[slot + 1]; ++e)
+    if (transit_[e] == k) return price_[e];
+  return Cost::zero();
+}
+
+Cost RouteSnapshot::pair_payment(NodeId i, NodeId j) const {
+  Cost total = Cost::zero();
+  if (i == j) return total;
+  const std::size_t slot = idx(i, j);
+  for (std::uint64_t e = price_offset_[slot]; e < price_offset_[slot + 1]; ++e)
+    total += price_[e];
+  return total;
+}
+
+payments::PriceFn RouteSnapshot::price_fn() const {
+  return [this](NodeId k, NodeId i, NodeId j) { return price(k, i, j); };
+}
+
+std::uint64_t RouteSnapshot::compute_checksum() const {
+  util::Fnv1a64 fnv;
+  fnv.u64(n_);
+  fnv.u64(version_);
+  fnv.u64(graph_version_);
+  fnv.u64(transit_.size());
+  for (Cost c : node_cost_) fnv.i64(encode_cost(c));
+  for (NodeId v : next_hop_) fnv.u32(v);
+  for (Cost c : cost_) fnv.i64(encode_cost(c));
+  for (std::uint64_t o : price_offset_) fnv.u64(o);
+  for (NodeId v : transit_) fnv.u32(v);
+  for (Cost c : price_) fnv.i64(encode_cost(c));
+  for (Cost::rep r : owed_) fnv.i64(r);
+  for (Cost::rep r : settled_) fnv.i64(r);
+  return fnv.digest();
+}
+
+bool RouteSnapshot::self_check() const {
+  if (checksum_ != compute_checksum()) return false;
+  if (node_cost_.size() != n_ || next_hop_.size() != n_ * n_ ||
+      cost_.size() != n_ * n_ || price_offset_.size() != n_ * n_ + 1 ||
+      transit_.size() != price_.size() || owed_.size() != n_ ||
+      settled_.size() != n_)
+    return false;
+  if (price_offset_.front() != 0 || price_offset_.back() != transit_.size())
+    return false;
+  for (NodeId j = 0; j < n_; ++j) {
+    for (NodeId i = 0; i < n_; ++i) {
+      const std::size_t slot = idx(i, j);
+      const std::uint64_t begin = price_offset_[slot];
+      const std::uint64_t end = price_offset_[slot + 1];
+      if (begin > end) return false;
+      if (i == j) {
+        if (begin != end || cost_[slot] != Cost::zero()) return false;
+        continue;
+      }
+      if (cost_[slot].is_infinite()) {
+        if (begin != end || next_hop_[slot] != kInvalidNode) return false;
+        continue;
+      }
+      // c(i,j) is by definition the sum of the declared costs of the path
+      // intermediates — the row must reproduce it, and the stored next hop
+      // must be the first node after i on that path.
+      Cost row_cost = Cost::zero();
+      for (std::uint64_t e = begin; e < end; ++e) {
+        if (transit_[e] >= n_) return false;
+        row_cost += node_cost_[transit_[e]];
+      }
+      if (row_cost != cost_[slot]) return false;
+      const NodeId hop = begin < end ? transit_[begin] : j;
+      if (next_hop_[slot] != hop) return false;
+    }
+  }
+  return true;
+}
+
+// --- binary persistence ----------------------------------------------------
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'P', 'S', 'S', 'S', 'N', 'P', '1'};
+constexpr std::uint64_t kFormatVersion = 1;
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+}
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  append_u64(out, static_cast<std::uint64_t>(v));
+}
+
+/// Sequential little-endian reader over the loaded payload; `fail` latches.
+struct Reader {
+  const std::string& data;
+  std::size_t pos = 0;
+  bool fail = false;
+
+  std::uint64_t u64() {
+    if (fail || data.size() - pos < 8) {
+      fail = true;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    pos += 8;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    if (fail || data.size() - pos < 4) {
+      fail = true;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    pos += 4;
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+};
+
+SnapshotLoadResult load_fail(std::string message) {
+  SnapshotLoadResult result;
+  result.error = std::move(message);
+  return result;
+}
+
+/// Decodes a serialized cost; sets fail on out-of-range finite values.
+Cost decode_cost(std::int64_t raw, bool& fail) {
+  if (raw == kInfCost) return Cost::infinity();
+  if (raw < 0 || raw > Cost::kMaxFinite) {
+    fail = true;
+    return Cost::infinity();
+  }
+  return Cost{raw};
+}
+
+}  // namespace
+
+// Friend of RouteSnapshot: turns the private arrays into the payload image
+// and back.
+struct SnapshotCodec {
+  static std::string payload(const RouteSnapshot& s) {
+    std::string out;
+    const std::size_t n = s.n_;
+    const std::size_t entries = s.transit_.size();
+    out.reserve(8 * (4 + n + n * n + n * n + 1 + entries + 2 * n) +
+                4 * (n * n + entries));
+    append_u64(out, n);
+    append_u64(out, s.version_);
+    append_u64(out, s.graph_version_);
+    append_u64(out, entries);
+    for (Cost c : s.node_cost_) append_i64(out, encode_cost(c));
+    for (NodeId v : s.next_hop_) append_u32(out, v);
+    for (Cost c : s.cost_) append_i64(out, encode_cost(c));
+    for (std::uint64_t o : s.price_offset_) append_u64(out, o);
+    for (NodeId v : s.transit_) append_u32(out, v);
+    for (Cost c : s.price_) append_i64(out, encode_cost(c));
+    for (Cost::rep r : s.owed_) append_i64(out, r);
+    for (Cost::rep r : s.settled_) append_i64(out, r);
+    return out;
+  }
+
+  static SnapshotLoadResult parse(const std::string& payload,
+                                  std::uint64_t stored_checksum) {
+    Reader in{payload};
+    auto snap = std::shared_ptr<RouteSnapshot>(new RouteSnapshot);
+    const std::uint64_t n64 = in.u64();
+    // A snapshot's flat arrays are n*n; cap n so the size math cannot
+    // overflow and a corrupted header cannot trigger a huge allocation.
+    if (n64 > (1u << 20)) return load_fail("implausible node count");
+    const std::size_t n = static_cast<std::size_t>(n64);
+    snap->n_ = n;
+    snap->version_ = in.u64();
+    snap->graph_version_ = in.u64();
+    const std::uint64_t entries = in.u64();
+    if (in.fail || entries > payload.size())
+      return load_fail("truncated payload");
+    // Exact payload arithmetic (see SnapshotCodec::payload) before any
+    // reserve(): a corrupted header must not trigger a giant allocation.
+    const std::uint64_t need =
+        40 + 24 * n64 + 20 * n64 * n64 + 12 * entries;
+    if (need != payload.size()) return load_fail("payload size mismatch");
+
+    bool bad_cost = false;
+    snap->node_cost_.reserve(n);
+    for (std::size_t v = 0; v < n; ++v)
+      snap->node_cost_.push_back(decode_cost(in.i64(), bad_cost));
+    snap->next_hop_.reserve(n * n);
+    for (std::size_t s = 0; s < n * n; ++s) snap->next_hop_.push_back(in.u32());
+    snap->cost_.reserve(n * n);
+    for (std::size_t s = 0; s < n * n; ++s)
+      snap->cost_.push_back(decode_cost(in.i64(), bad_cost));
+    snap->price_offset_.reserve(n * n + 1);
+    for (std::size_t s = 0; s < n * n + 1; ++s)
+      snap->price_offset_.push_back(in.u64());
+    snap->transit_.reserve(entries);
+    for (std::uint64_t e = 0; e < entries; ++e)
+      snap->transit_.push_back(in.u32());
+    snap->price_.reserve(entries);
+    for (std::uint64_t e = 0; e < entries; ++e)
+      snap->price_.push_back(decode_cost(in.i64(), bad_cost));
+    snap->owed_.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) snap->owed_.push_back(in.i64());
+    snap->settled_.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) snap->settled_.push_back(in.i64());
+
+    if (in.fail) return load_fail("truncated payload");
+    if (bad_cost) return load_fail("cost value out of range");
+    if (in.pos != payload.size()) return load_fail("trailing bytes");
+
+    snap->checksum_ = snap->compute_checksum();
+    if (snap->checksum_ != stored_checksum) {
+      std::ostringstream msg;
+      msg << "checksum mismatch (stored " << stored_checksum << " != computed "
+          << snap->checksum_ << ")";
+      return load_fail(msg.str());
+    }
+    if (!snap->self_check())
+      return load_fail("structural validation failed");
+
+    SnapshotLoadResult result;
+    result.snapshot = std::move(snap);
+    return result;
+  }
+};
+
+SnapshotSaveResult save_snapshot(const RouteSnapshot& snapshot,
+                                 const std::string& path) {
+  SnapshotSaveResult result;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    result.error = "cannot open '" + path + "' for writing";
+    return result;
+  }
+  const std::string payload = SnapshotCodec::payload(snapshot);
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  append_u64(header, kFormatVersion);
+  append_u64(header, payload.size());
+  append_u64(header, snapshot.checksum());
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  if (!out) result.error = "write to '" + path + "' failed";
+  return result;
+}
+
+SnapshotLoadResult load_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return load_fail("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+
+  constexpr std::size_t kHeaderSize = sizeof(kMagic) + 3 * 8;
+  if (bytes.size() < kHeaderSize) return load_fail("file too short");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    return load_fail("bad magic (not an fpss-snap file)");
+  Reader header{bytes, sizeof(kMagic)};
+  const std::uint64_t format = header.u64();
+  if (format != kFormatVersion)
+    return load_fail("unsupported format version " + std::to_string(format));
+  const std::uint64_t payload_size = header.u64();
+  const std::uint64_t stored_checksum = header.u64();
+  if (bytes.size() - kHeaderSize != payload_size)
+    return load_fail("payload length mismatch");
+  return SnapshotCodec::parse(bytes.substr(kHeaderSize), stored_checksum);
+}
+
+}  // namespace fpss::service

@@ -1,0 +1,143 @@
+// The serving layer's unit of publication: one immutable, self-contained
+// copy of everything the mechanism computed — selected next hops, LCP
+// transit costs c(i,j), per-packet VCG prices p^k_ij (Theorem 1), and
+// per-node payment totals from the payments ledger — exported from a
+// *converged* pricing session.
+//
+// Layout is flat and destination-major, mirroring the sink-tree structure
+// of the routing state: next_hop/cost are n*n arrays indexed j*n+i, and
+// prices are one CSR over the (j, i) pairs whose entries are exactly the
+// intermediate nodes of the selected i -> j path in path order (so the
+// price rows double as the stored paths). Queries are array lookups plus a
+// short row scan; nothing allocates except path() materialization.
+//
+// Snapshots also serialize ("fpss-snap v1", binary header + FNV-1a
+// checksum, the service-layer sibling of graph/io.h's "fpss-graph v1") so
+// a warm restart can serve traffic before the first reconvergence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/path.h"
+#include "payments/ledger.h"
+#include "util/cost.h"
+#include "util/types.h"
+
+namespace fpss::pricing {
+class Session;
+}
+
+namespace fpss::service {
+
+class RouteSnapshot {
+ public:
+  /// Exports the current routes/prices of `session` plus (optionally) the
+  /// payment totals of `ledger`. Precondition: the session's engine has
+  /// converged (the snapshot of a half-converged network is not a
+  /// meaningful good to serve); `version` labels the export — callers use
+  /// bgp::Engine::converged_epochs().
+  static std::shared_ptr<const RouteSnapshot> from_session(
+      const pricing::Session& session, std::uint64_t version,
+      const payments::Ledger* ledger = nullptr);
+
+  std::size_t node_count() const { return n_; }
+  /// Converged-epoch label assigned at export.
+  std::uint64_t version() const { return version_; }
+  /// Graph::version() of the topology the snapshot was taken from.
+  std::uint64_t graph_version() const { return graph_version_; }
+  /// FNV-1a digest of the full logical content, fixed at construction.
+  std::uint64_t checksum() const { return checksum_; }
+
+  /// Declared per-packet transit cost of node v.
+  Cost node_cost(NodeId v) const { return node_cost_[v]; }
+
+  /// c(i, j): transit cost of the selected LCP. Zero for i == j, infinite
+  /// when unreachable.
+  Cost cost(NodeId i, NodeId j) const { return cost_[idx(i, j)]; }
+  bool reachable(NodeId i, NodeId j) const { return cost(i, j).is_finite(); }
+
+  /// i's selected next hop toward j (kInvalidNode for i == j / unreachable).
+  NodeId next_hop(NodeId i, NodeId j) const { return next_hop_[idx(i, j)]; }
+
+  /// Full selected path i .. j, materialized from the stored transit row.
+  /// Empty when unreachable; {i} when i == j.
+  graph::Path path(NodeId i, NodeId j) const;
+
+  /// Per-packet price p^k_ij owed to transit node k. Zero when k is not an
+  /// intermediate node of the selected path; infinite when k is a monopoly
+  /// for the pair.
+  Cost price(NodeId k, NodeId i, NodeId j) const;
+
+  /// sum_k p^k_ij — the total per-packet payment for the pair.
+  Cost pair_payment(NodeId i, NodeId j) const;
+
+  /// Payment totals of node k as of the export (zero without a ledger).
+  Cost::rep payment_owed(NodeId k) const { return owed_[k]; }
+  Cost::rep payment_settled(NodeId k) const { return settled_[k]; }
+  /// owed + settled: everything the mechanism has credited to k.
+  Cost::rep payment_total(NodeId k) const { return owed_[k] + settled_[k]; }
+
+  /// Adapter for payments::Ledger::record_packets and settle_traffic.
+  payments::PriceFn price_fn() const;
+
+  /// Recomputes the content digest and structural invariants (offsets
+  /// monotone, hop counts consistent, costs equal the sum of their row's
+  /// transit costs). A reader that can observe a torn snapshot would fail
+  /// here; the publication tests lean on it.
+  bool self_check() const;
+
+ private:
+  friend struct SnapshotCodec;
+  RouteSnapshot() = default;
+
+  std::size_t idx(NodeId i, NodeId j) const {
+    return static_cast<std::size_t>(j) * n_ + i;
+  }
+  /// Folds every field into the digest in serialization order.
+  std::uint64_t compute_checksum() const;
+
+  std::size_t n_ = 0;
+  std::uint64_t version_ = 0;
+  std::uint64_t graph_version_ = 0;
+  std::uint64_t checksum_ = 0;
+  std::vector<Cost> node_cost_;          ///< declared costs, size n
+  std::vector<NodeId> next_hop_;         ///< j*n+i, size n*n
+  std::vector<Cost> cost_;               ///< j*n+i, size n*n
+  std::vector<std::uint64_t> price_offset_;  ///< CSR fence, size n*n+1
+  std::vector<NodeId> transit_;          ///< CSR entries: path intermediates
+  std::vector<Cost> price_;              ///< CSR entries: p^k_ij, aligned
+  std::vector<Cost::rep> owed_;          ///< size n
+  std::vector<Cost::rep> settled_;       ///< size n
+};
+
+// --- binary persistence ----------------------------------------------------
+
+/// Outcome of a save: `error` is empty on success (same convention the
+/// graph::SaveResult uses — failures are runtime conditions with a reason,
+/// not bare booleans).
+struct SnapshotSaveResult {
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+/// Outcome of a load; mirrors graph::ParseResult.
+struct SnapshotLoadResult {
+  std::shared_ptr<const RouteSnapshot> snapshot;  ///< null on failure
+  std::string error;  ///< "checksum mismatch (stored .. != computed ..)"
+  bool ok() const { return snapshot != nullptr; }
+};
+
+/// Writes the "fpss-snap v1" binary image: an 8-byte magic, format
+/// version, payload byte count, and content checksum, then the payload.
+SnapshotSaveResult save_snapshot(const RouteSnapshot& snapshot,
+                                 const std::string& path);
+
+/// Reads and validates a saved snapshot: magic/version/length checks,
+/// structural bounds on every array, and the checksum must reproduce.
+SnapshotLoadResult load_snapshot(const std::string& path);
+
+}  // namespace fpss::service

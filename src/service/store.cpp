@@ -1,0 +1,23 @@
+#include "service/store.h"
+
+#include <utility>
+
+#include "util/contract.h"
+
+namespace fpss::service {
+
+std::shared_ptr<const RouteSnapshot> SnapshotStore::publish(
+    std::shared_ptr<const RouteSnapshot> snapshot) {
+  FPSS_EXPECTS(snapshot != nullptr);
+  const std::uint64_t version = snapshot->version();
+  std::shared_ptr<const RouteSnapshot> previous;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    previous = std::exchange(current_, std::move(snapshot));
+    ++publishes_;
+  }
+  FPSS_ASSERT(previous == nullptr || previous->version() <= version);
+  return previous;
+}
+
+}  // namespace fpss::service

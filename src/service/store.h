@@ -1,0 +1,67 @@
+// The publication point between the one updater (who re-converges the
+// network and builds fresh RouteSnapshots) and any number of reader
+// threads serving queries.
+//
+// RCU/epoch style: a snapshot is immutable once built, so publication is a
+// single pointer swap and a read is a single pointer copy — readers never
+// block on the updater's (long) reconvergence work, and a reader holding
+// version v keeps serving v consistently while v+1 is being computed and
+// after it lands. Old snapshots are reclaimed by shared_ptr refcount as
+// the last reader drops them; there is no quiescent-state bookkeeping to
+// get wrong.
+//
+// The swap/copy is guarded by a mutex whose critical section is two
+// refcount operations — deliberately NOT std::atomic<shared_ptr>: in
+// libstdc++ (GCC 12) _Sp_atomic::load() reads the raw pointer field and
+// then releases its internal spin lock with memory_order_relaxed, so the
+// read has no formal happens-before edge against a concurrent exchange()'s
+// plain write of that field. TSan correctly reports the race, and the
+// whole point of this store is to be provably torn-read-free under TSan
+// (see test_service.cpp / the CI tsan job). The mutex never serializes
+// readers against reconvergence — only against the nanoseconds-long
+// pointer swap itself; everything after current() is lock-free.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "service/snapshot.h"
+
+namespace fpss::service {
+
+class SnapshotStore {
+ public:
+  /// The latest published snapshot (null until the first publish). The
+  /// returned reference keeps that snapshot alive for as long as the
+  /// caller holds it, regardless of later publishes.
+  std::shared_ptr<const RouteSnapshot> current() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+  }
+
+  /// Atomically replaces the served snapshot; returns the one it displaced
+  /// (null on the first publish). Versions must be non-decreasing — an
+  /// updater must never publish a stale epoch over a newer one.
+  std::shared_ptr<const RouteSnapshot> publish(
+      std::shared_ptr<const RouteSnapshot> snapshot);
+
+  /// Number of publishes so far.
+  std::uint64_t publish_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return publishes_;
+  }
+
+  /// Version of the served snapshot; 0 before the first publish.
+  std::uint64_t version() const {
+    const auto snap = current();
+    return snap == nullptr ? 0 : snap->version();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const RouteSnapshot> current_;
+  std::uint64_t publishes_ = 0;
+};
+
+}  // namespace fpss::service

@@ -1,0 +1,39 @@
+// FNV-1a 64-bit folding, used by the service layer's snapshot
+// serialization to detect truncated or corrupted files. A streaming
+// accumulator rather than a one-shot function so callers can fold
+// heterogeneous fields (scalars, then whole arrays) into one digest in a
+// fixed, documented order — the digest then identifies the *logical*
+// snapshot content, independent of any file layout.
+#pragma once
+
+#include <cstdint>
+
+namespace fpss::util {
+
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  /// Folds one byte.
+  constexpr void byte(std::uint8_t b) {
+    hash_ = (hash_ ^ b) * kPrime;
+  }
+
+  /// Folds a 64-bit value, little-endian byte order (the on-disk order of
+  /// the snapshot format, so hashing parsed values reproduces the digest
+  /// of the raw payload).
+  constexpr void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  constexpr void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  constexpr void u32(std::uint32_t v) { u64(v); }
+
+  constexpr std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+}  // namespace fpss::util

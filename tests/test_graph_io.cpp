@@ -94,11 +94,23 @@ TEST(GraphIo, RejectsDuplicateGraphDirective) {
 TEST(GraphIo, FileRoundTrip) {
   const auto f = graphgen::fig1();
   const std::string path = ::testing::TempDir() + "/fpss_io_test.graph";
-  ASSERT_TRUE(graph::save_graph(f.g, path));
+  const auto saved = graph::save_graph(f.g, path);
+  ASSERT_TRUE(saved.ok()) << saved.error;
+  EXPECT_TRUE(saved.error.empty());
   const auto loaded = graph::load_graph(path);
   ASSERT_TRUE(loaded.ok()) << loaded.error;
   EXPECT_EQ(loaded.graph->edges(), f.g.edges());
   std::remove(path.c_str());
+}
+
+TEST(GraphIo, SaveToUnwritablePathReportsReason) {
+  const auto f = graphgen::fig1();
+  const auto result =
+      graph::save_graph(f.g, "/nonexistent/dir/fpss_io_test.graph");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("cannot open"), std::string::npos);
+  EXPECT_NE(result.error.find("/nonexistent/dir/fpss_io_test.graph"),
+            std::string::npos);
 }
 
 TEST(GraphIo, LoadMissingFileFails) {
