@@ -1,0 +1,132 @@
+// The remote transport's cost model: what fpss-wire adds on top of the
+// in-process query path.
+//
+//   * BM_WireEncodeRequests  — request batch -> payload bytes;
+//   * BM_WireDecodeReplies   — reply payload -> typed replies (the
+//                              client's hot path, path vectors included);
+//   * BM_WireFrameOverhead   — header encode + validate round trip;
+//   * BM_LoopbackQueryBatch  — full socket round trip against a live
+//                              RouteServer on loopback, batch of 256 — the
+//                              number to hold against BM_QueryBatch in
+//                              bench_service (the delta is the wire).
+//   * BM_LoopbackPipelined   — same bytes with 4 batches in flight,
+//                              measuring what pipelining buys back.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "service/service.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fpss;
+
+std::vector<service::Request> make_batch(std::size_t n, std::size_t count) {
+  util::Rng rng(14001);
+  std::vector<service::Request> batch;
+  for (std::size_t q = 0; q < count; ++q) {
+    service::Request request;
+    request.kind = q % 2 == 0 ? service::RequestKind::kPrice
+                              : service::RequestKind::kCost;
+    request.k = static_cast<NodeId>(rng.below(n));
+    request.i = static_cast<NodeId>(rng.below(n));
+    request.j = static_cast<NodeId>(rng.below(n));
+    batch.push_back(request);
+  }
+  return batch;
+}
+
+void BM_WireEncodeRequests(benchmark::State& state) {
+  const auto batch = make_batch(128, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::encode_requests(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_WireEncodeRequests);
+
+void BM_WireDecodeReplies(benchmark::State& state) {
+  service::RouteService svc(bench::internet_like(128, 14002));
+  const auto batch = make_batch(svc.node_count(), 256);
+  const std::string payload = net::encode_replies(svc.query(batch));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::decode_replies(payload, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_WireDecodeReplies);
+
+void BM_WireFrameOverhead(benchmark::State& state) {
+  const std::string payload = net::encode_requests(make_batch(128, 256));
+  for (auto _ : state) {
+    const std::string frame =
+        net::encode_frame(net::FrameType::kQueryBatch, payload);
+    auto head = net::decode_frame_header(
+        std::string_view(frame).substr(0, net::kFrameHeaderBytes), {});
+    benchmark::DoNotOptimize(head);
+  }
+}
+BENCHMARK(BM_WireFrameOverhead);
+
+void BM_LoopbackQueryBatch(benchmark::State& state) {
+  service::RouteService svc(bench::internet_like(128, 14003));
+  net::RouteServer server(svc);
+  net::ClientConfig config;
+  config.port = server.port();
+  net::RouteClient client(config);
+  if (!server.ok() || !client.connect().ok()) {
+    state.SkipWithError("loopback setup failed");
+    return;
+  }
+  const auto batch = make_batch(svc.node_count(), 256);
+  for (auto _ : state) {
+    auto result = client.query(batch);
+    if (!result.ok()) {
+      state.SkipWithError(result.error.message.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_LoopbackQueryBatch)->Unit(benchmark::kMicrosecond);
+
+void BM_LoopbackPipelined(benchmark::State& state) {
+  service::RouteService svc(bench::internet_like(128, 14004));
+  net::RouteServer server(svc);
+  net::ClientConfig config;
+  config.port = server.port();
+  net::RouteClient client(config);
+  if (!server.ok() || !client.connect().ok()) {
+    state.SkipWithError("loopback setup failed");
+    return;
+  }
+  const auto batch = make_batch(svc.node_count(), 256);
+  constexpr int kInFlight = 4;
+  for (auto _ : state) {
+    for (int b = 0; b < kInFlight; ++b)
+      if (!client.send(batch).ok()) {
+        state.SkipWithError("send failed");
+        return;
+      }
+    for (int b = 0; b < kInFlight; ++b) {
+      auto result = client.receive();
+      if (!result.ok()) {
+        state.SkipWithError(result.error.message.c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * kInFlight);
+}
+BENCHMARK(BM_LoopbackPipelined)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,7 +2,7 @@
 // persist, publish, and — above all — query a RouteSnapshot.
 //
 //   * BM_SnapshotExport     — converged session -> flat snapshot arrays;
-//   * BM_SnapshotSaveLoad   — "fpss-snap v1" round trip through disk;
+//   * BM_SnapshotSaveLoad   — "fpss-snap v2" round trip through disk;
 //   * BM_QuerySingle        — one price() through the full service path
 //                             (atomic snapshot acquire + CSR row scan);
 //   * BM_QueryBatch         — the batched API amortizing one acquire over
@@ -85,15 +85,15 @@ void BM_QueryBatch(benchmark::State& state) {
   service::RouteService svc(bench::internet_like(128, 13004));
   util::Rng rng(13005);
   const auto n = svc.node_count();
-  std::vector<service::RouteService::Query> batch;
+  std::vector<service::Request> batch;
   for (int q = 0; q < 256; ++q) {
-    service::RouteService::Query query;
-    query.kind = q % 2 == 0 ? service::RouteService::Query::Kind::kPrice
-                            : service::RouteService::Query::Kind::kCost;
-    query.k = static_cast<NodeId>(rng.below(n));
-    query.i = static_cast<NodeId>(rng.below(n));
-    query.j = static_cast<NodeId>(rng.below(n));
-    batch.push_back(query);
+    service::Request request;
+    request.kind = q % 2 == 0 ? service::RequestKind::kPrice
+                              : service::RequestKind::kCost;
+    request.k = static_cast<NodeId>(rng.below(n));
+    request.i = static_cast<NodeId>(rng.below(n));
+    request.j = static_cast<NodeId>(rng.below(n));
+    batch.push_back(request);
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(svc.query(batch));

@@ -1,0 +1,219 @@
+// route_query: command-line client for a running route_server daemon.
+//
+//   $ route_query [--host H] [--port P] <command> [args]
+//
+//   cost i j        LCP cost from i to j
+//   price k i j     per-packet price p^k_ij (Theorem 1)
+//   pair i j        total transit payment for the pair (i, j)
+//   nexthop i j     first hop of the served LCP
+//   path i j        the full served LCP
+//   payment k       node k's accumulated payment total
+//   counters        the server's service counters
+//   drain           wait for the updater to drain; prints the version
+//   republish       submit a republish delta (forces a fresh publish)
+//
+// Every routed answer is printed with the snapshot version it came from
+// and that snapshot's age at answer time — the staleness the RCU serving
+// model trades for wait-free reads, made visible.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "service/protocol.h"
+
+namespace {
+
+using namespace fpss;
+
+int usage() {
+  std::printf(
+      "usage: route_query [--host H] [--port P] <command> [args]\n"
+      "  cost i j | price k i j | pair i j | nexthop i j | path i j\n"
+      "  payment k | counters | drain | republish\n");
+  return 2;
+}
+
+NodeId parse_node(const char* arg) {
+  return static_cast<NodeId>(std::strtoul(arg, nullptr, 10));
+}
+
+void print_meta(const service::Reply& reply) {
+  std::printf("  snapshot v%" PRIu64 ", age %.3f ms\n", reply.snapshot_version,
+              static_cast<double>(reply.age_ns) / 1e6);
+}
+
+const char* status_name(service::Status status) {
+  switch (status) {
+    case service::Status::kOk:
+      return "ok";
+    case service::Status::kUnreachable:
+      return "unreachable";
+    case service::Status::kBadNode:
+      return "bad node";
+    case service::Status::kBadKind:
+      return "bad request kind";
+  }
+  return "unknown";
+}
+
+int run_request(net::RouteClient& client, const service::Request& request) {
+  const auto result = client.query({&request, 1});
+  if (!result.ok()) {
+    std::printf("query failed: %s (%s)\n", result.error.message.c_str(),
+                net::to_string(result.error.status));
+    return 1;
+  }
+  const service::Reply& reply = result.replies.front();
+  if (reply.status != service::Status::kOk) {
+    std::printf("%s\n", status_name(reply.status));
+    print_meta(reply);
+    return reply.status == service::Status::kUnreachable ? 0 : 1;
+  }
+  switch (request.kind) {
+    case service::RequestKind::kCost:
+      std::printf("cost(%u -> %u) = %lld\n", request.i, request.j,
+                  static_cast<long long>(reply.value.value()));
+      break;
+    case service::RequestKind::kPrice:
+      std::printf("price p^%u_(%u,%u) = %lld\n", request.k, request.i,
+                  request.j, static_cast<long long>(reply.value.value()));
+      break;
+    case service::RequestKind::kPairPayment:
+      std::printf("pair payment(%u, %u) = %lld\n", request.i, request.j,
+                  static_cast<long long>(reply.value.value()));
+      break;
+    case service::RequestKind::kNextHop:
+      std::printf("next hop(%u -> %u) = %u (route cost %lld)\n", request.i,
+                  request.j, reply.node,
+                  static_cast<long long>(reply.value.value()));
+      break;
+    case service::RequestKind::kPath: {
+      std::printf("path(%u -> %u) =", request.i, request.j);
+      for (const NodeId v : reply.path) std::printf(" %u", v);
+      std::printf("  (cost %lld)\n",
+                  static_cast<long long>(reply.value.value()));
+      break;
+    }
+    case service::RequestKind::kPayment:
+      std::printf("payment total(%u) = %lld\n", request.k,
+                  static_cast<long long>(reply.amount));
+      break;
+  }
+  print_meta(reply);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fpss;
+
+  net::ClientConfig config;
+  int arg = 1;
+  for (; arg < argc; ++arg) {
+    const std::string flag = argv[arg];
+    if (flag == "--host" && arg + 1 < argc)
+      config.host = argv[++arg];
+    else if (flag == "--port" && arg + 1 < argc)
+      config.port = static_cast<std::uint16_t>(std::atoi(argv[++arg]));
+    else
+      break;
+  }
+  if (arg >= argc || config.port == 0) return usage();
+  const std::string command = argv[arg++];
+  const int operands = argc - arg;
+
+  net::RouteClient client(config);
+  if (const auto err = client.connect(); !err.ok()) {
+    std::printf("connect failed: %s (%s)\n", err.message.c_str(),
+                net::to_string(err.status));
+    return 1;
+  }
+
+  service::Request request;
+  if (command == "cost" && operands == 2) {
+    request.kind = service::RequestKind::kCost;
+    request.i = parse_node(argv[arg]);
+    request.j = parse_node(argv[arg + 1]);
+    return run_request(client, request);
+  }
+  if (command == "price" && operands == 3) {
+    request.kind = service::RequestKind::kPrice;
+    request.k = parse_node(argv[arg]);
+    request.i = parse_node(argv[arg + 1]);
+    request.j = parse_node(argv[arg + 2]);
+    return run_request(client, request);
+  }
+  if (command == "pair" && operands == 2) {
+    request.kind = service::RequestKind::kPairPayment;
+    request.i = parse_node(argv[arg]);
+    request.j = parse_node(argv[arg + 1]);
+    return run_request(client, request);
+  }
+  if (command == "nexthop" && operands == 2) {
+    request.kind = service::RequestKind::kNextHop;
+    request.i = parse_node(argv[arg]);
+    request.j = parse_node(argv[arg + 1]);
+    return run_request(client, request);
+  }
+  if (command == "path" && operands == 2) {
+    request.kind = service::RequestKind::kPath;
+    request.i = parse_node(argv[arg]);
+    request.j = parse_node(argv[arg + 1]);
+    return run_request(client, request);
+  }
+  if (command == "payment" && operands == 1) {
+    request.kind = service::RequestKind::kPayment;
+    request.k = parse_node(argv[arg]);
+    return run_request(client, request);
+  }
+  if (command == "counters" && operands == 0) {
+    const auto result = client.counters();
+    if (!result.ok()) {
+      std::printf("counters failed: %s\n", result.error.message.c_str());
+      return 1;
+    }
+    const auto& c = result.counters;
+    std::printf("queries %" PRIu64 "  batches %" PRIu64 "  publishes %" PRIu64
+                "\n",
+                c.queries, c.batches, c.publishes);
+    std::printf("deltas applied %" PRIu64 "  coalesced %" PRIu64
+                "  charges %" PRIu64 "\n",
+                c.deltas_applied, c.deltas_coalesced, c.charges);
+    std::printf("max batch %.3f ms  max served staleness %.3f ms\n",
+                static_cast<double>(c.max_batch_ns) / 1e6,
+                static_cast<double>(c.max_staleness_ns) / 1e6);
+    return 0;
+  }
+  if (command == "drain" && operands == 0) {
+    const auto result = client.drain();
+    if (!result.ok()) {
+      std::printf("drain failed: %s\n", result.error.message.c_str());
+      return 1;
+    }
+    std::printf("drained; serving snapshot v%" PRIu64 "\n", result.value);
+    return 0;
+  }
+  if (command == "republish" && operands == 0) {
+    const service::RouteService::Delta delta =
+        service::RouteService::Delta::republish();
+    const auto submitted = client.submit_deltas({&delta, 1});
+    if (!submitted.ok()) {
+      std::printf("submit failed: %s\n", submitted.error.message.c_str());
+      return 1;
+    }
+    const auto drained = client.drain();
+    if (!drained.ok()) {
+      std::printf("drain failed: %s\n", drained.error.message.c_str());
+      return 1;
+    }
+    std::printf("republished; serving snapshot v%" PRIu64 "\n", drained.value);
+    return 0;
+  }
+  return usage();
+}

@@ -1,0 +1,128 @@
+// net::RouteClient: the typed client side of fpss-wire v1.
+//
+// connect() dials with retry-and-backoff and runs the Hello/HelloAck
+// exchange, after which the server's node count and snapshot version are
+// known. query() is the blocking convenience; send()/receive() expose the
+// same exchange split in two so a caller can pipeline several batches on
+// one connection (the server answers frames strictly in order, so replies
+// come back FIFO).
+//
+// Errors are values, not exceptions: every operation fills a result whose
+// ClientStatus says what layer failed (connect, I/O timeout, protocol,
+// or a typed server rejection with the server's WireStatus + message).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace fpss::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// connect(): total attempts (1 = no retry).
+  unsigned connect_attempts = 3;
+  /// Backoff before attempt k is backoff_ms << (k-1), capped at 1s.
+  int backoff_ms = 50;
+  /// Per-frame I/O deadline (reads and writes).
+  int io_timeout_ms = 5000;
+  WireLimits limits;
+};
+
+enum class ClientStatus : std::uint8_t {
+  kOk = 0,
+  kNotConnected,    ///< operation before connect() / after close()
+  kConnectFailed,   ///< all dial attempts exhausted
+  kTimeout,         ///< frame I/O deadline expired
+  kConnectionLost,  ///< EOF or socket error mid-exchange
+  kProtocolError,   ///< undecodable or out-of-sequence server frame
+  kServerError,     ///< server sent a typed kError frame (see wire_status)
+};
+
+const char* to_string(ClientStatus status);
+
+struct ClientError {
+  ClientStatus status = ClientStatus::kOk;
+  /// Set when status == kServerError: the server's rejection code.
+  std::optional<WireStatus> wire_status;
+  std::string message;
+  bool ok() const { return status == ClientStatus::kOk; }
+};
+
+struct QueryResult {
+  ClientError error;
+  std::vector<service::Reply> replies;
+  bool ok() const { return error.ok(); }
+};
+
+struct CountersResult {
+  ClientError error;
+  service::RouteService::Counters counters;
+  bool ok() const { return error.ok(); }
+};
+
+struct U64Result {
+  ClientError error;
+  std::uint64_t value = 0;
+  bool ok() const { return error.ok(); }
+};
+
+class RouteClient {
+ public:
+  explicit RouteClient(ClientConfig config = {});
+  ~RouteClient();
+
+  RouteClient(const RouteClient&) = delete;
+  RouteClient& operator=(const RouteClient&) = delete;
+
+  /// Dials (with backoff across attempts) and performs the hello
+  /// handshake. Idempotent once connected.
+  ClientError connect();
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // Learned from the HelloAck; valid after a successful connect().
+  std::uint64_t server_node_count() const { return node_count_; }
+  std::uint64_t server_snapshot_version() const { return snapshot_version_; }
+  std::uint32_t server_max_batch() const { return server_max_batch_; }
+
+  /// One blocking request/reply exchange (send + receive).
+  QueryResult query(std::span<const service::Request> batch);
+
+  /// Pipelining: enqueue a batch without waiting for its reply. Replies
+  /// arrive in submission order via receive(). outstanding() counts
+  /// batches sent but not yet received.
+  ClientError send(std::span<const service::Request> batch);
+  QueryResult receive();
+  std::size_t outstanding() const { return outstanding_; }
+
+  CountersResult counters();
+  /// Submits topology deltas; value = number the server accepted.
+  U64Result submit_deltas(std::span<const service::RouteService::Delta> deltas);
+  /// Blocks until the server's updater has drained; value = served version.
+  U64Result drain();
+
+ private:
+  ClientError dial_once();
+  ClientError handshake();
+  /// Sends one frame; on failure the connection is closed.
+  ClientError send_frame(FrameType type, std::string_view payload);
+  /// Reads one frame, decoding a kError frame into kServerError. On any
+  /// failure the connection is closed (a desynced stream is unusable).
+  ClientError receive_frame(FrameType expected, std::string& payload);
+
+  ClientConfig config_;
+  int fd_ = -1;
+  std::uint64_t node_count_ = 0;
+  std::uint64_t snapshot_version_ = 0;
+  std::uint32_t server_max_batch_ = 0;
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace fpss::net

@@ -1,0 +1,334 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace fpss::net {
+
+namespace {
+
+enum class IoResult {
+  kOk,
+  kClosed,   ///< orderly EOF before the first byte
+  kTimeout,  ///< deadline expired mid-read
+  kStopped,  ///< server shutdown while idle between frames
+  kError,    ///< socket error
+};
+
+using Clock = std::chrono::steady_clock;
+
+/// Remaining budget in ms, clipped to the 100ms poll slice that keeps
+/// shutdown responsive.
+int next_slice_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  if (left <= 0) return 0;
+  return static_cast<int>(left < 100 ? left : 100);
+}
+
+/// Reads exactly `want` bytes. While still at byte zero the stop flag
+/// aborts the wait (the worker is idle between frames); once a frame has
+/// started arriving only the deadline can abort it — that is what lets a
+/// graceful shutdown finish in-flight frames.
+IoResult read_exact(int fd, char* buffer, std::size_t want, int timeout_ms,
+                    const std::atomic<bool>& stopping) {
+  std::size_t got = 0;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (got < want) {
+    if (got == 0 && stopping.load(std::memory_order_relaxed))
+      return IoResult::kStopped;
+    pollfd pfd{fd, POLLIN, 0};
+    const int slice = next_slice_ms(deadline);
+    if (slice == 0) return IoResult::kTimeout;
+    const int ready = ::poll(&pfd, 1, slice);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return IoResult::kError;
+    }
+    if (ready == 0) continue;  // slice elapsed; re-check flags
+    const ssize_t n = ::recv(fd, buffer + got, want - got, 0);
+    if (n == 0) return got == 0 ? IoResult::kClosed : IoResult::kError;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return IoResult::kError;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return IoResult::kOk;
+}
+
+/// Writes the whole buffer or gives up at the deadline (a peer that never
+/// reads must not pin a worker).
+bool write_all(int fd, std::string_view bytes, int timeout_ms) {
+  std::size_t sent = 0;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (sent < bytes.size()) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int slice = next_slice_ms(deadline);
+    if (slice == 0) return false;
+    const int ready = ::poll(&pfd, 1, slice);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) continue;
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+RouteServer::RouteServer(service::RouteService& service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {
+  if (config_.workers == 0) config_.workers = 1;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    error_ = "bad listen address: " + config_.host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    error_ = "bind " + config_.host + ":" + std::to_string(config_.port) +
+             ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  workers_.reserve(config_.workers);
+  for (unsigned w = 0; w < config_.workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+RouteServer::~RouteServer() { stop(); }
+
+void RouteServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    // Unblocks the acceptor's accept(2); new connections are refused from
+    // here on while workers serve out what they already hold.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // Connections accepted but never picked up by a worker.
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  for (const int fd : pending_) ::close(fd);
+  pending_.clear();
+}
+
+RouteServer::Stats RouteServer::stats() const {
+  Stats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.frames = frames_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.rejected_frames = rejected_frames_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void RouteServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener shut down (or unrecoverable)
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      pending_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void RouteServer::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_.empty() || stopping_.load(std::memory_order_relaxed);
+      });
+      if (pending_.empty()) return;  // stopping, nothing left to serve
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    serve_connection(fd);
+  }
+}
+
+void RouteServer::serve_connection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  while (serve_frame(fd)) {
+  }
+  ::close(fd);
+}
+
+bool RouteServer::send_error(int fd, WireStatus code,
+                             const std::string& message) {
+  rejected_frames_.fetch_add(1, std::memory_order_relaxed);
+  const std::string frame =
+      encode_frame(FrameType::kError, encode_error({code, message}));
+  write_all(fd, frame, config_.read_timeout_ms);
+  return false;  // protocol errors always close the connection
+}
+
+bool RouteServer::serve_frame(int fd) {
+  // 1. Header: fixed 20 bytes, validated before the payload is allocated.
+  char header_bytes[kFrameHeaderBytes];
+  switch (read_exact(fd, header_bytes, kFrameHeaderBytes,
+                     config_.read_timeout_ms, stopping_)) {
+    case IoResult::kOk:
+      break;
+    case IoResult::kClosed:   // peer finished; normal end of connection
+    case IoResult::kStopped:  // shutdown while idle between frames
+      return false;
+    case IoResult::kTimeout:
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    case IoResult::kError:
+      return false;
+  }
+  const HeaderResult head = decode_frame_header(
+      std::string_view(header_bytes, kFrameHeaderBytes), config_.limits);
+  if (!head.ok()) return send_error(fd, head.status, head.error);
+
+  // 2. Payload: size is now known-bounded, so allocating is safe.
+  std::string payload(head.header.payload_bytes, '\0');
+  if (head.header.payload_bytes > 0) {
+    switch (read_exact(fd, payload.data(), payload.size(),
+                       config_.read_timeout_ms, stopping_)) {
+      case IoResult::kOk:
+        break;
+      case IoResult::kTimeout:
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      default:
+        return false;
+    }
+  }
+  if (!payload_checksum_ok(head.header, payload))
+    return send_error(fd, WireStatus::kMalformed, "payload checksum mismatch");
+
+  // 3. Dispatch. From here the frame is served to completion even if a
+  //    shutdown starts concurrently — that is the drain guarantee.
+  std::string reply_frame;
+  switch (head.header.type) {
+    case FrameType::kHello: {
+      Hello hello;
+      if (!decode_hello(payload, hello))
+        return send_error(fd, WireStatus::kMalformed, "bad hello payload");
+      if (hello.wire_version != kWireVersion)
+        return send_error(fd, WireStatus::kUnsupportedVersion,
+                          "client wire version " +
+                              std::to_string(hello.wire_version) +
+                              " unsupported");
+      HelloAck ack;
+      ack.wire_version = kWireVersion;
+      ack.node_count = service_.node_count();
+      ack.snapshot_version = service_.version();
+      ack.max_batch = config_.limits.max_batch;
+      reply_frame = encode_frame(FrameType::kHelloAck, encode_hello_ack(ack));
+      break;
+    }
+    case FrameType::kQueryBatch: {
+      const RequestsResult batch =
+          decode_requests(payload, config_.limits.max_batch);
+      if (!batch.ok()) return send_error(fd, batch.status, batch.error);
+      const std::vector<service::Reply> replies = service_.query(
+          std::span<const service::Request>(batch.requests));
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      reply_frame =
+          encode_frame(FrameType::kReplyBatch, encode_replies(replies));
+      break;
+    }
+    case FrameType::kCountersFetch: {
+      reply_frame = encode_frame(FrameType::kCountersReply,
+                                 encode_counters(service_.counters()));
+      break;
+    }
+    case FrameType::kDeltaSubmit: {
+      if (!config_.allow_deltas)
+        return send_error(fd, WireStatus::kBadFrameType,
+                          "delta submission disabled on this server");
+      const DeltasResult deltas =
+          decode_deltas(payload, config_.limits.max_batch);
+      if (!deltas.ok()) return send_error(fd, deltas.status, deltas.error);
+      const std::size_t accepted = service_.submit(deltas.deltas);
+      reply_frame =
+          encode_frame(FrameType::kDeltaAck, encode_u64(accepted));
+      break;
+    }
+    case FrameType::kDrain: {
+      reply_frame =
+          encode_frame(FrameType::kDrainReply, encode_u64(service_.drain()));
+      break;
+    }
+    default:
+      // Server-to-client types (HelloAck, ReplyBatch, ...) and kError are
+      // never valid requests.
+      return send_error(fd, WireStatus::kBadFrameType,
+                        "frame type not valid as a request");
+  }
+
+  if (!write_all(fd, reply_frame, config_.read_timeout_ms)) return false;
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  // Stop taking new frames once shutdown began; the reply above completes
+  // the in-flight exchange.
+  return !stopping_.load(std::memory_order_relaxed);
+}
+
+}  // namespace fpss::net

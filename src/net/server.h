@@ -1,0 +1,115 @@
+// net::RouteServer: the blocking TCP front end that turns a RouteService
+// into a daemon speaking fpss-wire v1.
+//
+// Shape: one accept thread plus a small worker pool. Accepted connections
+// are queued; each worker serves one connection at a time, frame by frame
+// (read header -> validate before allocating -> read payload -> checksum
+// -> dispatch), so a request batch is answered by exactly the same
+// service::answer() evaluation a local caller gets — the snapshot store's
+// RCU read path makes the workers just more reader threads.
+//
+// Robustness contract (pinned by test_net.cpp under ASan):
+//   * a frame is rejected from its 20-byte header alone when the magic,
+//     version, type, or length is wrong — the payload is never allocated;
+//   * oversized batches and undecodable payloads get a typed kError frame
+//     and the connection is closed;
+//   * per-connection reads time out (poll with a deadline), so a stalled
+//     peer cannot pin a worker forever;
+//   * stop() is graceful: the listener closes first, workers finish the
+//     frame they are serving (in-flight batches drain), then join.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/wire.h"
+#include "service/service.h"
+
+namespace fpss::net {
+
+struct ServerConfig {
+  /// Address to bind. The default stays on loopback: the protocol has no
+  /// authentication, so exposing it wider is an explicit operator choice.
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+  unsigned workers = 4;
+  /// How long a worker waits for the rest of a frame before giving up on
+  /// the connection.
+  int read_timeout_ms = 5000;
+  WireLimits limits;
+  /// Accept kDeltaSubmit frames (a pure read replica would say no).
+  bool allow_deltas = true;
+};
+
+class RouteServer {
+ public:
+  /// Monotone totals across all connections, for the daemon's own report.
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t frames = 0;          ///< well-formed frames served
+    std::uint64_t batches = 0;         ///< query batches answered
+    std::uint64_t rejected_frames = 0; ///< header/payload validation failures
+    std::uint64_t timeouts = 0;        ///< connections dropped mid-frame
+  };
+
+  /// Binds and starts serving immediately. Check ok() — constructors
+  /// cannot return the bind error, and a daemon that silently isn't
+  /// listening is worse than one that reports why.
+  RouteServer(service::RouteService& service, ServerConfig config = {});
+  ~RouteServer();
+
+  RouteServer(const RouteServer&) = delete;
+  RouteServer& operator=(const RouteServer&) = delete;
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// The bound port (the resolved one when config.port was 0).
+  std::uint16_t port() const { return port_; }
+
+  Stats stats() const;
+
+  /// Graceful shutdown: stop accepting, serve out in-flight frames, join
+  /// every thread. Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+  /// One request/reply exchange; returns false when the connection should
+  /// close (EOF, timeout, protocol error, shutdown).
+  bool serve_frame(int fd);
+  bool send_error(int fd, WireStatus code, const std::string& message);
+
+  service::RouteService& service_;
+  ServerConfig config_;
+  std::string error_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  ///< stop() already completed (main thread only)
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< accepted fds awaiting a worker
+
+  // Stats: relaxed atomics, written by any worker.
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> rejected_frames_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+
+  std::vector<std::thread> workers_;
+  std::thread acceptor_;
+};
+
+}  // namespace fpss::net

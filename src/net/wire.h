@@ -1,0 +1,182 @@
+// "fpss-wire v1": the length-prefixed binary framing that carries
+// Query/Answer batches and control traffic between net::RouteClient and
+// net::RouteServer.
+//
+// Every frame reuses the fpss-snap header discipline — magic, version,
+// type, exact payload length, FNV-1a checksum of the payload — and both
+// ends validate the header *before* allocating anything for the payload:
+// a hostile or corrupt peer can be rejected after 20 bytes. Payload
+// encodings are little-endian via util/binio.h, with Cost traveling as
+// int64 (-1 = +infinity), the same convention the snapshot format fixed,
+// so a decoded Reply is bit-identical to the in-process one.
+//
+//   frame   := header payload
+//   header  := magic:u32 "FPW1" | version:u8 | type:u8 | reserved:u16
+//              | payload_len:u32 | checksum:u64(FNV-1a of payload)
+//
+// Frame types (tags are wire-reserved; append, never renumber):
+//   kHello(0x01)         -> kHelloAck(0x02)      version negotiation
+//   kQueryBatch(0x10)    -> kReplyBatch(0x11)    the data path
+//   kCountersFetch(0x20) -> kCountersReply(0x21) service counters
+//   kDeltaSubmit(0x30)   -> kDeltaAck(0x31)      remote topology deltas
+//   kDrain(0x40)         -> kDrainReply(0x41)    publish barrier
+//   any                  -> kError(0x7f)         typed rejection
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace fpss::net {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+// "FPW1" read as little-endian u32.
+inline constexpr std::uint32_t kWireMagic = 0x31575046u;
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 0x01,
+  kHelloAck = 0x02,
+  kQueryBatch = 0x10,
+  kReplyBatch = 0x11,
+  kCountersFetch = 0x20,
+  kCountersReply = 0x21,
+  kDeltaSubmit = 0x30,
+  kDeltaAck = 0x31,
+  kDrain = 0x40,
+  kDrainReply = 0x41,
+  kError = 0x7f,
+};
+
+/// Error-frame codes (wire-reserved tags).
+enum class WireStatus : std::uint8_t {
+  kMalformed = 1,           ///< undecodable payload or checksum mismatch
+  kOversized = 2,           ///< frame or batch exceeds the announced limits
+  kUnsupportedVersion = 3,  ///< header version != kWireVersion
+  kBadFrameType = 4,        ///< unknown or out-of-sequence frame type
+  kShuttingDown = 5,        ///< server is draining; retry elsewhere/later
+};
+
+/// Size/batch bounds both ends enforce. The server rejects (without
+/// allocating) any frame beyond max_payload_bytes and any batch beyond
+/// max_batch; the client uses the same limits for replies.
+struct WireLimits {
+  std::uint32_t max_payload_bytes = 1u << 20;
+  std::uint32_t max_batch = 4096;
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kError;
+  std::uint32_t payload_bytes = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Outcome of a header decode; `error` is empty on success. On failure
+/// `status` carries the typed code the rejecting side should put in its
+/// kError frame.
+struct HeaderResult {
+  FrameHeader header;
+  WireStatus status = WireStatus::kMalformed;
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+/// Builds a complete frame (header + payload).
+std::string encode_frame(FrameType type, std::string_view payload);
+
+/// Validates magic/version/length against `limits`. Exactly
+/// kFrameHeaderBytes must be passed; the payload has NOT been read yet —
+/// this is the pre-allocation gate.
+HeaderResult decode_frame_header(std::string_view header_bytes,
+                                 const WireLimits& limits);
+
+/// True when the payload's FNV-1a digest matches the header.
+bool payload_checksum_ok(const FrameHeader& header, std::string_view payload);
+
+// --- control payloads ------------------------------------------------------
+
+struct Hello {
+  std::uint8_t wire_version = kWireVersion;
+  std::uint32_t max_batch = 0;  ///< client's reply-batch capacity
+};
+
+struct HelloAck {
+  std::uint8_t wire_version = kWireVersion;
+  std::uint64_t node_count = 0;
+  std::uint64_t snapshot_version = 0;
+  std::uint32_t max_batch = 0;  ///< server's request-batch capacity
+};
+
+struct ErrorFrame {
+  WireStatus code = WireStatus::kMalformed;
+  std::string message;
+};
+
+std::string encode_hello(const Hello& hello);
+bool decode_hello(std::string_view payload, Hello& out);
+std::string encode_hello_ack(const HelloAck& ack);
+bool decode_hello_ack(std::string_view payload, HelloAck& out);
+std::string encode_error(const ErrorFrame& error);
+bool decode_error(std::string_view payload, ErrorFrame& out);
+
+/// kDeltaAck / kDrainReply carry one u64 (accepted count / version).
+std::string encode_u64(std::uint64_t value);
+bool decode_u64(std::string_view payload, std::uint64_t& out);
+
+// --- data payloads ---------------------------------------------------------
+
+/// Requests: count:u32 then per request kind:u8 k:u32 i:u32 j:u32.
+/// Unknown kind tags are carried through (the service answers kBadKind),
+/// so old servers and new clients fail softly instead of at the codec.
+std::string encode_requests(std::span<const service::Request> requests);
+
+struct RequestsResult {
+  std::vector<service::Request> requests;
+  WireStatus status = WireStatus::kMalformed;
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+RequestsResult decode_requests(std::string_view payload,
+                               std::uint32_t max_batch);
+
+/// Replies: count:u32 then per reply status:u8 value:i64 amount:i64
+/// node:u32 snapshot_version:u64 published_at:u64 age:u64 path_len:u32
+/// path:u32*. Every field round-trips exactly (costs via the -1=inf
+/// convention), which is what makes remote answers bit-identical.
+std::string encode_replies(std::span<const service::Reply> replies);
+
+struct RepliesResult {
+  std::vector<service::Reply> replies;
+  WireStatus status = WireStatus::kMalformed;
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+RepliesResult decode_replies(std::string_view payload,
+                             const WireLimits& limits);
+
+/// Deltas: count:u32 then per delta kind:u8 u:u32 v:u32 cost:i64, with
+/// kind tags 1=cost_change 2=add_link 3=remove_link 4=republish.
+std::string encode_deltas(
+    std::span<const service::RouteService::Delta> deltas);
+
+struct DeltasResult {
+  std::vector<service::RouteService::Delta> deltas;
+  WireStatus status = WireStatus::kMalformed;
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+DeltasResult decode_deltas(std::string_view payload, std::uint32_t max_batch);
+
+/// Counters: the RouteService::Counters fields as u64 in declaration
+/// order (queries, batches, total_ns, max_batch_ns, max_staleness_ns,
+/// publishes, deltas_applied, deltas_coalesced, charges).
+std::string encode_counters(const service::RouteService::Counters& counters);
+bool decode_counters(std::string_view payload,
+                     service::RouteService::Counters& out);
+
+}  // namespace fpss::net

@@ -30,6 +30,14 @@ Cost::rep Ledger::settled(NodeId k) const {
   return settled_[k];
 }
 
+void Ledger::restore(std::vector<Cost::rep> owed,
+                     std::vector<Cost::rep> settled) {
+  FPSS_EXPECTS(owed.size() == owed_.size() &&
+               settled.size() == settled_.size());
+  owed_ = std::move(owed);
+  settled_ = std::move(settled);
+}
+
 void Ledger::settle() {
   for (std::size_t k = 0; k < owed_.size(); ++k) {
     settled_[k] += owed_[k];

@@ -50,6 +50,12 @@ class Ledger {
   /// submission "to whatever accounting and charging mechanisms are used").
   void settle();
 
+  /// Replaces both account vectors wholesale — the warm-start path: a
+  /// restarted RouteService reloads the totals its last published snapshot
+  /// embedded, so accounting survives the restart. Precondition: both
+  /// vectors have node_count() entries.
+  void restore(std::vector<Cost::rep> owed, std::vector<Cost::rep> settled);
+
   Cost::rep total_outstanding() const;
 
  private:

@@ -94,6 +94,24 @@ bgp::RunStats Session::remove_link(NodeId u, NodeId v, RestartPolicy policy) {
   return reconverge(policy);
 }
 
+bgp::RunStats Session::apply_events(std::span<const Event> events,
+                                    RestartPolicy policy) {
+  for (const Event& event : events) {
+    switch (event.kind) {
+      case Event::Kind::kCostChange:
+        network_->change_cost(event.u, event.cost);
+        break;
+      case Event::Kind::kAddLink:
+        network_->add_link(event.u, event.v);
+        break;
+      case Event::Kind::kRemoveLink:
+        network_->remove_link(event.u, event.v);
+        break;
+    }
+  }
+  return reconverge(policy);
+}
+
 Session::NodeFailure Session::fail_node(NodeId v, RestartPolicy policy) {
   NodeFailure failure;
   const auto neighbors = network_->topology().neighbors(v);

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -95,6 +96,35 @@ class Session {
   bgp::RunStats change_cost(NodeId v, Cost new_cost, RestartPolicy policy);
   bgp::RunStats add_link(NodeId u, NodeId v, RestartPolicy policy);
   bgp::RunStats remove_link(NodeId u, NodeId v, RestartPolicy policy);
+
+  /// One element of a coalesced event burst (see apply_events).
+  struct Event {
+    enum class Kind { kCostChange, kAddLink, kRemoveLink };
+    Kind kind = Kind::kCostChange;
+    NodeId u = kInvalidNode;
+    NodeId v = kInvalidNode;
+    Cost cost;
+
+    static Event cost_change(NodeId node, Cost c) {
+      return {Kind::kCostChange, node, kInvalidNode, c};
+    }
+    static Event add_link(NodeId a, NodeId b) {
+      return {Kind::kAddLink, a, b, Cost::zero()};
+    }
+    static Event remove_link(NodeId a, NodeId b) {
+      return {Kind::kRemoveLink, a, b, Cost::zero()};
+    }
+  };
+
+  /// Applies a whole burst of events and reconverges *once* — the
+  /// fail_node pattern generalized, and the primitive behind the serving
+  /// layer's delta coalescing. The paper's restart semantics don't care
+  /// how many changes precede a restart, only that convergence begins
+  /// again afterwards, so one barrier per burst is exactly as sound as
+  /// one per event. Preconditions as for the single-event calls (links
+  /// added must be absent, links removed must be present).
+  bgp::RunStats apply_events(std::span<const Event> events,
+                             RestartPolicy policy);
 
   /// What fail_node did: the reconvergence stats plus the torn-down links
   /// (hand them to restore_node to re-attach the AS later).

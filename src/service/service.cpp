@@ -1,7 +1,10 @@
 #include "service/service.h"
 
 #include <chrono>
+#include <map>
+#include <utility>
 
+#include "util/clock.h"
 #include "util/contract.h"
 
 namespace fpss::service {
@@ -26,7 +29,30 @@ RouteService::RouteService(const graph::Graph& g, ServiceConfig config)
   // updater exists — the service never serves a non-converged state.
   const bgp::RunStats stats = session_.run();
   FPSS_ASSERT(stats.converged);
+  session_converged_ = true;
   publish_current();
+  updater_ = std::thread([this] { updater_loop(); });
+}
+
+RouteService::RouteService(const graph::Graph& g,
+                           std::shared_ptr<const RouteSnapshot> warm,
+                           ServiceConfig config)
+    : node_count_(g.node_count()),
+      config_(config),
+      session_(g, config.protocol, config.engine, config.update_policy),
+      ledger_(g.node_count()) {
+  FPSS_EXPECTS(warm != nullptr && warm->node_count() == g.node_count());
+  // Serve the saved epoch immediately; convergence is deferred to the
+  // updater and happens when the first burst arrives. Future publishes
+  // must outnumber the warm version, so it becomes the version base.
+  version_base_ = warm->version();
+  std::vector<Cost::rep> owed(node_count_), settled(node_count_);
+  for (NodeId k = 0; k < node_count_; ++k) {
+    owed[k] = warm->payment_owed(k);
+    settled[k] = warm->payment_settled(k);
+  }
+  ledger_.restore(std::move(owed), std::move(settled));
+  store_.publish(std::move(warm));
   updater_ = std::thread([this] { updater_loop(); });
 }
 
@@ -53,26 +79,81 @@ void RouteService::updater_loop() {
       batch.swap(queue_);
       updater_busy_ = true;
     }
-    for (const Delta& delta : batch) apply(delta);
+    // Warm start: the session's first convergence was deferred to here.
+    if (!session_converged_) {
+      const bgp::RunStats stats = session_.run();
+      FPSS_ASSERT(stats.converged);
+      session_converged_ = true;
+    }
+    const std::size_t applied = apply_coalesced(batch);
     deltas_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
+    // Each burst costs one reconvergence + publish; everything beyond the
+    // applied events rode along for free.
+    const std::size_t effective = applied == 0 ? 1 : applied;
+    if (batch.size() > effective)
+      deltas_coalesced_.fetch_add(batch.size() - effective,
+                                  std::memory_order_relaxed);
     publish_current();
   }
 }
 
-void RouteService::apply(const Delta& delta) {
+std::size_t RouteService::apply_coalesced(const std::vector<Delta>& batch) {
+  // Last-writer-wins per key: one final cost per node, one final link op
+  // per undirected pair. Distinct keys commute, so applying the survivors
+  // in any fixed order and reconverging once reaches exactly the state a
+  // delta-by-delta application would have reached.
+  std::map<NodeId, Cost> final_cost;
+  std::map<std::pair<NodeId, NodeId>, Delta::Kind> final_link;
+  for (const Delta& delta : batch) {
+    switch (delta.kind) {
+      case Delta::Kind::kCostChange:
+        final_cost[delta.u] = delta.cost;
+        break;
+      case Delta::Kind::kAddLink:
+      case Delta::Kind::kRemoveLink:
+        final_link[std::minmax(delta.u, delta.v)] = delta.kind;
+        break;
+      case Delta::Kind::kRepublish:
+        break;
+    }
+  }
+  const graph::Graph& g = session_.network().topology();
+  std::vector<pricing::Session::Event> events;
+  events.reserve(final_cost.size() + final_link.size());
+  for (const auto& [node, cost] : final_cost) {
+    if (g.cost(node) == cost) continue;  // net no-op
+    events.push_back(pricing::Session::Event::cost_change(node, cost));
+  }
+  for (const auto& [link, kind] : final_link) {
+    const bool present = g.has_edge(link.first, link.second);
+    if (kind == Delta::Kind::kAddLink && !present)
+      events.push_back(
+          pricing::Session::Event::add_link(link.first, link.second));
+    else if (kind == Delta::Kind::kRemoveLink && present)
+      events.push_back(
+          pricing::Session::Event::remove_link(link.first, link.second));
+    // A burst whose link ops net out to the current topology (add+remove,
+    // or a redundant op) needs no event at all.
+  }
+  if (!events.empty()) {
+    const bgp::RunStats stats = session_.apply_events(events, config_.restart);
+    FPSS_ASSERT(stats.converged);
+  }
+  return events.size();
+}
+
+bool RouteService::delta_in_range(const Delta& delta) const {
   switch (delta.kind) {
     case Delta::Kind::kCostChange:
-      session_.change_cost(delta.u, delta.cost, config_.restart);
-      break;
+      return delta.u < node_count_;
     case Delta::Kind::kAddLink:
-      session_.add_link(delta.u, delta.v, config_.restart);
-      break;
     case Delta::Kind::kRemoveLink:
-      session_.remove_link(delta.u, delta.v, config_.restart);
-      break;
+      return delta.u < node_count_ && delta.v < node_count_ &&
+             delta.u != delta.v;
     case Delta::Kind::kRepublish:
-      break;
+      return true;
   }
+  return false;  // unknown kind (e.g. decoded from a hostile frame)
 }
 
 void RouteService::publish_current() {
@@ -81,7 +162,8 @@ void RouteService::publish_current() {
   {
     std::lock_guard<std::mutex> lock(ledger_mutex_);
     snap = RouteSnapshot::from_session(
-        session_, session_.engine().converged_epochs(), &ledger_);
+        session_, version_base_ + session_.engine().converged_epochs(),
+        &ledger_);
   }
   store_.publish(std::move(snap));
   {
@@ -94,68 +176,54 @@ void RouteService::publish_current() {
 
 // --- read side -------------------------------------------------------------
 
-std::vector<RouteService::Answer> RouteService::query(
-    std::span<const Query> batch) const {
+std::vector<Reply> RouteService::query(std::span<const Request> batch) const {
   const auto start = std::chrono::steady_clock::now();
   const std::shared_ptr<const RouteSnapshot> snap = snapshot();
-  std::vector<Answer> answers;
-  answers.reserve(batch.size());
-  for (const Query& q : batch) {
-    Answer a;
-    a.version = snap->version();
-    switch (q.kind) {
-      case Query::Kind::kCost:
-        a.value = snap->cost(q.i, q.j);
-        break;
-      case Query::Kind::kPrice:
-        a.value = snap->price(q.k, q.i, q.j);
-        break;
-      case Query::Kind::kPairPayment:
-        a.value = snap->pair_payment(q.i, q.j);
-        break;
-      case Query::Kind::kNextHop:
-        a.node = snap->next_hop(q.i, q.j);
-        a.value = snap->cost(q.i, q.j);
-        break;
-      case Query::Kind::kPath:
-        a.path = snap->path(q.i, q.j);
-        a.value = snap->cost(q.i, q.j);
-        break;
-      case Query::Kind::kPayment:
-        a.amount = snap->payment_total(q.k);
-        a.value = Cost::zero();
-        break;
-    }
-    answers.push_back(std::move(a));
-  }
+  // One wall-clock reading per batch: every reply reports the same age,
+  // and a remote server answering the same batch produces the same split
+  // between "answer" fields and provenance.
+  const std::uint64_t now_ns = util::wall_clock_ns();
+  note_staleness(util::age_from(snap->published_at_ns(), now_ns));
+  std::vector<Reply> replies;
+  replies.reserve(batch.size());
+  for (const Request& request : batch)
+    replies.push_back(answer(*snap, request, now_ns));
   count_batch(batch.size(), elapsed_ns(start));
-  return answers;
+  return replies;
 }
 
 Cost RouteService::price(NodeId k, NodeId i, NodeId j) const {
   const auto start = std::chrono::steady_clock::now();
-  const Cost p = snapshot()->price(k, i, j);
+  const auto snap = snapshot();
+  note_staleness(util::age_from(snap->published_at_ns(), util::wall_clock_ns()));
+  const Cost p = snap->price(k, i, j);
   count_batch(1, elapsed_ns(start));
   return p;
 }
 
 Cost RouteService::cost(NodeId i, NodeId j) const {
   const auto start = std::chrono::steady_clock::now();
-  const Cost c = snapshot()->cost(i, j);
+  const auto snap = snapshot();
+  note_staleness(util::age_from(snap->published_at_ns(), util::wall_clock_ns()));
+  const Cost c = snap->cost(i, j);
   count_batch(1, elapsed_ns(start));
   return c;
 }
 
 graph::Path RouteService::path(NodeId i, NodeId j) const {
   const auto start = std::chrono::steady_clock::now();
-  graph::Path p = snapshot()->path(i, j);
+  const auto snap = snapshot();
+  note_staleness(util::age_from(snap->published_at_ns(), util::wall_clock_ns()));
+  graph::Path p = snap->path(i, j);
   count_batch(1, elapsed_ns(start));
   return p;
 }
 
 Cost::rep RouteService::payment(NodeId k) const {
   const auto start = std::chrono::steady_clock::now();
-  const Cost::rep total = snapshot()->payment_total(k);
+  const auto snap = snapshot();
+  note_staleness(util::age_from(snap->published_at_ns(), util::wall_clock_ns()));
+  const Cost::rep total = snap->payment_total(k);
   count_batch(1, elapsed_ns(start));
   return total;
 }
@@ -170,14 +238,23 @@ void RouteService::count_batch(std::uint64_t queries, std::uint64_t ns) const {
   }
 }
 
+void RouteService::note_staleness(std::uint64_t age_ns) const {
+  std::uint64_t seen = max_staleness_ns_.load(std::memory_order_relaxed);
+  while (age_ns > seen && !max_staleness_ns_.compare_exchange_weak(
+                              seen, age_ns, std::memory_order_relaxed)) {
+  }
+}
+
 RouteService::Counters RouteService::counters() const {
   Counters c;
   c.queries = queries_.load(std::memory_order_relaxed);
   c.batches = batches_.load(std::memory_order_relaxed);
   c.total_ns = total_ns_.load(std::memory_order_relaxed);
   c.max_batch_ns = max_batch_ns_.load(std::memory_order_relaxed);
+  c.max_staleness_ns = max_staleness_ns_.load(std::memory_order_relaxed);
   c.publishes = store_.publish_count();
   c.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
+  c.deltas_coalesced = deltas_coalesced_.load(std::memory_order_relaxed);
   c.charges = charges_.load(std::memory_order_relaxed);
   return c;
 }
@@ -190,8 +267,10 @@ util::Table RouteService::counters_table() const {
   t.add("mean batch latency (ns)",
         c.batches == 0 ? 0 : c.total_ns / c.batches);
   t.add("max batch latency (ns)", c.max_batch_ns);
+  t.add("max served staleness (ns)", c.max_staleness_ns);
   t.add("snapshots published", c.publishes);
   t.add("deltas applied", c.deltas_applied);
+  t.add("deltas coalesced", c.deltas_coalesced);
   t.add("traffic charges recorded", c.charges);
   return t;
 }
@@ -219,15 +298,22 @@ void RouteService::settle() {
 
 // --- update side -----------------------------------------------------------
 
-void RouteService::submit(Delta delta) { submit(std::vector<Delta>{delta}); }
+std::size_t RouteService::submit(Delta delta) {
+  return submit(std::vector<Delta>{delta});
+}
 
-void RouteService::submit(const std::vector<Delta>& deltas) {
-  if (deltas.empty()) return;
+std::size_t RouteService::submit(const std::vector<Delta>& deltas) {
+  std::vector<Delta> accepted;
+  accepted.reserve(deltas.size());
+  for (const Delta& delta : deltas)
+    if (delta_in_range(delta)) accepted.push_back(delta);
+  if (accepted.empty()) return 0;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    queue_.insert(queue_.end(), deltas.begin(), deltas.end());
+    queue_.insert(queue_.end(), accepted.begin(), accepted.end());
   }
   queue_cv_.notify_one();
+  return accepted.size();
 }
 
 void RouteService::wait_for_publishes(std::uint64_t count) const {

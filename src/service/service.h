@@ -6,7 +6,7 @@
 // pricing::Session plus a background updater thread and a SnapshotStore:
 //
 //   readers ──► SnapshotStore::current() ──► immutable RouteSnapshot
-//   updater ──► apply queued deltas ──► reconverge (restart barrier)
+//   updater ──► coalesce queued deltas ──► reconverge once per burst
 //           ──► RouteSnapshot::from_session ──► SnapshotStore::publish
 //
 // Readers never wait on reconvergence: a query acquires the current
@@ -15,7 +15,20 @@
 // mid-reconvergence. Staleness is the price: between a submitted delta and
 // its publish, readers see the previous converged state — never a partial
 // one (the paper's restart semantics make mid-convergence prices
-// meaningless, so serving the old epoch is the only sound choice).
+// meaningless, so serving the old epoch is the only sound choice). Every
+// reply therefore carries the snapshot version, its publish timestamp, and
+// its age, and the counters track the worst staleness ever served.
+//
+// Queries use the wire-stable service::Request/service::Reply model
+// (protocol.h), shared verbatim with the remote front end in src/net — a
+// local query() and a remote route_query return bit-identical answers.
+//
+// A warm start (the snapshot-taking constructor) publishes a previously
+// saved snapshot as epoch 0 and serves it immediately; the session's first
+// convergence is deferred to the updater and happens lazily when the first
+// delta (or republish) arrives. A restarted daemon is thus serving
+// stale-but-sound prices within milliseconds instead of after a full
+// reconvergence.
 //
 // Traffic accounting (Sect. 6.4) rides along: charge() records per-packet
 // prices into a payments::Ledger at the snapshot's prices, and the totals
@@ -33,6 +46,7 @@
 
 #include "payments/ledger.h"
 #include "pricing/session.h"
+#include "service/protocol.h"
 #include "service/snapshot.h"
 #include "service/store.h"
 #include "util/table.h"
@@ -79,44 +93,46 @@ class RouteService {
     static Delta republish() { return {}; }
   };
 
-  /// One element of a batched read.
-  struct Query {
-    enum class Kind {
-      kCost,         ///< c(i, j)                      -> value
-      kPrice,        ///< p^k_ij                       -> value
-      kPairPayment,  ///< sum_k p^k_ij                 -> value
-      kNextHop,      ///< i's next hop toward j        -> node
-      kPath,         ///< full selected path           -> path
-      kPayment,      ///< k's owed+settled totals      -> amount
-    };
-    Kind kind = Kind::kCost;
-    NodeId k = kInvalidNode;  ///< transit node (kPrice/kPayment)
-    NodeId i = kInvalidNode;
-    NodeId j = kInvalidNode;
-  };
+  /// Deprecated spellings of the wire-stable protocol types (protocol.h).
+  /// New code names service::Request/service::Reply directly.
+  using Query = service::Request;
+  using Answer = service::Reply;
 
-  struct Answer {
-    Cost value = Cost::infinity();  ///< kCost/kPrice/kPairPayment
-    Cost::rep amount = 0;           ///< kPayment
-    NodeId node = kInvalidNode;     ///< kNextHop
-    graph::Path path;               ///< kPath
-    std::uint64_t version = 0;      ///< snapshot that answered
-  };
-
-  /// Aggregate read-side counters (monotone; relaxed-atomic maintained).
+  /// Aggregate read-side counters (monotone except the gauges;
+  /// relaxed-atomic maintained).
   struct Counters {
     std::uint64_t queries = 0;   ///< individual query answers produced
     std::uint64_t batches = 0;   ///< query()/single-read calls served
     std::uint64_t total_ns = 0;  ///< wall time summed over batches
     std::uint64_t max_batch_ns = 0;
+    /// Worst snapshot age ever observed by a read (gauge, monotone max):
+    /// answer-time wall clock minus the served snapshot's publish stamp.
+    std::uint64_t max_staleness_ns = 0;
     std::uint64_t publishes = 0;
     std::uint64_t deltas_applied = 0;
+    /// Deltas that needed no reconvergence of their own because the
+    /// updater coalesced them into another delta of the same burst
+    /// (last-writer-wins per node/link; net no-ops dropped).
+    std::uint64_t deltas_coalesced = 0;
     std::uint64_t charges = 0;  ///< charge() calls recorded
   };
 
   /// Converges the initial network on the calling thread, publishes
   /// snapshot #1, then starts the background updater.
   explicit RouteService(const graph::Graph& g, ServiceConfig config = {});
+
+  /// Warm start: publishes `warm` (a previously saved snapshot of the same
+  /// network, typically from load_snapshot()) immediately as epoch 0 and
+  /// returns without converging. The first submitted delta (or republish)
+  /// triggers the session's initial convergence on the updater thread;
+  /// until then readers are served the warm snapshot, whose age_ns makes
+  /// the staleness visible. Payment totals embedded in `warm` seed the
+  /// ledger, so accounting survives a daemon restart. Precondition:
+  /// warm != nullptr and warm->node_count() == g.node_count().
+  RouteService(const graph::Graph& g,
+               std::shared_ptr<const RouteSnapshot> warm,
+               ServiceConfig config = {});
+
   ~RouteService();
 
   RouteService(const RouteService&) = delete;
@@ -133,10 +149,14 @@ class RouteService {
   }
 
   /// Answers a batch against one snapshot acquire (all answers share a
-  /// version) and records batch latency into the counters.
-  std::vector<Answer> query(std::span<const Query> batch) const;
+  /// version and a publish stamp) and records batch latency + staleness
+  /// into the counters. Malformed requests yield Status::kBadNode /
+  /// kBadKind replies — never undefined behavior.
+  std::vector<Reply> query(std::span<const Request> batch) const;
 
-  /// Single-read conveniences; each counts as a batch of one.
+  /// Single-read conveniences; each counts as a batch of one. These keep
+  /// the raw snapshot conventions (infinite cost when unreachable, zero
+  /// price off-path); preconditions as in RouteSnapshot.
   Cost price(NodeId k, NodeId i, NodeId j) const;
   Cost cost(NodeId i, NodeId j) const;
   graph::Path path(NodeId i, NodeId j) const;
@@ -160,10 +180,14 @@ class RouteService {
 
   // --- update side ---------------------------------------------------------
 
-  /// Enqueues deltas for the updater; returns immediately. All deltas
-  /// submitted in one call are applied before the resulting publish.
-  void submit(Delta delta);
-  void submit(const std::vector<Delta>& deltas);
+  /// Enqueues deltas for the updater; returns the number accepted (deltas
+  /// naming out-of-range nodes are rejected — a remote peer must not be
+  /// able to crash the daemon). All deltas accepted in one call are
+  /// applied before the resulting publish; the updater coalesces each
+  /// drained burst (last-writer-wins per node/link) into one
+  /// reconvergence.
+  std::size_t submit(Delta delta);
+  std::size_t submit(const std::vector<Delta>& deltas);
 
   std::uint64_t publish_count() const { return store_.publish_count(); }
   /// Version of the currently served snapshot.
@@ -179,10 +203,14 @@ class RouteService {
 
  private:
   void updater_loop();
-  void apply(const Delta& delta);
+  /// Coalesces one drained burst and applies it in a single reconvergence;
+  /// returns the number of events actually applied.
+  std::size_t apply_coalesced(const std::vector<Delta>& batch);
+  bool delta_in_range(const Delta& delta) const;
   /// Builds a snapshot from the (converged) session and publishes it.
   void publish_current();
   void count_batch(std::uint64_t queries, std::uint64_t ns) const;
+  void note_staleness(std::uint64_t age_ns) const;
 
   std::size_t node_count_;
   ServiceConfig config_;
@@ -190,6 +218,14 @@ class RouteService {
   /// convergence, before the updater exists) and then by the updater
   /// thread — never by readers.
   pricing::Session session_;
+  /// Published versions are version_base_ + converged_epochs(): zero for a
+  /// cold start, the warm snapshot's version for a warm start (so versions
+  /// keep increasing across a restart).
+  std::uint64_t version_base_ = 0;
+  /// False until the session's first convergence has run. Always true for
+  /// a cold start; for a warm start the updater flips it before applying
+  /// the first burst.
+  bool session_converged_ = false;
   SnapshotStore store_;
 
   mutable std::mutex ledger_mutex_;
@@ -207,7 +243,9 @@ class RouteService {
   mutable std::atomic<std::uint64_t> batches_{0};
   mutable std::atomic<std::uint64_t> total_ns_{0};
   mutable std::atomic<std::uint64_t> max_batch_ns_{0};
+  mutable std::atomic<std::uint64_t> max_staleness_ns_{0};
   std::atomic<std::uint64_t> deltas_applied_{0};
+  std::atomic<std::uint64_t> deltas_coalesced_{0};
   std::atomic<std::uint64_t> charges_{0};
 
   std::thread updater_;  ///< last member: joined before state tears down

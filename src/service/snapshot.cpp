@@ -7,22 +7,19 @@
 #include "bgp/rib.h"
 #include "graph/graph.h"
 #include "pricing/session.h"
+#include "util/binio.h"
 #include "util/checksum.h"
+#include "util/clock.h"
 #include "util/contract.h"
 
 namespace fpss::service {
 
-namespace {
-
-// Costs are serialized and checksummed as int64: -1 encodes +infinity
-// (finite costs are non-negative by construction).
-constexpr std::int64_t kInfCost = -1;
-
-std::int64_t encode_cost(Cost c) {
-  return c.is_infinite() ? kInfCost : c.value();
-}
-
-}  // namespace
+// Costs are serialized and checksummed as int64 via util::encode_cost:
+// -1 encodes +infinity (finite costs are non-negative by construction).
+using util::append_i64;
+using util::append_u32;
+using util::append_u64;
+using util::encode_cost;
 
 std::shared_ptr<const RouteSnapshot> RouteSnapshot::from_session(
     const pricing::Session& session, std::uint64_t version,
@@ -35,6 +32,7 @@ std::shared_ptr<const RouteSnapshot> RouteSnapshot::from_session(
   snap->n_ = n;
   snap->version_ = version;
   snap->graph_version_ = g.version();
+  snap->published_at_ns_ = util::wall_clock_ns();
   snap->node_cost_.reserve(n);
   for (NodeId v = 0; v < n; ++v) snap->node_cost_.push_back(g.cost(v));
   snap->next_hop_.assign(n * n, kInvalidNode);
@@ -116,6 +114,7 @@ std::uint64_t RouteSnapshot::compute_checksum() const {
   fnv.u64(n_);
   fnv.u64(version_);
   fnv.u64(graph_version_);
+  fnv.u64(published_at_ns_);
   fnv.u64(transit_.size());
   for (Cost c : node_cost_) fnv.i64(encode_cost(c));
   for (NodeId v : next_hop_) fnv.u32(v);
@@ -172,73 +171,15 @@ bool RouteSnapshot::self_check() const {
 namespace {
 
 constexpr char kMagic[8] = {'F', 'P', 'S', 'S', 'S', 'N', 'P', '1'};
-constexpr std::uint64_t kFormatVersion = 1;
+// v2 added published_at_ns to the payload header (see snapshot.h).
+constexpr std::uint64_t kFormatVersion = 2;
 
-void append_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i)
-    out.push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
-}
-
-void append_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
-}
-
-void append_i64(std::string& out, std::int64_t v) {
-  append_u64(out, static_cast<std::uint64_t>(v));
-}
-
-/// Sequential little-endian reader over the loaded payload; `fail` latches.
-struct Reader {
-  const std::string& data;
-  std::size_t pos = 0;
-  bool fail = false;
-
-  std::uint64_t u64() {
-    if (fail || data.size() - pos < 8) {
-      fail = true;
-      return 0;
-    }
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-      v |= static_cast<std::uint64_t>(
-               static_cast<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
-           << (8 * i);
-    pos += 8;
-    return v;
-  }
-
-  std::uint32_t u32() {
-    if (fail || data.size() - pos < 4) {
-      fail = true;
-      return 0;
-    }
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-      v |= static_cast<std::uint32_t>(
-               static_cast<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
-           << (8 * i);
-    pos += 4;
-    return v;
-  }
-
-  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-};
+using Reader = util::BinReader;
 
 SnapshotLoadResult load_fail(std::string message) {
   SnapshotLoadResult result;
   result.error = std::move(message);
   return result;
-}
-
-/// Decodes a serialized cost; sets fail on out-of-range finite values.
-Cost decode_cost(std::int64_t raw, bool& fail) {
-  if (raw == kInfCost) return Cost::infinity();
-  if (raw < 0 || raw > Cost::kMaxFinite) {
-    fail = true;
-    return Cost::infinity();
-  }
-  return Cost{raw};
 }
 
 }  // namespace
@@ -250,11 +191,12 @@ struct SnapshotCodec {
     std::string out;
     const std::size_t n = s.n_;
     const std::size_t entries = s.transit_.size();
-    out.reserve(8 * (4 + n + n * n + n * n + 1 + entries + 2 * n) +
+    out.reserve(8 * (5 + n + n * n + n * n + 1 + entries + 2 * n) +
                 4 * (n * n + entries));
     append_u64(out, n);
     append_u64(out, s.version_);
     append_u64(out, s.graph_version_);
+    append_u64(out, s.published_at_ns_);
     append_u64(out, entries);
     for (Cost c : s.node_cost_) append_i64(out, encode_cost(c));
     for (NodeId v : s.next_hop_) append_u32(out, v);
@@ -279,24 +221,34 @@ struct SnapshotCodec {
     snap->n_ = n;
     snap->version_ = in.u64();
     snap->graph_version_ = in.u64();
+    snap->published_at_ns_ = in.u64();
     const std::uint64_t entries = in.u64();
     if (in.fail || entries > payload.size())
       return load_fail("truncated payload");
     // Exact payload arithmetic (see SnapshotCodec::payload) before any
     // reserve(): a corrupted header must not trigger a giant allocation.
     const std::uint64_t need =
-        40 + 24 * n64 + 20 * n64 * n64 + 12 * entries;
+        48 + 24 * n64 + 20 * n64 * n64 + 12 * entries;
     if (need != payload.size()) return load_fail("payload size mismatch");
 
     bool bad_cost = false;
+    const auto read_cost = [&in, &bad_cost] {
+      const std::int64_t raw = in.i64();
+      if (in.fail || raw == util::kInfCostWire) return Cost::infinity();
+      if (raw < 0 || raw > Cost::kMaxFinite) {
+        bad_cost = true;
+        return Cost::infinity();
+      }
+      return Cost{raw};
+    };
     snap->node_cost_.reserve(n);
     for (std::size_t v = 0; v < n; ++v)
-      snap->node_cost_.push_back(decode_cost(in.i64(), bad_cost));
+      snap->node_cost_.push_back(read_cost());
     snap->next_hop_.reserve(n * n);
     for (std::size_t s = 0; s < n * n; ++s) snap->next_hop_.push_back(in.u32());
     snap->cost_.reserve(n * n);
     for (std::size_t s = 0; s < n * n; ++s)
-      snap->cost_.push_back(decode_cost(in.i64(), bad_cost));
+      snap->cost_.push_back(read_cost());
     snap->price_offset_.reserve(n * n + 1);
     for (std::size_t s = 0; s < n * n + 1; ++s)
       snap->price_offset_.push_back(in.u64());
@@ -305,7 +257,7 @@ struct SnapshotCodec {
       snap->transit_.push_back(in.u32());
     snap->price_.reserve(entries);
     for (std::uint64_t e = 0; e < entries; ++e)
-      snap->price_.push_back(decode_cost(in.i64(), bad_cost));
+      snap->price_.push_back(read_cost());
     snap->owed_.reserve(n);
     for (std::size_t v = 0; v < n; ++v) snap->owed_.push_back(in.i64());
     snap->settled_.reserve(n);

@@ -11,9 +11,11 @@
 // price rows double as the stored paths). Queries are array lookups plus a
 // short row scan; nothing allocates except path() materialization.
 //
-// Snapshots also serialize ("fpss-snap v1", binary header + FNV-1a
+// Snapshots also serialize ("fpss-snap v2", binary header + FNV-1a
 // checksum, the service-layer sibling of graph/io.h's "fpss-graph v1") so
-// a warm restart can serve traffic before the first reconvergence.
+// a warm restart can serve traffic before the first reconvergence. v2
+// added the publish wall-clock stamp that staleness accounting and the
+// remote protocol report; v1 files are rejected with a version error.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +51,10 @@ class RouteSnapshot {
   std::uint64_t version() const { return version_; }
   /// Graph::version() of the topology the snapshot was taken from.
   std::uint64_t graph_version() const { return graph_version_; }
+  /// Wall-clock stamp (ns since the Unix epoch) taken at export — the
+  /// publication time for staleness purposes. Persisted, so a warm-started
+  /// daemon reports the true age of the prices it serves.
+  std::uint64_t published_at_ns() const { return published_at_ns_; }
   /// FNV-1a digest of the full logical content, fixed at construction.
   std::uint64_t checksum() const { return checksum_; }
 
@@ -103,6 +109,7 @@ class RouteSnapshot {
   std::size_t n_ = 0;
   std::uint64_t version_ = 0;
   std::uint64_t graph_version_ = 0;
+  std::uint64_t published_at_ns_ = 0;
   std::uint64_t checksum_ = 0;
   std::vector<Cost> node_cost_;          ///< declared costs, size n
   std::vector<NodeId> next_hop_;         ///< j*n+i, size n*n
@@ -131,7 +138,7 @@ struct SnapshotLoadResult {
   bool ok() const { return snapshot != nullptr; }
 };
 
-/// Writes the "fpss-snap v1" binary image: an 8-byte magic, format
+/// Writes the "fpss-snap v2" binary image: an 8-byte magic, format
 /// version, payload byte count, and content checksum, then the payload.
 SnapshotSaveResult save_snapshot(const RouteSnapshot& snapshot,
                                  const std::string& path);

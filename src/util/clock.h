@@ -1,0 +1,30 @@
+// Wall-clock timestamps for the serving layer's staleness accounting.
+//
+// Snapshots are stamped at publication and the stamp is persisted (a
+// warm-started daemon must report how old its epoch-0 prices really are,
+// which rules out the steady clock — it is not comparable across process
+// restarts). The price is coarse semantics: a wall-clock step makes one
+// age reading jump, never a served price, so age_ns is clamped at zero and
+// documented as approximate.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace fpss::util {
+
+/// Nanoseconds since the Unix epoch on the realtime clock.
+inline std::uint64_t wall_clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// now - published, clamped at zero (the clock may step backwards).
+inline std::uint64_t age_from(std::uint64_t published_ns,
+                              std::uint64_t now_ns) {
+  return now_ns > published_ns ? now_ns - published_ns : 0;
+}
+
+}  // namespace fpss::util

@@ -308,7 +308,10 @@ TEST(RouteService, BatchedQueriesShareOneEpochAndCount) {
   EXPECT_EQ(answers[3].node, f.b);
   EXPECT_EQ(answers[4].path, (graph::Path{f.x, f.b, f.d, f.z}));
   EXPECT_EQ(answers[5].amount, 0);
-  for (const auto& a : answers) EXPECT_EQ(a.version, answers[0].version);
+  for (const auto& a : answers) {
+    EXPECT_EQ(a.snapshot_version, answers[0].snapshot_version);
+    EXPECT_EQ(a.published_at_ns, answers[0].published_at_ns);
+  }
 
   const auto counters = svc.counters();
   EXPECT_EQ(counters.queries, batch.size());
@@ -316,7 +319,7 @@ TEST(RouteService, BatchedQueriesShareOneEpochAndCount) {
   EXPECT_GT(counters.total_ns, 0u);
   EXPECT_GE(counters.max_batch_ns, counters.total_ns / counters.batches);
   const util::Table t = svc.counters_table();
-  EXPECT_EQ(t.row_count(), 7u);
+  EXPECT_EQ(t.row_count(), 9u);
 }
 
 TEST(RouteService, ChargesReachPaymentTotalsOnRepublish) {
