@@ -188,6 +188,26 @@ int main(int argc, char** argv) {
     std::printf("max batch %.3f ms  max served staleness %.3f ms\n",
                 static_cast<double>(c.max_batch_ns) / 1e6,
                 static_cast<double>(c.max_staleness_ns) / 1e6);
+    std::printf("snapshot rows rebuilt %" PRIu64 "  reused %" PRIu64
+                "  shards republished %" PRIu64 "  full rebuilds %" PRIu64
+                "\n",
+                c.rows_rebuilt, c.rows_reused, c.shards_republished,
+                c.full_rebuilds);
+    std::printf("publish latency mean %.3f ms  max %.3f ms\n",
+                c.publishes > 0 ? static_cast<double>(c.publish_total_ns) /
+                                      static_cast<double>(c.publishes) / 1e6
+                                : 0.0,
+                static_cast<double>(c.max_publish_ns) / 1e6);
+    const auto& s = result.server;
+    std::printf("server: connections %" PRIu64 "  frames %" PRIu64
+                "  rejected %" PRIu64 "  timeouts %" PRIu64 "\n",
+                s.connections, s.frames, s.rejected_frames, s.timeouts);
+    for (const auto& peer : s.peers) {
+      std::printf("  peer %-15s  conns %" PRIu64 "  queries %" PRIu64
+                  "  batches %" PRIu64 "  rejected %" PRIu64 "\n",
+                  peer.peer.c_str(), peer.connections, peer.queries,
+                  peer.batches, peer.rejected_frames);
+    }
     return 0;
   }
   if (command == "drain" && operands == 0) {

@@ -8,11 +8,14 @@
 #   BENCH_service.json  — bench_service (serving layer: snapshot export,
 #                         save/load, single/batched/concurrent queries,
 #                         publish cycle)
+#   BENCH_publish.json  — bench_publish (publication path: full vs
+#                         incremental CoW export across dirty fractions,
+#                         sharded publish cycle)
 #
 # Each output is the merged JSON of its binaries, annotated with host
 # context (cores, compiler, commit). Usage:
 #
-#   scripts/bench_baseline.sh [scaling-output.json] [service-output.json]
+#   scripts/bench_baseline.sh [scaling.json] [service.json] [publish.json]
 #
 # Environment:
 #   BUILD_DIR       build tree holding the bench binaries (default: build)
@@ -23,9 +26,10 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 SCALING_OUT=${1:-BENCH_scaling.json}
 SERVICE_OUT=${2:-BENCH_service.json}
+PUBLISH_OUT=${3:-BENCH_publish.json}
 FILTER=${BENCH_FILTER:-.}
 
-for bin in bench_scaling bench_parallel bench_service; do
+for bin in bench_scaling bench_parallel bench_service bench_publish; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -35,7 +39,7 @@ done
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
-for bin in bench_scaling bench_parallel bench_service; do
+for bin in bench_scaling bench_parallel bench_service bench_publish; do
   echo "== $bin" >&2
   "$BUILD_DIR/bench/$bin" \
     --benchmark_filter="$FILTER" \
@@ -77,3 +81,4 @@ EOF
 
 merge "$SCALING_OUT" bench_scaling bench_parallel
 merge "$SERVICE_OUT" bench_service
+merge "$PUBLISH_OUT" bench_publish

@@ -245,6 +245,12 @@ class Engine {
   std::uint64_t converged_epochs() const { return converged_epochs_; }
   /// Unified logical clock (== current_stage() under the stage scheduler).
   double now() const;
+  /// The engine's persistent compute pool; nullptr when threads == 1.
+  /// Exposed so converged-state consumers (snapshot export, sink-tree
+  /// fingerprinting) can reuse the same deterministic-partition workers
+  /// instead of spawning their own. Same ownership rule as the engine's own
+  /// phases: one job at a time, submitted by the thread driving the engine.
+  util::ThreadPool* pool() const { return pool_.get(); }
   SchedulerKind scheduler() const { return config_.scheduler; }
   const EngineConfig& config() const { return config_; }
 

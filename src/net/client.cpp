@@ -302,11 +302,15 @@ CountersResult RouteClient::counters() {
   std::string payload;
   result.error = receive_frame(FrameType::kCountersReply, payload);
   if (!result.error.ok()) return result;
-  if (!decode_counters(payload, result.counters)) {
+  CountersFrame frame;
+  if (!decode_counters(payload, frame)) {
     close();
     result.error =
         make_error(ClientStatus::kProtocolError, "bad counters payload");
+    return result;
   }
+  result.counters = frame.service;
+  result.server = std::move(frame.server);
   return result;
 }
 

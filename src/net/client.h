@@ -64,6 +64,8 @@ struct QueryResult {
 struct CountersResult {
   ClientError error;
   service::RouteService::Counters counters;
+  /// The daemon's own frame totals and per-peer breakdown.
+  ServerCounters server;
   bool ok() const { return error.ok(); }
 };
 

@@ -174,7 +174,25 @@ RouteServer::Stats RouteServer::stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.rejected_frames = rejected_frames_.load(std::memory_order_relaxed);
   s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  s.peers.reserve(peers_.size());
+  for (const auto& [peer, tally] : peers_) {
+    PeerCounters counters;
+    counters.peer = peer;
+    counters.connections = tally.connections;
+    counters.queries = tally.queries;
+    counters.batches = tally.batches;
+    counters.rejected_frames = tally.rejected_frames;
+    s.peers.push_back(std::move(counters));
+  }
   return s;
+}
+
+RouteServer::PeerTally& RouteServer::peer_tally(const std::string& peer) {
+  const auto found = peers_.find(peer);
+  if (found != peers_.end()) return found->second;
+  if (peers_.size() >= kMaxPeers) return peers_["(other)"];
+  return peers_[peer];
 }
 
 void RouteServer::accept_loop() {
@@ -212,21 +230,41 @@ void RouteServer::worker_loop() {
 void RouteServer::serve_connection(int fd) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  while (serve_frame(fd)) {
+  // The accounting key: the peer's address. Ports are ephemeral, so the
+  // per-peer table aggregates by host — reconnects accumulate.
+  std::string peer = "(other)";
+  sockaddr_in remote{};
+  socklen_t remote_len = sizeof(remote);
+  char addr[INET_ADDRSTRLEN];
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&remote), &remote_len) ==
+          0 &&
+      remote.sin_family == AF_INET &&
+      ::inet_ntop(AF_INET, &remote.sin_addr, addr, sizeof(addr)) != nullptr) {
+    peer = addr;
+  }
+  {
+    std::lock_guard<std::mutex> lock(peers_mutex_);
+    peer_tally(peer).connections += 1;
+  }
+  while (serve_frame(fd, peer)) {
   }
   ::close(fd);
 }
 
-bool RouteServer::send_error(int fd, WireStatus code,
+bool RouteServer::send_error(int fd, const std::string& peer, WireStatus code,
                              const std::string& message) {
   rejected_frames_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(peers_mutex_);
+    peer_tally(peer).rejected_frames += 1;
+  }
   const std::string frame =
       encode_frame(FrameType::kError, encode_error({code, message}));
   write_all(fd, frame, config_.read_timeout_ms);
   return false;  // protocol errors always close the connection
 }
 
-bool RouteServer::serve_frame(int fd) {
+bool RouteServer::serve_frame(int fd, const std::string& peer) {
   // 1. Header: fixed 20 bytes, validated before the payload is allocated.
   char header_bytes[kFrameHeaderBytes];
   switch (read_exact(fd, header_bytes, kFrameHeaderBytes,
@@ -244,7 +282,7 @@ bool RouteServer::serve_frame(int fd) {
   }
   const HeaderResult head = decode_frame_header(
       std::string_view(header_bytes, kFrameHeaderBytes), config_.limits);
-  if (!head.ok()) return send_error(fd, head.status, head.error);
+  if (!head.ok()) return send_error(fd, peer, head.status, head.error);
 
   // 2. Payload: size is now known-bounded, so allocating is safe.
   std::string payload(head.header.payload_bytes, '\0');
@@ -261,7 +299,7 @@ bool RouteServer::serve_frame(int fd) {
     }
   }
   if (!payload_checksum_ok(head.header, payload))
-    return send_error(fd, WireStatus::kMalformed, "payload checksum mismatch");
+    return send_error(fd, peer, WireStatus::kMalformed, "payload checksum mismatch");
 
   // 3. Dispatch. From here the frame is served to completion even if a
   //    shutdown starts concurrently — that is the drain guarantee.
@@ -270,9 +308,9 @@ bool RouteServer::serve_frame(int fd) {
     case FrameType::kHello: {
       Hello hello;
       if (!decode_hello(payload, hello))
-        return send_error(fd, WireStatus::kMalformed, "bad hello payload");
+        return send_error(fd, peer, WireStatus::kMalformed, "bad hello payload");
       if (hello.wire_version != kWireVersion)
-        return send_error(fd, WireStatus::kUnsupportedVersion,
+        return send_error(fd, peer, WireStatus::kUnsupportedVersion,
                           "client wire version " +
                               std::to_string(hello.wire_version) +
                               " unsupported");
@@ -287,26 +325,32 @@ bool RouteServer::serve_frame(int fd) {
     case FrameType::kQueryBatch: {
       const RequestsResult batch =
           decode_requests(payload, config_.limits.max_batch);
-      if (!batch.ok()) return send_error(fd, batch.status, batch.error);
+      if (!batch.ok()) return send_error(fd, peer, batch.status, batch.error);
       const std::vector<service::Reply> replies = service_.query(
           std::span<const service::Request>(batch.requests));
       batches_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(peers_mutex_);
+        PeerTally& tally = peer_tally(peer);
+        tally.queries += batch.requests.size();
+        tally.batches += 1;
+      }
       reply_frame =
           encode_frame(FrameType::kReplyBatch, encode_replies(replies));
       break;
     }
     case FrameType::kCountersFetch: {
       reply_frame = encode_frame(FrameType::kCountersReply,
-                                 encode_counters(service_.counters()));
+                                 encode_counters(service_.counters(), stats()));
       break;
     }
     case FrameType::kDeltaSubmit: {
       if (!config_.allow_deltas)
-        return send_error(fd, WireStatus::kBadFrameType,
+        return send_error(fd, peer, WireStatus::kBadFrameType,
                           "delta submission disabled on this server");
       const DeltasResult deltas =
           decode_deltas(payload, config_.limits.max_batch);
-      if (!deltas.ok()) return send_error(fd, deltas.status, deltas.error);
+      if (!deltas.ok()) return send_error(fd, peer, deltas.status, deltas.error);
       const std::size_t accepted = service_.submit(deltas.deltas);
       reply_frame =
           encode_frame(FrameType::kDeltaAck, encode_u64(accepted));
@@ -320,7 +364,7 @@ bool RouteServer::serve_frame(int fd) {
     default:
       // Server-to-client types (HelloAck, ReplyBatch, ...) and kError are
       // never valid requests.
-      return send_error(fd, WireStatus::kBadFrameType,
+      return send_error(fd, peer, WireStatus::kBadFrameType,
                         "frame type not valid as a request");
   }
 

@@ -23,6 +23,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -49,14 +50,11 @@ struct ServerConfig {
 
 class RouteServer {
  public:
-  /// Monotone totals across all connections, for the daemon's own report.
-  struct Stats {
-    std::uint64_t connections = 0;
-    std::uint64_t frames = 0;          ///< well-formed frames served
-    std::uint64_t batches = 0;         ///< query batches answered
-    std::uint64_t rejected_frames = 0; ///< header/payload validation failures
-    std::uint64_t timeouts = 0;        ///< connections dropped mid-frame
-  };
+  /// Monotone totals across all connections plus the per-peer breakdown,
+  /// for the daemon's own report and the counters frame. The wire type
+  /// (net::ServerCounters) *is* the stats type — what stats() returns is
+  /// exactly what a remote `route_query counters` shows.
+  using Stats = ServerCounters;
 
   /// Binds and starts serving immediately. Check ok() — constructors
   /// cannot return the bind error, and a daemon that silently isn't
@@ -80,13 +78,31 @@ class RouteServer {
   void stop();
 
  private:
+  /// Per-peer tallies live behind peers_mutex_ (written per served frame,
+  /// read by stats()); keyed by the peer's textual address. Bounded: once
+  /// kMaxPeers distinct addresses exist, further ones account under
+  /// "(other)" — a scanner cycling source addresses must not grow server
+  /// memory without bound.
+  struct PeerTally {
+    std::uint64_t connections = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t rejected_frames = 0;
+  };
+  static constexpr std::size_t kMaxPeers = 256;
+
   void accept_loop();
   void worker_loop();
   void serve_connection(int fd);
   /// One request/reply exchange; returns false when the connection should
-  /// close (EOF, timeout, protocol error, shutdown).
-  bool serve_frame(int fd);
-  bool send_error(int fd, WireStatus code, const std::string& message);
+  /// close (EOF, timeout, protocol error, shutdown). `peer` is the
+  /// connection's accounting key.
+  bool serve_frame(int fd, const std::string& peer);
+  bool send_error(int fd, const std::string& peer, WireStatus code,
+                  const std::string& message);
+  /// The tally this peer accounts under (the overflow bucket when the
+  /// table is full). Caller must hold peers_mutex_.
+  PeerTally& peer_tally(const std::string& peer);
 
   service::RouteService& service_;
   ServerConfig config_;
@@ -107,6 +123,9 @@ class RouteServer {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> rejected_frames_{0};
   std::atomic<std::uint64_t> timeouts_{0};
+
+  mutable std::mutex peers_mutex_;
+  std::map<std::string, PeerTally> peers_;
 
   std::vector<std::thread> workers_;
   std::thread acceptor_;

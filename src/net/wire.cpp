@@ -381,9 +381,16 @@ DeltasResult decode_deltas(std::string_view payload, std::uint32_t max_batch) {
   return result;
 }
 
-std::string encode_counters(const service::RouteService::Counters& counters) {
+namespace {
+/// A peer address is a dotted quad (or "(other)"); anything longer is a
+/// lying frame.
+constexpr std::uint32_t kMaxPeerAddrBytes = 64;
+}  // namespace
+
+std::string encode_counters(const service::RouteService::Counters& counters,
+                            const ServerCounters& server) {
   std::string out;
-  out.reserve(9 * 8);
+  out.reserve((15 + 5) * 8 + 4 + server.peers.size() * (4 + 16 + 4 * 8));
   append_u64(out, counters.queries);
   append_u64(out, counters.batches);
   append_u64(out, counters.total_ns);
@@ -393,21 +400,71 @@ std::string encode_counters(const service::RouteService::Counters& counters) {
   append_u64(out, counters.deltas_applied);
   append_u64(out, counters.deltas_coalesced);
   append_u64(out, counters.charges);
+  append_u64(out, counters.rows_rebuilt);
+  append_u64(out, counters.rows_reused);
+  append_u64(out, counters.shards_republished);
+  append_u64(out, counters.full_rebuilds);
+  append_u64(out, counters.publish_total_ns);
+  append_u64(out, counters.max_publish_ns);
+  append_u64(out, server.connections);
+  append_u64(out, server.frames);
+  append_u64(out, server.batches);
+  append_u64(out, server.rejected_frames);
+  append_u64(out, server.timeouts);
+  append_u32(out, static_cast<std::uint32_t>(server.peers.size()));
+  for (const PeerCounters& peer : server.peers) {
+    append_u32(out, static_cast<std::uint32_t>(peer.peer.size()));
+    out.append(peer.peer);
+    append_u64(out, peer.connections);
+    append_u64(out, peer.queries);
+    append_u64(out, peer.batches);
+    append_u64(out, peer.rejected_frames);
+  }
   return out;
 }
 
-bool decode_counters(std::string_view payload,
-                     service::RouteService::Counters& out) {
+bool decode_counters(std::string_view payload, CountersFrame& out) {
   BinReader in{payload};
-  out.queries = in.u64();
-  out.batches = in.u64();
-  out.total_ns = in.u64();
-  out.max_batch_ns = in.u64();
-  out.max_staleness_ns = in.u64();
-  out.publishes = in.u64();
-  out.deltas_applied = in.u64();
-  out.deltas_coalesced = in.u64();
-  out.charges = in.u64();
+  out.service.queries = in.u64();
+  out.service.batches = in.u64();
+  out.service.total_ns = in.u64();
+  out.service.max_batch_ns = in.u64();
+  out.service.max_staleness_ns = in.u64();
+  out.service.publishes = in.u64();
+  out.service.deltas_applied = in.u64();
+  out.service.deltas_coalesced = in.u64();
+  out.service.charges = in.u64();
+  out.service.rows_rebuilt = in.u64();
+  out.service.rows_reused = in.u64();
+  out.service.shards_republished = in.u64();
+  out.service.full_rebuilds = in.u64();
+  out.service.publish_total_ns = in.u64();
+  out.service.max_publish_ns = in.u64();
+  out.server.connections = in.u64();
+  out.server.frames = in.u64();
+  out.server.batches = in.u64();
+  out.server.rejected_frames = in.u64();
+  out.server.timeouts = in.u64();
+  const std::uint32_t peer_count = in.u32();
+  // Every peer entry is at least 36 bytes; a lying count cannot force a
+  // large allocation past this bound.
+  if (in.fail || peer_count > in.remaining() / 36) return false;
+  out.server.peers.clear();
+  out.server.peers.reserve(peer_count);
+  for (std::uint32_t p = 0; p < peer_count; ++p) {
+    PeerCounters peer;
+    const std::uint32_t addr_len = in.u32();
+    if (in.fail || addr_len > kMaxPeerAddrBytes || addr_len > in.remaining())
+      return false;
+    peer.peer.assign(payload.substr(in.pos, addr_len));
+    in.pos += addr_len;
+    peer.connections = in.u64();
+    peer.queries = in.u64();
+    peer.batches = in.u64();
+    peer.rejected_frames = in.u64();
+    if (in.fail) return false;
+    out.server.peers.push_back(std::move(peer));
+  }
   return !in.fail && in.pos == payload.size();
 }
 

@@ -172,11 +172,44 @@ struct DeltasResult {
 };
 DeltasResult decode_deltas(std::string_view payload, std::uint32_t max_batch);
 
-/// Counters: the RouteService::Counters fields as u64 in declaration
-/// order (queries, batches, total_ns, max_batch_ns, max_staleness_ns,
-/// publishes, deltas_applied, deltas_coalesced, charges).
-std::string encode_counters(const service::RouteService::Counters& counters);
-bool decode_counters(std::string_view payload,
-                     service::RouteService::Counters& out);
+/// One peer's (client address's) accumulated server-side accounting —
+/// the ROADMAP's per-client counters. `peer` is the textual remote
+/// address (IPv4 dotted quad); a server that cannot resolve it, or whose
+/// peer table overflowed, accounts under "(other)".
+struct PeerCounters {
+  std::string peer;
+  std::uint64_t connections = 0;
+  std::uint64_t queries = 0;          ///< individual requests answered
+  std::uint64_t batches = 0;          ///< query batches served
+  std::uint64_t rejected_frames = 0;  ///< typed kError rejections sent
+};
+
+/// net::RouteServer's own accounting: frame-level totals plus the
+/// per-peer breakdown. Lives here (not in server.h) because the counters
+/// frame carries it and server.h already includes wire.h.
+struct ServerCounters {
+  std::uint64_t connections = 0;
+  std::uint64_t frames = 0;           ///< well-formed frames served
+  std::uint64_t batches = 0;          ///< query batches answered
+  std::uint64_t rejected_frames = 0;  ///< header/payload validation failures
+  std::uint64_t timeouts = 0;         ///< connections dropped mid-frame
+  std::vector<PeerCounters> peers;    ///< sorted by peer address
+};
+
+/// What a kCountersReply carries: the service's counters plus the serving
+/// daemon's own frame/peer accounting.
+struct CountersFrame {
+  service::RouteService::Counters service;
+  ServerCounters server;
+};
+
+/// Counters payload: the RouteService::Counters fields as u64 in
+/// declaration order (queries .. charges, then the PR 6 publication
+/// counters rows_rebuilt .. max_publish_ns — appended, never reordered),
+/// followed by the server totals (5 u64) and the per-peer section
+/// (count:u32, then per peer addr_len:u32 addr bytes + 4 u64).
+std::string encode_counters(const service::RouteService::Counters& counters,
+                            const ServerCounters& server = {});
+bool decode_counters(std::string_view payload, CountersFrame& out);
 
 }  // namespace fpss::net

@@ -1,6 +1,10 @@
 #include "pricing/session.h"
 
+#include "bgp/rib.h"
+#include "util/binio.h"
+#include "util/checksum.h"
 #include "util/contract.h"
+#include "util/thread_pool.h"
 
 namespace fpss::pricing {
 
@@ -37,7 +41,11 @@ Session::Session(const graph::Graph& g, const bgp::AgentFactory& factory,
     : network_(std::make_unique<bgp::Network>(g, factory)),
       engine_(std::make_unique<bgp::Engine>(*network_, config)) {}
 
-bgp::RunStats Session::run() { return engine_->run(); }
+bgp::RunStats Session::run() {
+  const bgp::RunStats stats = engine_->run();
+  note_converged();
+  return stats;
+}
 
 const PricingAgent& Session::agent(NodeId v) const {
   return static_cast<const PricingAgent&>(network_->agent(v));
@@ -58,12 +66,16 @@ bgp::RunStats Session::reconverge(RestartPolicy policy) {
   // only the route-independent avoidance values may skip the restart.
   FPSS_EXPECTS(policy == RestartPolicy::kRestartBarrier ||
                protocol_ != Protocol::kPriceVector);
-  bgp::RunStats stats = run();  // routes (and prices) reconverge
+  // Drive the engine directly (not Session::run): dirty tracking must
+  // fingerprint only the *final* converged state of the whole
+  // reconvergence. Between the two barrier runs every price is back at
+  // +infinity — fingerprinting there would mark every sink tree dirty.
+  bgp::RunStats stats = engine_->run();  // routes (and prices) reconverge
   if (policy == RestartPolicy::kRestartBarrier) {
     // Paper semantics: price computation starts over on the settled routes.
     for (NodeId v = 0; v < network_->node_count(); ++v)
       agent(v).restart_values();
-    const bgp::RunStats wave = run();
+    const bgp::RunStats wave = engine_->run();
     stats.stages += wave.stages;
     stats.messages += wave.messages;
     stats.traffic += wave.traffic;
@@ -75,7 +87,106 @@ bgp::RunStats Session::reconverge(RestartPolicy policy) {
     stats.end_time = wave.end_time;
     stats.converged = wave.converged;
   }
+  note_converged();
   return stats;
+}
+
+void Session::track_dirty_destinations(bool enable) {
+  track_dirty_ = enable;
+  fps_.clear();
+  records_.clear();
+  // Baseline off the current converged state (if there is one) so the next
+  // event burst diffs against it instead of reporting everything dirty.
+  if (enable && engine_->stats().converged) note_converged();
+}
+
+std::uint64_t Session::sink_fingerprint(NodeId j) const {
+  util::Fnv1a64 fnv;
+  const std::size_t n = network_->node_count();
+  for (NodeId i = 0; i < n; ++i) {
+    if (i == j) continue;
+    const PricingAgent& a = agent(i);
+    const bgp::SelectedRoute& route = a.selected(j);
+    if (!route.valid()) {
+      fnv.u32(kInvalidNode);
+      continue;
+    }
+    fnv.u64(route.path.size());
+    for (NodeId v : route.path) fnv.u32(v);
+    fnv.i64(util::encode_cost(route.cost));
+    for (std::size_t h = 1; h + 1 < route.path.size(); ++h)
+      fnv.i64(util::encode_cost(a.price(j, route.path[h])));
+  }
+  return fnv.digest();
+}
+
+void Session::note_converged() {
+  if (!track_dirty_) return;
+  if (!engine_->stats().converged) {
+    // The run hit a cap: the state is mid-flight and converged_epochs did
+    // not advance, so the fingerprints no longer describe what they claim.
+    // Drop them — the next converged run re-baselines (everything dirty).
+    fps_.clear();
+    records_.clear();
+    return;
+  }
+  const std::size_t n = network_->node_count();
+  const std::uint64_t epoch = engine_->converged_epochs();
+  std::vector<std::uint64_t> fresh(n);
+  const auto fingerprint = [&](std::size_t j) {
+    fresh[j] = sink_fingerprint(static_cast<NodeId>(j));
+  };
+  util::ThreadPool* pool = engine_->pool();
+  if (pool != nullptr && n > 1) {
+    pool->parallel_for(n, fingerprint);
+  } else {
+    for (std::size_t j = 0; j < n; ++j) fingerprint(j);
+  }
+
+  DirtyRecord record;
+  record.to_epoch = epoch;
+  if (fps_.size() == n) {
+    record.from_epoch = fp_epoch_;
+    for (NodeId j = 0; j < n; ++j)
+      if (fresh[j] != fps_[j]) record.destinations.push_back(j);
+  } else {
+    // First converged state since tracking (re)started: no baseline to
+    // diff against. from_epoch 0 + everything dirty is a valid superset
+    // for any earlier epoch a caller might ask about.
+    record.from_epoch = 0;
+    record.destinations.resize(n);
+    for (NodeId j = 0; j < n; ++j) record.destinations[j] = j;
+  }
+  records_.push_back(std::move(record));
+  if (records_.size() > kDirtyWindow)
+    records_.erase(records_.begin(),
+                   records_.end() - static_cast<std::ptrdiff_t>(kDirtyWindow));
+  fps_ = std::move(fresh);
+  fp_epoch_ = epoch;
+}
+
+std::optional<std::vector<NodeId>> Session::dirty_destinations(
+    std::uint64_t since_epoch) const {
+  if (!track_dirty_) return std::nullopt;
+  const std::size_t n = network_->node_count();
+  if (fps_.size() != n) return std::nullopt;  // no converged baseline
+  // Someone drove engine().run() directly since the last fingerprinting:
+  // the fingerprints lag the state and a diff would under-report.
+  if (fp_epoch_ != engine_->converged_epochs()) return std::nullopt;
+  if (since_epoch > fp_epoch_) return std::nullopt;  // future epoch
+  std::vector<bool> dirty(n, false);
+  std::uint64_t covered = fp_epoch_;
+  for (auto it = records_.rbegin();
+       it != records_.rend() && covered > since_epoch; ++it) {
+    if (it->to_epoch != covered) return std::nullopt;  // broken chain
+    for (NodeId j : it->destinations) dirty[j] = true;
+    covered = it->from_epoch;
+  }
+  if (covered > since_epoch) return std::nullopt;  // window trimmed
+  std::vector<NodeId> out;
+  for (NodeId j = 0; j < n; ++j)
+    if (dirty[j]) out.push_back(j);
+  return out;
 }
 
 bgp::RunStats Session::change_cost(NodeId v, Cost new_cost,

@@ -143,11 +143,72 @@ class Session {
       const std::vector<std::pair<NodeId, NodeId>>& links,
       RestartPolicy policy);
 
+  // --- dirty sink-tree tracking -------------------------------------------
+  //
+  // The serving layer wants to re-export only the destinations whose sink
+  // tree actually changed. Write-tracking inside the agents cannot provide
+  // that: the paper's restart barrier wipes and refills *all* price state
+  // on every event, so every entry is rewritten even when almost none end
+  // up different. Instead the session fingerprints each destination's
+  // final converged exported state (selected paths, route costs, prices)
+  // and diffs fingerprints across converged epochs.
+
+  /// Opt-in: fingerprint every sink tree after each converged run / event
+  /// burst and log which destinations changed. Costs one O(routing state)
+  /// pass per converged epoch (parallelized on the engine's pool when one
+  /// exists); off by default so non-serving users pay nothing. Enabling
+  /// (re)baselines: history before the call is forgotten.
+  void track_dirty_destinations(bool enable);
+  bool tracks_dirty_destinations() const { return track_dirty_; }
+
+  /// The destinations whose exported sink tree (routes, costs, prices) may
+  /// have changed since `since_epoch` — a value previously read from
+  /// engine().converged_epochs(). Always a superset of the true change set
+  /// (exact up to fingerprint collision, which a 64-bit FNV makes
+  /// negligible and a full republish eventually repairs). Sorted, deduped.
+  /// nullopt means "unknown — do a full export": tracking is off, there is
+  /// no converged baseline, the record window no longer reaches back to
+  /// `since_epoch`, or the engine was driven outside the Session API after
+  /// the last fingerprinting (fp epoch != converged_epochs()).
+  std::optional<std::vector<NodeId>> dirty_destinations(
+      std::uint64_t since_epoch) const;
+
  private:
   bgp::RunStats reconverge(RestartPolicy policy);
 
+  /// Fingerprints + diffs after a converged engine run. Called once per
+  /// public mutation/run — notably *not* between reconverge()'s two
+  /// internal runs, where the restart barrier has every price at +infinity
+  /// and a diff would mark all destinations dirty twice over.
+  void note_converged();
+  /// FNV-1a over destination j's exported quantities, folded in source
+  /// order: selected path nodes, route cost, and p^k_ij for each path
+  /// intermediate k (an invalid route folds a sentinel). Equal fingerprints
+  /// <=> equal export rows, modulo 64-bit collision.
+  std::uint64_t sink_fingerprint(NodeId j) const;
+
+  /// One converged-epoch transition: the destinations that changed between
+  /// from_epoch and to_epoch. Records chain contiguously (one record's
+  /// to_epoch is the next one's from_epoch); a baseline record uses
+  /// from_epoch 0 and marks everything dirty.
+  struct DirtyRecord {
+    std::uint64_t from_epoch = 0;
+    std::uint64_t to_epoch = 0;
+    std::vector<NodeId> destinations;
+  };
+  /// Records kept before the oldest is dropped (a trimmed window answers
+  /// nullopt for epochs it no longer covers).
+  static constexpr std::size_t kDirtyWindow = 64;
+
   std::unique_ptr<bgp::Network> network_;
   std::unique_ptr<bgp::Engine> engine_;
+  bool track_dirty_ = false;
+  /// converged_epochs() value the fingerprints describe.
+  std::uint64_t fp_epoch_ = 0;
+  /// Per-destination sink-tree fingerprints; empty until the first
+  /// converged run after tracking is enabled.
+  std::vector<std::uint64_t> fps_;
+  std::vector<DirtyRecord> records_;
   /// Which agent algorithm the factory built. Since the engine unification
   /// (PR 2) this no longer selects an engine — every session drives the
   /// one bgp::Engine — it only lets reconverge() enforce the restart

@@ -24,7 +24,11 @@ RouteService::RouteService(const graph::Graph& g, ServiceConfig config)
     : node_count_(g.node_count()),
       config_(config),
       session_(g, config.protocol, config.engine, config.update_policy),
+      store_(g.node_count(), config.shards),
       ledger_(g.node_count()) {
+  // Dirty sink-tree tracking powers the incremental exports; enable it
+  // before the first convergence so that run doubles as the baseline.
+  session_.track_dirty_destinations(true);
   // Initial convergence happens on the constructing thread, before the
   // updater exists — the service never serves a non-converged state.
   const bgp::RunStats stats = session_.run();
@@ -40,8 +44,10 @@ RouteService::RouteService(const graph::Graph& g,
     : node_count_(g.node_count()),
       config_(config),
       session_(g, config.protocol, config.engine, config.update_policy),
+      store_(g.node_count(), config.shards),
       ledger_(g.node_count()) {
   FPSS_EXPECTS(warm != nullptr && warm->node_count() == g.node_count());
+  session_.track_dirty_destinations(true);
   // Serve the saved epoch immediately; convergence is deferred to the
   // updater and happens when the first burst arrives. Future publishes
   // must outnumber the warm version, so it becomes the version base.
@@ -52,7 +58,10 @@ RouteService::RouteService(const graph::Graph& g,
     settled[k] = warm->payment_settled(k);
   }
   ledger_.restore(std::move(owed), std::move(settled));
-  store_.publish(std::move(warm));
+  // The warm snapshot fills every shard; it is NOT a CoW base for later
+  // exports (its blocks came from disk, not from this session), so
+  // last_published_ stays null and the first real publish rebuilds fully.
+  store_.publish_all(std::move(warm));
   updater_ = std::thread([this] { updater_loop(); });
 }
 
@@ -158,14 +167,55 @@ bool RouteService::delta_in_range(const Delta& delta) const {
 
 void RouteService::publish_current() {
   FPSS_ASSERT(session_.engine().stats().converged);
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t epoch = session_.engine().converged_epochs();
+  const std::uint64_t version = version_base_ + epoch;
+  util::ThreadPool* pool = session_.engine().pool();
+
+  // The incremental path needs a CoW base (a previous export of this
+  // session) and a usable dirty set since that export's epoch; anything
+  // else falls back to a full build.
+  std::optional<std::vector<NodeId>> dirty;
+  if (last_published_ != nullptr)
+    dirty = session_.dirty_destinations(last_export_epoch_);
+
   std::shared_ptr<const RouteSnapshot> snap;
+  SnapshotExportStats stats;
   {
     std::lock_guard<std::mutex> lock(ledger_mutex_);
-    snap = RouteSnapshot::from_session(
-        session_, version_base_ + session_.engine().converged_epochs(),
-        &ledger_);
+    if (dirty.has_value()) {
+      snap = RouteSnapshot::from_session_incremental(
+          last_published_, session_, version, *dirty, &ledger_, pool, &stats);
+    } else {
+      snap = RouteSnapshot::from_session(session_, version, &ledger_, pool);
+      stats.rows_rebuilt = node_count_;
+      stats.full_rebuild = last_published_ != nullptr;
+    }
   }
-  store_.publish(std::move(snap));
+
+  // Swap only the shards whose destinations were rebuilt. Any full build
+  // replaced every block, so every shard must move — the store's CoW
+  // consistency contract depends on it.
+  std::vector<bool> shard_dirty(store_.shard_count(), true);
+  if (dirty.has_value() && !stats.full_rebuild) {
+    shard_dirty.assign(store_.shard_count(), false);
+    for (const NodeId j : *dirty) shard_dirty[store_.shard_of(j)] = true;
+  }
+  const std::size_t swapped = store_.publish(snap, shard_dirty);
+
+  last_published_ = std::move(snap);
+  last_export_epoch_ = epoch;
+  rows_rebuilt_.fetch_add(stats.rows_rebuilt, std::memory_order_relaxed);
+  rows_reused_.fetch_add(stats.rows_reused, std::memory_order_relaxed);
+  shards_republished_.fetch_add(swapped, std::memory_order_relaxed);
+  if (stats.full_rebuild)
+    full_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t ns = elapsed_ns(start);
+  publish_total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = max_publish_ns_.load(std::memory_order_relaxed);
+  while (ns > seen && !max_publish_ns_.compare_exchange_weak(
+                          seen, ns, std::memory_order_relaxed)) {
+  }
   {
     // Notify under the queue mutex so a waiter cannot check the publish
     // count and block between our publish and our notify.
@@ -176,45 +226,78 @@ void RouteService::publish_current() {
 
 // --- read side -------------------------------------------------------------
 
+namespace {
+
+/// Which snapshot of a sharded view answers `request`: destination-bearing
+/// kinds read from the shard holding j (in-range j only — answer() rejects
+/// the rest against any snapshot); everything else, notably kPayment
+/// (payment totals are global arrays, current only in the newest image),
+/// reads from the composite.
+const RouteSnapshot& data_snapshot(const ShardedSnapshotStore::View& view,
+                                   const Request& request) {
+  switch (request.kind) {
+    case RequestKind::kCost:
+    case RequestKind::kPrice:
+    case RequestKind::kPairPayment:
+    case RequestKind::kNextHop:
+    case RequestKind::kPath:
+      if (request.j < view.newest->node_count())
+        return view.for_destination(request.j);
+      break;
+    default:
+      break;
+  }
+  return *view.newest;
+}
+
+}  // namespace
+
 std::vector<Reply> RouteService::query(std::span<const Request> batch) const {
   const auto start = std::chrono::steady_clock::now();
-  const std::shared_ptr<const RouteSnapshot> snap = snapshot();
+  const ShardedSnapshotStore::View view = store_.acquire();
   // One wall-clock reading per batch: every reply reports the same age,
   // and a remote server answering the same batch produces the same split
-  // between "answer" fields and provenance.
+  // between "answer" fields and provenance. Likewise one provenance — the
+  // composite version/stamp — regardless of which shard serves each reply.
   const std::uint64_t now_ns = util::wall_clock_ns();
-  note_staleness(util::age_from(snap->published_at_ns(), now_ns));
+  const ReplyProvenance provenance{view.newest->version(),
+                                   view.newest->published_at_ns()};
+  note_staleness(util::age_from(provenance.published_at_ns, now_ns));
   std::vector<Reply> replies;
   replies.reserve(batch.size());
   for (const Request& request : batch)
-    replies.push_back(answer(*snap, request, now_ns));
+    replies.push_back(
+        answer(data_snapshot(view, request), provenance, request, now_ns));
   count_batch(batch.size(), elapsed_ns(start));
   return replies;
 }
 
 Cost RouteService::price(NodeId k, NodeId i, NodeId j) const {
   const auto start = std::chrono::steady_clock::now();
-  const auto snap = snapshot();
-  note_staleness(util::age_from(snap->published_at_ns(), util::wall_clock_ns()));
-  const Cost p = snap->price(k, i, j);
+  const ShardedSnapshotStore::View view = store_.acquire();
+  note_staleness(
+      util::age_from(view.newest->published_at_ns(), util::wall_clock_ns()));
+  const Cost p = view.for_destination(j).price(k, i, j);
   count_batch(1, elapsed_ns(start));
   return p;
 }
 
 Cost RouteService::cost(NodeId i, NodeId j) const {
   const auto start = std::chrono::steady_clock::now();
-  const auto snap = snapshot();
-  note_staleness(util::age_from(snap->published_at_ns(), util::wall_clock_ns()));
-  const Cost c = snap->cost(i, j);
+  const ShardedSnapshotStore::View view = store_.acquire();
+  note_staleness(
+      util::age_from(view.newest->published_at_ns(), util::wall_clock_ns()));
+  const Cost c = view.for_destination(j).cost(i, j);
   count_batch(1, elapsed_ns(start));
   return c;
 }
 
 graph::Path RouteService::path(NodeId i, NodeId j) const {
   const auto start = std::chrono::steady_clock::now();
-  const auto snap = snapshot();
-  note_staleness(util::age_from(snap->published_at_ns(), util::wall_clock_ns()));
-  graph::Path p = snap->path(i, j);
+  const ShardedSnapshotStore::View view = store_.acquire();
+  note_staleness(
+      util::age_from(view.newest->published_at_ns(), util::wall_clock_ns()));
+  graph::Path p = view.for_destination(j).path(i, j);
   count_batch(1, elapsed_ns(start));
   return p;
 }
@@ -256,6 +339,12 @@ RouteService::Counters RouteService::counters() const {
   c.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
   c.deltas_coalesced = deltas_coalesced_.load(std::memory_order_relaxed);
   c.charges = charges_.load(std::memory_order_relaxed);
+  c.rows_rebuilt = rows_rebuilt_.load(std::memory_order_relaxed);
+  c.rows_reused = rows_reused_.load(std::memory_order_relaxed);
+  c.shards_republished = shards_republished_.load(std::memory_order_relaxed);
+  c.full_rebuilds = full_rebuilds_.load(std::memory_order_relaxed);
+  c.publish_total_ns = publish_total_ns_.load(std::memory_order_relaxed);
+  c.max_publish_ns = max_publish_ns_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -272,6 +361,13 @@ util::Table RouteService::counters_table() const {
   t.add("deltas applied", c.deltas_applied);
   t.add("deltas coalesced", c.deltas_coalesced);
   t.add("traffic charges recorded", c.charges);
+  t.add("snapshot rows rebuilt", c.rows_rebuilt);
+  t.add("snapshot rows reused", c.rows_reused);
+  t.add("shards republished", c.shards_republished);
+  t.add("full-rebuild fallbacks", c.full_rebuilds);
+  t.add("mean publish latency (ns)",
+        c.publishes == 0 ? 0 : c.publish_total_ns / c.publishes);
+  t.add("max publish latency (ns)", c.max_publish_ns);
   return t;
 }
 

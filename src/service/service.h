@@ -3,11 +3,22 @@
 // The mechanism's product — LCP routes and per-packet prices p^k_ij
 // (Theorem 1) — is only useful to an operator if it can be *queried* under
 // load while the network keeps changing. RouteService owns one
-// pricing::Session plus a background updater thread and a SnapshotStore:
+// pricing::Session plus a background updater thread and a
+// ShardedSnapshotStore:
 //
-//   readers ──► SnapshotStore::current() ──► immutable RouteSnapshot
+//   readers ──► ShardedSnapshotStore::acquire() ──► consistent View
 //   updater ──► coalesce queued deltas ──► reconverge once per burst
-//           ──► RouteSnapshot::from_session ──► SnapshotStore::publish
+//           ──► dirty_destinations() ──► from_session_incremental
+//           ──► publish only the shards whose sink trees changed
+//
+// Publication is *incremental* end to end: the session fingerprints each
+// destination's sink tree per converged epoch, the export re-extracts only
+// the dirty destinations (copy-on-write against the previous snapshot),
+// and the store swaps only the shards containing them. A single cost delta
+// costs O(changed sink trees), not O(n^2); the rows_reused /
+// shards_republished counters quantify it. Whenever the dirty set is
+// unknown (first publish, topology generation moved, warm start) the
+// service falls back to a full rebuild — never to a guess.
 //
 // Readers never wait on reconvergence: a query acquires the current
 // snapshot (a pointer copy) and serves entirely from flat arrays, so any
@@ -64,6 +75,10 @@ struct ServiceConfig {
   /// avoidance-vector protocol under improving events (see
   /// pricing::RestartPolicy).
   pricing::RestartPolicy restart = pricing::RestartPolicy::kRestartBarrier;
+  /// Shards of the publication store (clamped to [1, node_count]). A
+  /// publish swaps only the shards whose destinations' sink trees changed;
+  /// 1 degenerates to the whole-store swap of previous releases.
+  std::size_t shards = 1;
 };
 
 class RouteService {
@@ -115,6 +130,18 @@ class RouteService {
     /// (last-writer-wins per node/link; net no-ops dropped).
     std::uint64_t deltas_coalesced = 0;
     std::uint64_t charges = 0;  ///< charge() calls recorded
+    // Incremental-publication counters (PR 6). Cumulative over publishes.
+    std::uint64_t rows_rebuilt = 0;  ///< destination rows re-extracted
+    std::uint64_t rows_reused = 0;   ///< destination rows shared with prev
+    /// Shard slots actually swapped across all publishes (<= publishes *
+    /// shard count; the gap is the sharding win).
+    std::uint64_t shards_republished = 0;
+    /// Publishes that fell back to a full rebuild despite a previous
+    /// snapshot existing (topology generation moved, dirty tracking had no
+    /// usable answer). The unavoidable first build is not counted.
+    std::uint64_t full_rebuilds = 0;
+    std::uint64_t publish_total_ns = 0;  ///< export+publish wall time summed
+    std::uint64_t max_publish_ns = 0;
   };
 
   /// Converges the initial network on the calling thread, publishes
@@ -142,10 +169,10 @@ class RouteService {
 
   // --- read side (any thread, wait-free vs. the updater) ------------------
 
-  /// The snapshot currently served. Hold it to answer any number of
-  /// queries against one consistent epoch.
+  /// The newest published snapshot — a full image of the latest epoch.
+  /// Hold it to answer any number of queries against one consistent epoch.
   std::shared_ptr<const RouteSnapshot> snapshot() const {
-    return store_.current();
+    return store_.newest();
   }
 
   /// Answers a batch against one snapshot acquire (all answers share a
@@ -190,8 +217,10 @@ class RouteService {
   std::size_t submit(const std::vector<Delta>& deltas);
 
   std::uint64_t publish_count() const { return store_.publish_count(); }
-  /// Version of the currently served snapshot.
+  /// Composite version of the currently served state (the newest
+  /// snapshot's version — what every reply in a batch reports).
   std::uint64_t version() const { return store_.version(); }
+  std::size_t shard_count() const { return store_.shard_count(); }
 
   /// Blocks until at least `count` publishes have happened (use
   /// publish_count() + 1 before a submit to await its effect).
@@ -226,7 +255,15 @@ class RouteService {
   /// a cold start; for a warm start the updater flips it before applying
   /// the first burst.
   bool session_converged_ = false;
-  SnapshotStore store_;
+  ShardedSnapshotStore store_;
+  /// The snapshot the last *session export* produced, and the converged
+  /// epoch it captured — the copy-on-write base of the next incremental
+  /// export. Touched only by the updater (and the constructor). Null until
+  /// the first export: a warm-started service serves the loaded snapshot
+  /// but never CoWs against it (its blocks came from disk, not from this
+  /// session), so the first real publish is a full build.
+  std::shared_ptr<const RouteSnapshot> last_published_;
+  std::uint64_t last_export_epoch_ = 0;
 
   mutable std::mutex ledger_mutex_;
   payments::Ledger ledger_;
@@ -247,6 +284,14 @@ class RouteService {
   std::atomic<std::uint64_t> deltas_applied_{0};
   std::atomic<std::uint64_t> deltas_coalesced_{0};
   std::atomic<std::uint64_t> charges_{0};
+  // Publish-side counters: written only by the updater (and the
+  // constructor's first publish), read concurrently by counters().
+  std::atomic<std::uint64_t> rows_rebuilt_{0};
+  std::atomic<std::uint64_t> rows_reused_{0};
+  std::atomic<std::uint64_t> shards_republished_{0};
+  std::atomic<std::uint64_t> full_rebuilds_{0};
+  std::atomic<std::uint64_t> publish_total_ns_{0};
+  std::atomic<std::uint64_t> max_publish_ns_{0};
 
   std::thread updater_;  ///< last member: joined before state tears down
 };

@@ -4,23 +4,33 @@
 // per-node payment totals from the payments ledger — exported from a
 // *converged* pricing session.
 //
-// Layout is flat and destination-major, mirroring the sink-tree structure
-// of the routing state: next_hop/cost are n*n arrays indexed j*n+i, and
-// prices are one CSR over the (j, i) pairs whose entries are exactly the
-// intermediate nodes of the selected i -> j path in path order (so the
-// price rows double as the stored paths). Queries are array lookups plus a
-// short row scan; nothing allocates except path() materialization.
+// Layout is destination-major, mirroring the sink-tree structure of the
+// routing state: each destination j owns one immutable block holding the
+// next-hop/cost columns (indexed by source i) and a local CSR whose rows
+// are exactly the intermediate nodes of the selected i -> j path in path
+// order (so the price rows double as the stored paths). Queries are array
+// lookups plus a short row scan; nothing allocates except path()
+// materialization.
 //
-// Snapshots also serialize ("fpss-snap v2", binary header + FNV-1a
+// Blocks are individually refcounted (shared_ptr) so snapshots can be
+// built *copy-on-write*: from_session_incremental re-extracts only the
+// destinations whose sink tree changed since the previous snapshot and
+// shares every clean block with it. The content checksum is hierarchical
+// (per-block digests folded into the root) for the same reason — an
+// incremental export checksums O(dirty) data, not O(n^2).
+//
+// Snapshots also serialize ("fpss-snap v3", binary header + FNV-1a
 // checksum, the service-layer sibling of graph/io.h's "fpss-graph v1") so
-// a warm restart can serve traffic before the first reconvergence. v2
-// added the publish wall-clock stamp that staleness accounting and the
-// remote protocol report; v1 files are rejected with a version error.
+// a warm restart can serve traffic before the first reconvergence. v3
+// switched the stored digest to the hierarchical per-destination scheme
+// (the payload layout is unchanged from v2); older files are rejected
+// with a version error.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,7 +43,21 @@ namespace fpss::pricing {
 class Session;
 }
 
+namespace fpss::util {
+class ThreadPool;
+}
+
 namespace fpss::service {
+
+/// What an export did: how many destination rows (sink trees) it had to
+/// re-extract from the session versus share with the previous snapshot.
+struct SnapshotExportStats {
+  std::size_t rows_rebuilt = 0;  ///< destination rows extracted from session
+  std::size_t rows_reused = 0;   ///< destination rows shared with prev
+  /// The incremental path degraded to a full rebuild (topology generation
+  /// moved, so per-row sharing against prev was not attempted).
+  bool full_rebuild = false;
+};
 
 class RouteSnapshot {
  public:
@@ -41,10 +65,27 @@ class RouteSnapshot {
   /// payment totals of `ledger`. Precondition: the session's engine has
   /// converged (the snapshot of a half-converged network is not a
   /// meaningful good to serve); `version` labels the export — callers use
-  /// bgp::Engine::converged_epochs().
+  /// bgp::Engine::converged_epochs(). With a `pool`, per-destination
+  /// extraction runs data-parallel (bit-identical at any width).
   static std::shared_ptr<const RouteSnapshot> from_session(
       const pricing::Session& session, std::uint64_t version,
-      const payments::Ledger* ledger = nullptr);
+      const payments::Ledger* ledger = nullptr,
+      util::ThreadPool* pool = nullptr);
+
+  /// Copy-on-write export: re-extracts only the destinations in `dirty`
+  /// and shares `prev`'s blocks for every other destination. The result is
+  /// logically identical to a full from_session export *provided* `dirty`
+  /// is a superset of the destinations whose sink tree actually changed —
+  /// pricing::Session::dirty_destinations provides exactly that set.
+  /// Falls back to a full rebuild (ignoring `dirty`) when the topology
+  /// generation moved, since prev's rows then describe a different graph.
+  /// Preconditions: prev != nullptr, same node count, session converged,
+  /// every dirty id in range.
+  static std::shared_ptr<const RouteSnapshot> from_session_incremental(
+      const std::shared_ptr<const RouteSnapshot>& prev,
+      const pricing::Session& session, std::uint64_t version,
+      std::span<const NodeId> dirty, const payments::Ledger* ledger = nullptr,
+      util::ThreadPool* pool = nullptr, SnapshotExportStats* stats = nullptr);
 
   std::size_t node_count() const { return n_; }
   /// Converged-epoch label assigned at export.
@@ -57,17 +98,22 @@ class RouteSnapshot {
   std::uint64_t published_at_ns() const { return published_at_ns_; }
   /// FNV-1a digest of the full logical content, fixed at construction.
   std::uint64_t checksum() const { return checksum_; }
+  /// The digest of everything except the publish provenance (version and
+  /// wall-clock stamp): two snapshots of the same converged state compare
+  /// equal here no matter when or by which path they were exported — the
+  /// incremental-equals-full property tests pin exactly this.
+  std::uint64_t content_checksum() const;
 
   /// Declared per-packet transit cost of node v.
   Cost node_cost(NodeId v) const { return node_cost_[v]; }
 
   /// c(i, j): transit cost of the selected LCP. Zero for i == j, infinite
   /// when unreachable.
-  Cost cost(NodeId i, NodeId j) const { return cost_[idx(i, j)]; }
+  Cost cost(NodeId i, NodeId j) const { return blocks_[j]->cost[i]; }
   bool reachable(NodeId i, NodeId j) const { return cost(i, j).is_finite(); }
 
   /// i's selected next hop toward j (kInvalidNode for i == j / unreachable).
-  NodeId next_hop(NodeId i, NodeId j) const { return next_hop_[idx(i, j)]; }
+  NodeId next_hop(NodeId i, NodeId j) const { return blocks_[j]->next_hop[i]; }
 
   /// Full selected path i .. j, materialized from the stored transit row.
   /// Empty when unreachable; {i} when i == j.
@@ -90,6 +136,12 @@ class RouteSnapshot {
   /// Adapter for payments::Ledger::record_packets and settle_traffic.
   payments::PriceFn price_fn() const;
 
+  /// True iff destination j's block is the same object in both snapshots —
+  /// the observable CoW contract (shared, not merely equal). Test hook.
+  bool shares_block_with(const RouteSnapshot& other, NodeId j) const {
+    return blocks_[j] == other.blocks_[j];
+  }
+
   /// Recomputes the content digest and structural invariants (offsets
   /// monotone, hop counts consistent, costs equal the sum of their row's
   /// transit costs). A reader that can observe a torn snapshot would fail
@@ -98,11 +150,30 @@ class RouteSnapshot {
 
  private:
   friend struct SnapshotCodec;
+
+  /// Everything destination j's sink tree exports, immutable once built.
+  /// The CSR is local (offset[0] == 0); `digest` folds the arrays once so
+  /// snapshots reusing the block fold one word instead of re-hashing it.
+  struct DestinationBlock {
+    std::vector<NodeId> next_hop;       ///< by source i, size n
+    std::vector<Cost> cost;             ///< by source i, size n
+    std::vector<std::uint64_t> offset;  ///< local CSR fence, size n+1
+    std::vector<NodeId> transit;        ///< CSR entries: path intermediates
+    std::vector<Cost> price;            ///< CSR entries: p^k_ij, aligned
+    std::uint64_t digest = 0;
+
+    std::uint64_t compute_digest() const;
+  };
+  using BlockPtr = std::shared_ptr<const DestinationBlock>;
+
   RouteSnapshot() = default;
 
-  std::size_t idx(NodeId i, NodeId j) const {
-    return static_cast<std::size_t>(j) * n_ + i;
-  }
+  /// Builds destination j's block from the (converged) session — the one
+  /// extraction path both the full and the incremental export share.
+  static BlockPtr extract_destination(const pricing::Session& session,
+                                      NodeId j, std::size_t n);
+  /// Common tail of both exports: payments, entry total, checksum.
+  void finish(const payments::Ledger* ledger);
   /// Folds every field into the digest in serialization order.
   std::uint64_t compute_checksum() const;
 
@@ -111,12 +182,9 @@ class RouteSnapshot {
   std::uint64_t graph_version_ = 0;
   std::uint64_t published_at_ns_ = 0;
   std::uint64_t checksum_ = 0;
+  std::uint64_t total_entries_ = 0;      ///< sum of block CSR sizes
   std::vector<Cost> node_cost_;          ///< declared costs, size n
-  std::vector<NodeId> next_hop_;         ///< j*n+i, size n*n
-  std::vector<Cost> cost_;               ///< j*n+i, size n*n
-  std::vector<std::uint64_t> price_offset_;  ///< CSR fence, size n*n+1
-  std::vector<NodeId> transit_;          ///< CSR entries: path intermediates
-  std::vector<Cost> price_;              ///< CSR entries: p^k_ij, aligned
+  std::vector<BlockPtr> blocks_;         ///< per destination, size n
   std::vector<Cost::rep> owed_;          ///< size n
   std::vector<Cost::rep> settled_;       ///< size n
 };
@@ -138,7 +206,7 @@ struct SnapshotLoadResult {
   bool ok() const { return snapshot != nullptr; }
 };
 
-/// Writes the "fpss-snap v2" binary image: an 8-byte magic, format
+/// Writes the "fpss-snap v3" binary image: an 8-byte magic, format
 /// version, payload byte count, and content checksum, then the payload.
 SnapshotSaveResult save_snapshot(const RouteSnapshot& snapshot,
                                  const std::string& path);

@@ -25,8 +25,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "service/snapshot.h"
+#include "util/types.h"
 
 namespace fpss::service {
 
@@ -61,6 +63,101 @@ class SnapshotStore {
  private:
   mutable std::mutex mutex_;
   std::shared_ptr<const RouteSnapshot> current_;
+  std::uint64_t publishes_ = 0;
+};
+
+/// The k-shard publication point: destinations are partitioned into k
+/// contiguous ranges ("shards", shard_of(j) = j / ceil(n/k)) and each
+/// shard slot holds the snapshot whose publish last *changed* that
+/// shard's sink trees. A publish swaps only the slots flagged dirty plus
+/// the `newest` slot, so steady-state churn touching few sink trees does
+/// k' + 1 refcount swaps, not k.
+///
+/// Consistency contract for readers: acquire() copies every slot under one
+/// lock into a View. Slots may reference different snapshot objects, but
+/// every destination's data block is *pointer-identical* across all of
+/// them — the updater only publishes copy-on-write descendants (a full
+/// rebuild flags every shard dirty), so a clean shard's rows in an old
+/// root are the same immutable blocks the newest root holds. A View is
+/// therefore one consistent cross-shard cut; `newest` supplies the
+/// composite provenance (version, publish stamp) every reply in a query
+/// batch reports, regardless of which slot served it.
+///
+/// Same locking rationale as SnapshotStore: a mutex over k+1 refcount
+/// copies, deliberately not std::atomic<shared_ptr> (see the file
+/// comment), and additionally the only way k slots can be read as one
+/// atomic cut at all.
+class ShardedSnapshotStore {
+ public:
+  /// Partitions `node_count` destinations into `shard_count` contiguous
+  /// shards. shard_count is clamped to [1, max(1, node_count)]; with one
+  /// shard this degenerates to SnapshotStore behaviour.
+  ShardedSnapshotStore(std::size_t node_count, std::size_t shard_count);
+
+  std::size_t shard_count() const { return shard_count_; }
+  std::size_t shard_size() const { return shard_size_; }
+  std::size_t shard_of(NodeId j) const { return j / shard_size_; }
+
+  /// One consistent cross-shard cut, alive as long as the caller holds it.
+  struct View {
+    std::shared_ptr<const RouteSnapshot> newest;  ///< composite provenance
+    std::vector<std::shared_ptr<const RouteSnapshot>> shards;
+    std::size_t shard_size = 1;
+
+    bool empty() const { return newest == nullptr; }
+    /// The snapshot to answer a query about destination j from. Falls back
+    /// to `newest` for a never-published slot (pre-first-publish queries
+    /// are rejected upstream on `empty()`).
+    const RouteSnapshot& for_destination(NodeId j) const {
+      const auto& slot = shards[j / shard_size];
+      return slot != nullptr ? *slot : *newest;
+    }
+  };
+
+  View acquire() const;
+
+  /// The newest published snapshot (null until the first publish) — the
+  /// full-image read used for persistence and version reporting.
+  std::shared_ptr<const RouteSnapshot> newest() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return newest_;
+  }
+
+  /// Publishes `snapshot`: installs it as `newest` and into every shard
+  /// slot flagged in `shard_dirty` (plus any slot still null, so the first
+  /// publish fills the table). Returns the number of shard slots swapped.
+  /// Precondition: snapshot non-null, version non-decreasing,
+  /// shard_dirty.size() == shard_count(). The caller asserts that clean
+  /// shards' blocks are shared with the previous publish (CoW contract
+  /// above) — RouteService guarantees it by flagging every shard dirty on
+  /// a full rebuild.
+  std::size_t publish(std::shared_ptr<const RouteSnapshot> snapshot,
+                      const std::vector<bool>& shard_dirty);
+
+  /// Full publish: every shard flagged dirty.
+  std::size_t publish_all(std::shared_ptr<const RouteSnapshot> snapshot);
+
+  std::uint64_t publish_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return publishes_;
+  }
+
+  /// Composite version (the newest snapshot's); 0 before the first publish.
+  std::uint64_t version() const {
+    const auto snap = newest();
+    return snap == nullptr ? 0 : snap->version();
+  }
+
+  /// Per-shard snapshot versions (0 for never-published slots): how far
+  /// behind `version()` each shard's last-changed publish is. Diagnostics.
+  std::vector<std::uint64_t> shard_versions() const;
+
+ private:
+  const std::size_t shard_count_;
+  const std::size_t shard_size_;
+  mutable std::mutex mutex_;
+  std::shared_ptr<const RouteSnapshot> newest_;
+  std::vector<std::shared_ptr<const RouteSnapshot>> shards_;
   std::uint64_t publishes_ = 0;
 };
 

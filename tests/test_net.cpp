@@ -162,12 +162,49 @@ TEST(Wire, ControlPayloadRoundTrips) {
   counters.deltas_applied = 7;
   counters.deltas_coalesced = 8;
   counters.charges = 9;
-  RouteService::Counters counters2;
-  ASSERT_TRUE(net::decode_counters(net::encode_counters(counters), counters2));
-  EXPECT_EQ(counters2.queries, 1u);
-  EXPECT_EQ(counters2.max_staleness_ns, 5u);
-  EXPECT_EQ(counters2.deltas_coalesced, 8u);
-  EXPECT_EQ(counters2.charges, 9u);
+  counters.rows_rebuilt = 10;
+  counters.rows_reused = 11;
+  counters.shards_republished = 12;
+  counters.full_rebuilds = 13;
+  counters.publish_total_ns = 14;
+  counters.max_publish_ns = 15;
+  net::ServerCounters server;
+  server.connections = 20;
+  server.frames = 21;
+  server.batches = 22;
+  server.rejected_frames = 23;
+  server.timeouts = 24;
+  server.peers.push_back({"127.0.0.1", 2, 40, 5, 1});
+  server.peers.push_back({"(other)", 1, 0, 0, 3});
+  net::CountersFrame frame;
+  ASSERT_TRUE(
+      net::decode_counters(net::encode_counters(counters, server), frame));
+  EXPECT_EQ(frame.service.queries, 1u);
+  EXPECT_EQ(frame.service.max_staleness_ns, 5u);
+  EXPECT_EQ(frame.service.deltas_coalesced, 8u);
+  EXPECT_EQ(frame.service.charges, 9u);
+  EXPECT_EQ(frame.service.rows_rebuilt, 10u);
+  EXPECT_EQ(frame.service.rows_reused, 11u);
+  EXPECT_EQ(frame.service.shards_republished, 12u);
+  EXPECT_EQ(frame.service.full_rebuilds, 13u);
+  EXPECT_EQ(frame.service.publish_total_ns, 14u);
+  EXPECT_EQ(frame.service.max_publish_ns, 15u);
+  EXPECT_EQ(frame.server.connections, 20u);
+  EXPECT_EQ(frame.server.timeouts, 24u);
+  ASSERT_EQ(frame.server.peers.size(), 2u);
+  EXPECT_EQ(frame.server.peers[0].peer, "127.0.0.1");
+  EXPECT_EQ(frame.server.peers[0].queries, 40u);
+  EXPECT_EQ(frame.server.peers[0].rejected_frames, 1u);
+  EXPECT_EQ(frame.server.peers[1].peer, "(other)");
+  EXPECT_EQ(frame.server.peers[1].connections, 1u);
+
+  // A default ServerCounters (the single-process / no-daemon case) still
+  // round-trips: empty peer table, zeroed totals.
+  net::CountersFrame bare;
+  ASSERT_TRUE(net::decode_counters(net::encode_counters(counters), bare));
+  EXPECT_EQ(bare.service.rows_reused, 11u);
+  EXPECT_EQ(bare.server.frames, 0u);
+  EXPECT_TRUE(bare.server.peers.empty());
 }
 
 // --- rejection: truncation, corruption, bounds -----------------------------
@@ -363,10 +400,28 @@ TEST(RouteServerNet, RemoteDeltasCountersAndDrain) {
   EXPECT_EQ(svc.price(f.d, f.x, f.z), mech.price(f.d, f.x, f.z));
   EXPECT_EQ(svc.cost(f.x, f.z), mech.routes().cost(f.x, f.z));
 
+  // One remote batch so the per-peer query tally below has something to
+  // count.
+  const std::vector<Request> probe{
+      {RequestKind::kCost, kInvalidNode, f.x, f.z},
+      {RequestKind::kPrice, f.d, f.x, f.z}};
+  ASSERT_TRUE(loop.client->query(probe).ok());
+
   const auto counters = loop.client->counters();
   ASSERT_TRUE(counters.ok());
   EXPECT_EQ(counters.counters.deltas_applied, 1u);
   EXPECT_GE(counters.counters.publishes, 2u);
+
+  // The same reply carries the daemon's per-peer accounting: everything
+  // above came from this one loopback client.
+  EXPECT_GE(counters.server.connections, 1u);
+  ASSERT_EQ(counters.server.peers.size(), 1u);
+  const net::PeerCounters& peer = counters.server.peers.front();
+  EXPECT_EQ(peer.peer, "127.0.0.1");
+  EXPECT_GE(peer.connections, 1u);
+  EXPECT_EQ(peer.batches, 1u);
+  EXPECT_EQ(peer.queries, probe.size());
+  EXPECT_EQ(peer.rejected_frames, 0u);
 }
 
 TEST(RouteServerNet, MalformedAndOversizedFramesAreRejectedWithoutCrash) {
