@@ -9,20 +9,31 @@
 //                              fraction, not n^2);
 //   * BM_ShardedPublishCycle — the end-to-end service path: one cost
 //                              delta -> reconverge -> dirty diff -> CoW
-//                              export -> per-shard publish.
+//                              export -> per-shard publish;
+//   * BM_PublishSerial /     — PR 7's staged fan-out vs the inline
+//     BM_PublishPipelined      incremental publish, shards x dirty-fraction
+//                              sweep (the headline: the pipeline never
+//                              costs more than the serial path at small
+//                              dirty fractions, and overlaps exports when
+//                              several shards are dirty).
 //
 // scripts/bench_baseline.sh runs this binary and records
 // BENCH_publish.json so successive publication PRs have a trajectory.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "bench_common.h"
+#include "bgp/engine.h"
 #include "pricing/session.h"
+#include "service/pipeline.h"
 #include "service/service.h"
 #include "service/snapshot.h"
+#include "service/store.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -123,6 +134,79 @@ BENCHMARK(BM_ShardedPublishCycle)
     ->Args({64, 1})
     ->Args({64, 8})
     ->Unit(benchmark::kMillisecond);
+
+/// Args: {n, shards, dirty_pct}. One converged session, one fixed dirty
+/// set striped across the destination space (so it spans as many shards as
+/// the fraction allows), published over and over through
+/// PublishPipeline::run — the serial variant with no pool (PR 6's inline
+/// incremental export), the pipelined variant with the pool widened to the
+/// hardware width, exactly as a deployed route_server would run it. On a
+/// single-core host that gate keeps the pipeline on the inline path
+/// (staged=0 in the counters) — fanning out two export threads over one
+/// core only adds switching cost; with real cores the staged per-shard
+/// fan-out engages wherever more than one shard is dirty.
+void publish_pipeline_cycle(benchmark::State& state, bool pipelined) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t shards = static_cast<std::size_t>(state.range(1));
+  const std::size_t pct = static_cast<std::size_t>(state.range(2));
+  const auto g = bench::internet_like(n, 16001);
+  pricing::Session session(g, pricing::Protocol::kPriceVector);
+  session.run();
+  util::ThreadPool* pool =
+      pipelined
+          ? session.engine().ensure_pool(util::ThreadPool::hardware_threads())
+          : nullptr;
+  const std::uint64_t epoch = session.engine().converged_epochs();
+  const auto prev = service::RouteSnapshot::from_session(session, epoch);
+
+  std::vector<NodeId> dirty;
+  const std::size_t count = (n * pct + 99) / 100;
+  for (std::size_t i = 0; i < count; ++i)
+    dirty.push_back(static_cast<NodeId>(i * n / count));
+  const std::optional<std::vector<NodeId>> dirty_opt(dirty);
+
+  service::ShardedSnapshotStore store(n, shards);
+  store.publish_all(prev);
+  service::PipelineStats stats;
+  for (auto _ : state) {
+    auto snap = service::PublishPipeline::run(store, prev, nullptr, session,
+                                              epoch, dirty_opt, nullptr, pool,
+                                              &stats);
+    benchmark::DoNotOptimize(snap);
+  }
+  state.counters["rows_rebuilt"] = static_cast<double>(stats.rows_rebuilt);
+  state.counters["shards_swapped"] =
+      static_cast<double>(stats.shards_swapped);
+  state.counters["staged"] = stats.pipelined ? 1.0 : 0.0;
+  state.counters["inflight_max"] =
+      static_cast<double>(stats.max_exports_inflight);
+}
+
+void BM_PublishSerial(benchmark::State& state) {
+  publish_pipeline_cycle(state, false);
+}
+void BM_PublishPipelined(benchmark::State& state) {
+  publish_pipeline_cycle(state, true);
+}
+
+#define FPSS_PUBLISH_SWEEP(bench_name)     \
+  BENCHMARK(bench_name)                    \
+      ->Args({128, 1, 1})                  \
+      ->Args({128, 1, 10})                 \
+      ->Args({128, 1, 25})                 \
+      ->Args({128, 4, 1})                  \
+      ->Args({128, 4, 10})                 \
+      ->Args({128, 4, 25})                 \
+      ->Args({128, 16, 1})                 \
+      ->Args({128, 16, 10})                \
+      ->Args({128, 16, 25})                \
+      ->Args({128, 16, 100})               \
+      ->Unit(benchmark::kMicrosecond)
+
+FPSS_PUBLISH_SWEEP(BM_PublishSerial);
+FPSS_PUBLISH_SWEEP(BM_PublishPipelined);
+
+#undef FPSS_PUBLISH_SWEEP
 
 }  // namespace
 

@@ -198,6 +198,12 @@ int main(int argc, char** argv) {
                                       static_cast<double>(c.publishes) / 1e6
                                 : 0.0,
                 static_cast<double>(c.max_publish_ns) / 1e6);
+    std::printf("shard exports in flight (max) %" PRIu64 "\n",
+                c.shard_exports_inflight_max);
+    std::printf("checkpoints %" PRIu64 "  checkpoint bytes %" PRIu64
+                "  journal patches %" PRIu64 "  compactions %" PRIu64 "\n",
+                c.checkpoints_written, c.checkpoint_bytes_written,
+                c.journal_patches, c.journal_compactions);
     const auto& s = result.server;
     std::printf("server: connections %" PRIu64 "  frames %" PRIu64
                 "  rejected %" PRIu64 "  timeouts %" PRIu64 "\n",

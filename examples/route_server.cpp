@@ -21,12 +21,20 @@
 // Daemon mode serves fpss-wire v1 until SIGINT/SIGTERM:
 //
 //   $ ./route_server --listen [port] [--nodes N] [--workers W]
-//                    [--snapshot file.bin]
+//                    [--snapshot file.bin] [--shards K]
+//                    [--checkpoint-dir DIR] [--checkpoint-every N]
 //
 // With --snapshot the daemon warm-starts: the saved snapshot (from a
 // previous run over the same deterministic topology) is served as epoch 0
 // immediately, before any convergence has run — query it with route_query
 // and watch age_ns count the staleness.
+//
+// --shards splits the publication store so a delta burst republishes only
+// the shards it touched. --checkpoint-dir enables fpss-snap v4 incremental
+// checkpointing (base image + patch journal) every N publishes
+// (--checkpoint-every, default 1); on restart the daemon recovers the
+// newest complete checkpoint from that directory and warm-starts from it —
+// no --snapshot needed.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -151,7 +159,9 @@ std::atomic<bool> g_shutdown{false};
 void handle_signal(int) { g_shutdown.store(true, std::memory_order_relaxed); }
 
 int run_daemon(std::uint16_t port, std::size_t nodes, unsigned workers,
-               const std::string& snapshot_file) {
+               const std::string& snapshot_file, std::size_t shards,
+               const std::string& checkpoint_dir,
+               std::uint64_t checkpoint_every) {
   const graph::Graph g = make_network(nodes);
 
   std::shared_ptr<const service::RouteSnapshot> warm;
@@ -168,13 +178,31 @@ int run_daemon(std::uint16_t port, std::size_t nodes, unsigned workers,
       return 1;
     }
     warm = std::move(loaded.snapshot);
+  } else if (!checkpoint_dir.empty()) {
+    // A restarted daemon recovers from its own checkpoint directory: the
+    // base image plus every complete journal record.
+    auto recovered = service::load_checkpoint(checkpoint_dir);
+    if (recovered.ok() && recovered.snapshot->node_count() == g.node_count()) {
+      std::printf("route_server: recovered checkpoint v%llu (+%llu journal "
+                  "records) from %s\n",
+                  static_cast<unsigned long long>(
+                      recovered.snapshot->version()),
+                  static_cast<unsigned long long>(recovered.records_applied),
+                  checkpoint_dir.c_str());
+      warm = std::move(recovered.snapshot);
+    }
   }
+
+  service::ServiceConfig svc_config;
+  svc_config.shards = shards;
+  svc_config.checkpoint.directory = checkpoint_dir;
+  svc_config.checkpoint.every_publishes = checkpoint_every;
 
   // Warm start serves the saved epoch instantly; cold start converges
   // first (blocking until snapshot v1 exists).
   service::RouteService svc =
-      warm ? service::RouteService(g, std::move(warm))
-           : service::RouteService(g);
+      warm ? service::RouteService(g, std::move(warm), svc_config)
+           : service::RouteService(g, svc_config);
 
   net::ServerConfig config;
   config.port = port;
@@ -223,6 +251,9 @@ int main(int argc, char** argv) {
     std::size_t nodes = 60;
     unsigned workers = 4;
     std::string snapshot_file;
+    std::size_t shards = 1;
+    std::string checkpoint_dir;
+    std::uint64_t checkpoint_every = 1;
     int arg = 2;
     if (arg < argc && argv[arg][0] != '-')
       port = static_cast<std::uint16_t>(std::atoi(argv[arg++]));
@@ -234,12 +265,19 @@ int main(int argc, char** argv) {
         workers = static_cast<unsigned>(std::atoi(argv[++arg]));
       else if (flag == "--snapshot" && arg + 1 < argc)
         snapshot_file = argv[++arg];
+      else if (flag == "--shards" && arg + 1 < argc)
+        shards = static_cast<std::size_t>(std::atoi(argv[++arg]));
+      else if (flag == "--checkpoint-dir" && arg + 1 < argc)
+        checkpoint_dir = argv[++arg];
+      else if (flag == "--checkpoint-every" && arg + 1 < argc)
+        checkpoint_every = static_cast<std::uint64_t>(std::atoll(argv[++arg]));
       else {
         std::printf("unknown flag %s\n", flag.c_str());
         return 2;
       }
     }
-    return run_daemon(port, nodes, workers, snapshot_file);
+    return run_daemon(port, nodes, workers, snapshot_file, shards,
+                      checkpoint_dir, checkpoint_every);
   }
 
   // --- self-test mode ------------------------------------------------------

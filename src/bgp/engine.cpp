@@ -706,6 +706,12 @@ RunStats Engine::run(Stage max_stages) {
 
 double Engine::now() const { return scheduler_->now(); }
 
+util::ThreadPool* Engine::ensure_pool(unsigned width) {
+  if (width > 1 && (pool_ == nullptr || pool_->width() < width))
+    pool_ = std::make_unique<util::ThreadPool>(width);
+  return pool_.get();
+}
+
 void Engine::bootstrap_agents() {
   if (bootstrapped_) return;
   const std::size_t n = net_.node_count();

@@ -251,6 +251,14 @@ class Engine {
   /// instead of spawning their own. Same ownership rule as the engine's own
   /// phases: one job at a time, submitted by the thread driving the engine.
   util::ThreadPool* pool() const { return pool_.get(); }
+  /// Widens the compute pool to at least `width` workers (no-op when it is
+  /// already that wide, including the width-1 "no pool" case when width <= 1).
+  /// Exists for consumers like the publish pipeline that want more export
+  /// concurrency than the protocol kernels were configured with: the engine's
+  /// own phases are width-invariant (deterministic stride partition), so
+  /// widening never changes protocol results. Must be called between jobs by
+  /// the thread driving the engine — the same ownership rule as pool().
+  util::ThreadPool* ensure_pool(unsigned width);
   SchedulerKind scheduler() const { return config_.scheduler; }
   const EngineConfig& config() const { return config_; }
 

@@ -390,7 +390,7 @@ constexpr std::uint32_t kMaxPeerAddrBytes = 64;
 std::string encode_counters(const service::RouteService::Counters& counters,
                             const ServerCounters& server) {
   std::string out;
-  out.reserve((15 + 5) * 8 + 4 + server.peers.size() * (4 + 16 + 4 * 8));
+  out.reserve((20 + 5) * 8 + 4 + server.peers.size() * (4 + 16 + 4 * 8));
   append_u64(out, counters.queries);
   append_u64(out, counters.batches);
   append_u64(out, counters.total_ns);
@@ -406,6 +406,11 @@ std::string encode_counters(const service::RouteService::Counters& counters,
   append_u64(out, counters.full_rebuilds);
   append_u64(out, counters.publish_total_ns);
   append_u64(out, counters.max_publish_ns);
+  append_u64(out, counters.shard_exports_inflight_max);
+  append_u64(out, counters.checkpoints_written);
+  append_u64(out, counters.checkpoint_bytes_written);
+  append_u64(out, counters.journal_patches);
+  append_u64(out, counters.journal_compactions);
   append_u64(out, server.connections);
   append_u64(out, server.frames);
   append_u64(out, server.batches);
@@ -440,6 +445,11 @@ bool decode_counters(std::string_view payload, CountersFrame& out) {
   out.service.full_rebuilds = in.u64();
   out.service.publish_total_ns = in.u64();
   out.service.max_publish_ns = in.u64();
+  out.service.shard_exports_inflight_max = in.u64();
+  out.service.checkpoints_written = in.u64();
+  out.service.checkpoint_bytes_written = in.u64();
+  out.service.journal_patches = in.u64();
+  out.service.journal_compactions = in.u64();
   out.server.connections = in.u64();
   out.server.frames = in.u64();
   out.server.batches = in.u64();

@@ -204,10 +204,12 @@ struct CountersFrame {
 };
 
 /// Counters payload: the RouteService::Counters fields as u64 in
-/// declaration order (queries .. charges, then the PR 6 publication
-/// counters rows_rebuilt .. max_publish_ns — appended, never reordered),
-/// followed by the server totals (5 u64) and the per-peer section
-/// (count:u32, then per peer addr_len:u32 addr bytes + 4 u64).
+/// declaration order (queries .. charges, the PR 6 publication counters
+/// rows_rebuilt .. max_publish_ns, then the PR 7 pipeline/checkpoint
+/// counters shard_exports_inflight_max .. journal_compactions — new
+/// service fields are appended to the section, never reordered), followed
+/// by the server totals (5 u64) and the per-peer section (count:u32, then
+/// per peer addr_len:u32 addr bytes + 4 u64).
 std::string encode_counters(const service::RouteService::Counters& counters,
                             const ServerCounters& server = {});
 bool decode_counters(std::string_view payload, CountersFrame& out);

@@ -1,0 +1,288 @@
+#include "service/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/binio.h"
+#include "util/checksum.h"
+#include "util/contract.h"
+
+namespace fpss::service {
+
+using util::append_i64;
+using util::append_u32;
+using util::append_u64;
+using util::encode_cost;
+
+namespace {
+
+constexpr char kJournalMagic[8] = {'F', 'P', 'S', 'S', 'J', 'R', 'N', '1'};
+constexpr std::uint64_t kJournalVersion = 1;
+constexpr std::size_t kJournalHeaderSize = sizeof(kJournalMagic) + 2 * 8;
+/// Leads every patch record; a truncated tail cannot resynchronize into a
+/// fake record by accident.
+constexpr std::uint32_t kRecordMagic = 0x4a525046;  // "FPRJ" little-endian
+
+std::uint64_t fnv_bytes(const std::string& bytes) {
+  util::Fnv1a64 fnv;
+  for (const char c : bytes) fnv.byte(static_cast<std::uint8_t>(c));
+  return fnv.digest();
+}
+
+}  // namespace
+
+// Friend of RouteSnapshot: diffs two snapshots by per-block digest, encodes
+// one patch record's payload, and replays a payload onto a prior state.
+struct CheckpointCodec {
+  using Block = RouteSnapshot::DestinationBlock;
+
+  /// Destinations whose block content changed from `from` to `to`. The CoW
+  /// pipeline shares unchanged blocks, so the common case is one pointer
+  /// compare per destination; a full rebuild falls back to the digest,
+  /// which still keeps equal-content blocks out of the patch.
+  static std::vector<NodeId> changed(const RouteSnapshot& from,
+                                     const RouteSnapshot& to) {
+    std::vector<NodeId> out;
+    for (NodeId j = 0; j < to.n_; ++j) {
+      if (from.blocks_[j] == to.blocks_[j]) continue;
+      if (from.blocks_[j]->digest == to.blocks_[j]->digest) continue;
+      out.push_back(j);
+    }
+    return out;
+  }
+
+  static void append_block(std::string& out, const Block& block) {
+    for (const NodeId v : block.next_hop) append_u32(out, v);
+    for (const Cost c : block.cost) append_i64(out, encode_cost(c));
+    for (const std::uint64_t o : block.offset) append_u64(out, o);
+    for (const NodeId v : block.transit) append_u32(out, v);
+    for (const Cost c : block.price) append_i64(out, encode_cost(c));
+  }
+
+  /// Payload: provenance + the checksum replay must reproduce, the global
+  /// arrays, then the patched blocks. Self-contained — a record can be
+  /// validated and applied knowing only n (from the base image).
+  static std::string payload(const RouteSnapshot& snap,
+                             const std::vector<NodeId>& patched) {
+    std::string out;
+    append_u64(out, snap.version_);
+    append_u64(out, snap.graph_version_);
+    append_u64(out, snap.published_at_ns_);
+    append_u64(out, snap.checksum_);
+    for (const Cost c : snap.node_cost_) append_i64(out, encode_cost(c));
+    for (const Cost::rep r : snap.owed_) append_i64(out, r);
+    for (const Cost::rep r : snap.settled_) append_i64(out, r);
+    append_u32(out, static_cast<std::uint32_t>(patched.size()));
+    for (const NodeId j : patched) {
+      append_u32(out, j);
+      append_block(out, *snap.blocks_[j]);
+    }
+    return out;
+  }
+
+  static std::shared_ptr<const Block> parse_block(util::BinReader& in,
+                                                  std::size_t n) {
+    auto block = std::make_shared<Block>();
+    block->next_hop.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) block->next_hop.push_back(in.u32());
+    block->cost.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) block->cost.push_back(in.cost());
+    block->offset.reserve(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) {
+      const std::uint64_t o = in.u64();
+      // Monotone and bounded before the entry arrays are sized from it: a
+      // corrupt offset must not trigger a huge allocation.
+      if (!block->offset.empty() && !in.fail &&
+          (o < block->offset.back() || o > n * n))
+        return nullptr;
+      block->offset.push_back(o);
+    }
+    if (in.fail || block->offset.front() != 0) return nullptr;
+    const std::uint64_t entries = block->offset.back();
+    if (in.remaining() < entries * 12) return nullptr;
+    block->transit.reserve(entries);
+    for (std::uint64_t e = 0; e < entries; ++e) {
+      const NodeId v = in.u32();
+      if (v >= n) return nullptr;
+      block->transit.push_back(v);
+    }
+    block->price.reserve(entries);
+    for (std::uint64_t e = 0; e < entries; ++e) block->price.push_back(in.cost());
+    if (in.fail) return nullptr;
+    block->digest = block->compute_digest();
+    return block;
+  }
+
+  /// Applies one validated payload onto `state`; null when the payload is
+  /// short, structurally invalid, or its replayed checksum does not
+  /// reproduce the stored one.
+  static std::shared_ptr<const RouteSnapshot> apply(const RouteSnapshot& state,
+                                                    const std::string& bytes) {
+    const std::size_t n = state.n_;
+    util::BinReader in{bytes};
+    auto snap = std::shared_ptr<RouteSnapshot>(new RouteSnapshot);
+    snap->n_ = n;
+    snap->version_ = in.u64();
+    snap->graph_version_ = in.u64();
+    snap->published_at_ns_ = in.u64();
+    const std::uint64_t want = in.u64();
+    snap->node_cost_.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) snap->node_cost_.push_back(in.cost());
+    snap->owed_.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) snap->owed_.push_back(in.i64());
+    snap->settled_.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) snap->settled_.push_back(in.i64());
+    const std::uint32_t patches = in.u32();
+    if (in.fail || patches > n) return nullptr;
+    snap->blocks_ = state.blocks_;
+    for (std::uint32_t p = 0; p < patches; ++p) {
+      const NodeId j = in.u32();
+      if (in.fail || j >= n) return nullptr;
+      auto block = parse_block(in, n);
+      if (block == nullptr) return nullptr;
+      snap->blocks_[j] = std::move(block);
+    }
+    if (in.fail || in.pos != bytes.size()) return nullptr;
+    snap->seal();
+    if (snap->checksum_ != want) return nullptr;
+    return snap;
+  }
+};
+
+// --- writer ----------------------------------------------------------------
+
+CheckpointWriter::CheckpointWriter(CheckpointPolicy policy)
+    : policy_(std::move(policy)),
+      base_path_(policy_.directory + "/base.fpss-snap"),
+      journal_path_(policy_.directory + "/journal.fpss-jrnl") {}
+
+std::string CheckpointWriter::on_publish(
+    const std::shared_ptr<const RouteSnapshot>& snap) {
+  FPSS_EXPECTS(snap != nullptr);
+  if (policy_.directory.empty()) return "";
+  const std::uint64_t every =
+      policy_.every_publishes == 0 ? 1 : policy_.every_publishes;
+  ++publishes_since_checkpoint_;
+  if (last_written_ != nullptr && publishes_since_checkpoint_ < every)
+    return "";
+  publishes_since_checkpoint_ = 0;
+  if (last_written_ == nullptr ||
+      last_written_->node_count() != snap->node_count())
+    return write_base(snap);
+  if (journal_bytes_ > policy_.max_journal_bytes) {
+    ++stats_.compactions;
+    return write_base(snap);
+  }
+  return append_patch(snap);
+}
+
+std::string CheckpointWriter::write_base(
+    const std::shared_ptr<const RouteSnapshot>& snap) {
+  // tmp + rename keeps a complete base on disk at every instant; the
+  // journal is truncated only afterwards, and until it is, its binding to
+  // the *old* base checksum makes it a no-op against the new one.
+  const std::string tmp = base_path_ + ".tmp";
+  const SnapshotSaveResult saved = save_snapshot(*snap, tmp);
+  if (!saved.ok()) return saved.error;
+  if (std::rename(tmp.c_str(), base_path_.c_str()) != 0)
+    return "rename '" + tmp + "' -> '" + base_path_ + "' failed";
+  std::string header;
+  header.append(kJournalMagic, sizeof(kJournalMagic));
+  append_u64(header, kJournalVersion);
+  append_u64(header, snap->checksum());
+  std::ofstream out(journal_path_, std::ios::binary | std::ios::trunc);
+  if (!out) return "cannot open '" + journal_path_ + "' for writing";
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.flush();
+  if (!out) return "write to '" + journal_path_ + "' failed";
+  journal_bytes_ = header.size();
+  last_written_ = snap;
+  ++stats_.checkpoints;
+  stats_.bytes_written += saved.bytes + header.size();
+  return "";
+}
+
+std::string CheckpointWriter::append_patch(
+    const std::shared_ptr<const RouteSnapshot>& snap) {
+  const std::vector<NodeId> patched =
+      CheckpointCodec::changed(*last_written_, *snap);
+  const std::string payload = CheckpointCodec::payload(*snap, patched);
+  std::string record;
+  append_u32(record, kRecordMagic);
+  append_u64(record, payload.size());
+  append_u64(record, fnv_bytes(payload));
+  record += payload;
+  std::ofstream out(journal_path_, std::ios::binary | std::ios::app);
+  if (!out) return "cannot open '" + journal_path_ + "' for appending";
+  out.write(record.data(), static_cast<std::streamsize>(record.size()));
+  out.flush();
+  if (!out) return "write to '" + journal_path_ + "' failed";
+  journal_bytes_ += record.size();
+  last_written_ = snap;
+  ++stats_.checkpoints;
+  stats_.bytes_written += record.size();
+  stats_.patches += patched.size();
+  return "";
+}
+
+// --- load ------------------------------------------------------------------
+
+CheckpointLoadResult load_checkpoint(const std::string& directory) {
+  CheckpointLoadResult result;
+  const SnapshotLoadResult base =
+      load_snapshot(directory + "/base.fpss-snap");
+  if (!base.ok()) {
+    result.error = base.error;
+    return result;
+  }
+  std::shared_ptr<const RouteSnapshot> state = base.snapshot;
+
+  // A missing, short, or mismatched journal is not an error — the base
+  // alone is a complete checkpoint (exactly the crash window between a
+  // compaction's base rename and its journal truncate).
+  std::ifstream in(directory + "/journal.fpss-jrnl", std::ios::binary);
+  if (in) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = buffer.str();
+    if (bytes.size() >= kJournalHeaderSize &&
+        std::memcmp(bytes.data(), kJournalMagic, sizeof(kJournalMagic)) == 0) {
+      util::BinReader header{bytes, sizeof(kJournalMagic)};
+      const std::uint64_t version = header.u64();
+      const std::uint64_t bound_to = header.u64();
+      if (version == kJournalVersion && bound_to == state->checksum()) {
+        std::size_t pos = kJournalHeaderSize;
+        for (;;) {
+          // Each record stands alone: any truncated or corrupt tail ends
+          // the replay at the last complete record.
+          if (bytes.size() - pos < 20) break;
+          util::BinReader rec{bytes, pos};
+          if (rec.u32() != kRecordMagic) break;
+          const std::uint64_t len = rec.u64();
+          const std::uint64_t want = rec.u64();
+          if (bytes.size() - rec.pos < len) break;
+          const std::string payload = bytes.substr(rec.pos, len);
+          if (fnv_bytes(payload) != want) break;
+          auto next = CheckpointCodec::apply(*state, payload);
+          if (next == nullptr) break;
+          state = std::move(next);
+          ++result.records_applied;
+          pos = rec.pos + len;
+        }
+      }
+    }
+  }
+
+  if (!state->self_check()) {
+    result.error = "structural validation failed";
+    result.records_applied = 0;
+    return result;
+  }
+  result.snapshot = std::move(state);
+  return result;
+}
+
+}  // namespace fpss::service

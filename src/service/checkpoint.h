@@ -1,0 +1,109 @@
+// Dirty-aware incremental checkpointing — the persistence half of the
+// "fpss-snap v4" era.
+//
+// save_snapshot writes the full O(n^2) image on every call; under steady
+// churn that dwarfs the work of the publishes themselves. A v4 checkpoint
+// directory instead holds
+//
+//   base.fpss-snap      a full image (the ordinary save_snapshot format)
+//   journal.fpss-jrnl   header + appended patch records
+//
+// and a periodic checkpoint appends one *patch record* carrying only the
+// destination blocks that changed since the last record — O(dirty), found
+// by digest diff against the last checkpointed snapshot (CoW makes the
+// common case a pointer compare). Each record also carries the global
+// arrays (node costs, payment totals) and the snapshot checksum the replay
+// must reproduce, so every record is self-validating.
+//
+// Journal header binds to the base via the base image's root checksum: a
+// journal whose binding does not match the base on disk is ignored
+// entirely. Together with writing a new base as tmp + rename, that closes
+// every crash window:
+//   - crash mid-record        -> the truncated tail fails its length or
+//                                payload-checksum check; replay stops at
+//                                the last complete record
+//   - crash between new base  -> the old journal's binding mismatches the
+//     and journal truncate       new base; the (already current) base
+//                                alone is served
+// load_checkpoint therefore recovers the newest complete state and can
+// never serve a torn one — the crash-recovery property test truncates the
+// journal at every byte prefix to pin exactly this.
+//
+// Compaction: when the journal outgrows CheckpointPolicy::max_journal_bytes
+// the writer folds it into a fresh base (tmp + rename) and truncates the
+// journal to a new bound header. Replay cost is thus bounded alongside
+// journal size.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/snapshot.h"
+
+namespace fpss::service {
+
+/// When RouteService checkpoints. A default-constructed policy (empty
+/// directory) disables checkpointing entirely.
+struct CheckpointPolicy {
+  std::string directory;  ///< checkpoint dir (created by the caller); "" = off
+  /// Checkpoint every Nth publish (the first publish always writes the
+  /// base). 0 behaves as 1.
+  std::uint64_t every_publishes = 1;
+  /// Fold the journal into a new base once it exceeds this many bytes.
+  std::uint64_t max_journal_bytes = 4u << 20;
+};
+
+/// The updater-side writer: feed it every published snapshot; it decides
+/// (per the policy) whether to write nothing, append a patch record, or
+/// compact into a new base. Single-threaded like the rest of the publish
+/// path — RouteService calls it from the updater only.
+class CheckpointWriter {
+ public:
+  struct Stats {
+    std::uint64_t checkpoints = 0;    ///< records + bases written
+    std::uint64_t bytes_written = 0;  ///< total bytes appended to disk
+    std::uint64_t patches = 0;        ///< per-destination block patches
+    std::uint64_t compactions = 0;    ///< journal folds into a new base
+  };
+
+  explicit CheckpointWriter(CheckpointPolicy policy);
+
+  /// Records one publish; writes whatever the policy asks for. Returns an
+  /// empty string on success (including "policy says skip") or a reason on
+  /// I/O failure — the service surfaces it via counters but keeps serving;
+  /// a broken disk must not take the read path down.
+  std::string on_publish(const std::shared_ptr<const RouteSnapshot>& snap);
+
+  const Stats& stats() const { return stats_; }
+  const std::string& base_path() const { return base_path_; }
+  const std::string& journal_path() const { return journal_path_; }
+
+ private:
+  std::string write_base(const std::shared_ptr<const RouteSnapshot>& snap);
+  std::string append_patch(const std::shared_ptr<const RouteSnapshot>& snap);
+
+  CheckpointPolicy policy_;
+  std::string base_path_;
+  std::string journal_path_;
+  /// The snapshot state the on-disk base+journal currently reproduces —
+  /// the diff base of the next patch record.
+  std::shared_ptr<const RouteSnapshot> last_written_;
+  std::uint64_t publishes_since_checkpoint_ = 0;
+  std::uint64_t journal_bytes_ = 0;
+  Stats stats_;
+};
+
+/// Recovers the newest complete state from a checkpoint directory: loads
+/// the base image, then replays every complete, checksum-valid journal
+/// record bound to it. `patches_applied` counts replayed records.
+struct CheckpointLoadResult {
+  std::shared_ptr<const RouteSnapshot> snapshot;  ///< null on failure
+  std::string error;
+  std::uint64_t records_applied = 0;
+  bool ok() const { return snapshot != nullptr; }
+};
+
+CheckpointLoadResult load_checkpoint(const std::string& directory);
+
+}  // namespace fpss::service

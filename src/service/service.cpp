@@ -29,6 +29,10 @@ RouteService::RouteService(const graph::Graph& g, ServiceConfig config)
   // Dirty sink-tree tracking powers the incremental exports; enable it
   // before the first convergence so that run doubles as the baseline.
   session_.track_dirty_destinations(true);
+  if (config_.export_threads > 1)
+    session_.engine().ensure_pool(config_.export_threads);
+  if (!config_.checkpoint.directory.empty())
+    checkpoint_ = std::make_unique<CheckpointWriter>(config_.checkpoint);
   // Initial convergence happens on the constructing thread, before the
   // updater exists — the service never serves a non-converged state.
   const bgp::RunStats stats = session_.run();
@@ -48,6 +52,10 @@ RouteService::RouteService(const graph::Graph& g,
       ledger_(g.node_count()) {
   FPSS_EXPECTS(warm != nullptr && warm->node_count() == g.node_count());
   session_.track_dirty_destinations(true);
+  if (config_.export_threads > 1)
+    session_.engine().ensure_pool(config_.export_threads);
+  if (!config_.checkpoint.directory.empty())
+    checkpoint_ = std::make_unique<CheckpointWriter>(config_.checkpoint);
   // Serve the saved epoch immediately; convergence is deferred to the
   // updater and happens when the first burst arrives. Future publishes
   // must outnumber the warm version, so it becomes the version base.
@@ -60,7 +68,11 @@ RouteService::RouteService(const graph::Graph& g,
   ledger_.restore(std::move(owed), std::move(settled));
   // The warm snapshot fills every shard; it is NOT a CoW base for later
   // exports (its blocks came from disk, not from this session), so
-  // last_published_ stays null and the first real publish rebuilds fully.
+  // last_published_ stays null and the first real publish rebuilds fully —
+  // but it IS the digest-adoption donor: the pipeline keeps its blocks
+  // wherever the fresh export reproduces them, so only genuinely-changed
+  // shards are swapped on that first publish.
+  warm_base_ = warm;
   store_.publish_all(std::move(warm));
   updater_ = std::thread([this] { updater_loop(); });
 }
@@ -172,42 +184,28 @@ void RouteService::publish_current() {
   const std::uint64_t version = version_base_ + epoch;
   util::ThreadPool* pool = session_.engine().pool();
 
-  // The incremental path needs a CoW base (a previous export of this
+  // The incremental paths need a CoW base (a previous export of this
   // session) and a usable dirty set since that export's epoch; anything
-  // else falls back to a full build.
+  // else the pipeline turns into a full build.
   std::optional<std::vector<NodeId>> dirty;
   if (last_published_ != nullptr)
     dirty = session_.dirty_destinations(last_export_epoch_);
 
+  PipelineStats stats;
   std::shared_ptr<const RouteSnapshot> snap;
-  SnapshotExportStats stats;
   {
     std::lock_guard<std::mutex> lock(ledger_mutex_);
-    if (dirty.has_value()) {
-      snap = RouteSnapshot::from_session_incremental(
-          last_published_, session_, version, *dirty, &ledger_, pool, &stats);
-    } else {
-      snap = RouteSnapshot::from_session(session_, version, &ledger_, pool);
-      stats.rows_rebuilt = node_count_;
-      stats.full_rebuild = last_published_ != nullptr;
-    }
+    snap = PublishPipeline::run(store_, last_published_, warm_base_, session_,
+                                version, dirty, &ledger_, pool, &stats);
   }
+  warm_base_ = nullptr;  // adoption is a first-publish-only affair
 
-  // Swap only the shards whose destinations were rebuilt. Any full build
-  // replaced every block, so every shard must move — the store's CoW
-  // consistency contract depends on it.
-  std::vector<bool> shard_dirty(store_.shard_count(), true);
-  if (dirty.has_value() && !stats.full_rebuild) {
-    shard_dirty.assign(store_.shard_count(), false);
-    for (const NodeId j : *dirty) shard_dirty[store_.shard_of(j)] = true;
-  }
-  const std::size_t swapped = store_.publish(snap, shard_dirty);
-
-  last_published_ = std::move(snap);
+  last_published_ = snap;
   last_export_epoch_ = epoch;
   rows_rebuilt_.fetch_add(stats.rows_rebuilt, std::memory_order_relaxed);
   rows_reused_.fetch_add(stats.rows_reused, std::memory_order_relaxed);
-  shards_republished_.fetch_add(swapped, std::memory_order_relaxed);
+  shards_republished_.fetch_add(stats.shards_swapped,
+                                std::memory_order_relaxed);
   if (stats.full_rebuild)
     full_rebuilds_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t ns = elapsed_ns(start);
@@ -215,6 +213,25 @@ void RouteService::publish_current() {
   std::uint64_t seen = max_publish_ns_.load(std::memory_order_relaxed);
   while (ns > seen && !max_publish_ns_.compare_exchange_weak(
                           seen, ns, std::memory_order_relaxed)) {
+  }
+  std::uint64_t inflight = stats.max_exports_inflight;
+  std::uint64_t seen_inflight =
+      shard_exports_inflight_max_.load(std::memory_order_relaxed);
+  while (inflight > seen_inflight &&
+         !shard_exports_inflight_max_.compare_exchange_weak(
+             seen_inflight, inflight, std::memory_order_relaxed)) {
+  }
+
+  // Persistence rides after the readers are already on the new epoch: a
+  // slow or broken disk delays the next checkpoint, never a publish.
+  if (checkpoint_ != nullptr) {
+    checkpoint_->on_publish(snap);
+    const CheckpointWriter::Stats& cs = checkpoint_->stats();
+    checkpoints_written_.store(cs.checkpoints, std::memory_order_relaxed);
+    checkpoint_bytes_written_.store(cs.bytes_written,
+                                    std::memory_order_relaxed);
+    journal_patches_.store(cs.patches, std::memory_order_relaxed);
+    journal_compactions_.store(cs.compactions, std::memory_order_relaxed);
   }
   {
     // Notify under the queue mutex so a waiter cannot check the publish
@@ -345,6 +362,14 @@ RouteService::Counters RouteService::counters() const {
   c.full_rebuilds = full_rebuilds_.load(std::memory_order_relaxed);
   c.publish_total_ns = publish_total_ns_.load(std::memory_order_relaxed);
   c.max_publish_ns = max_publish_ns_.load(std::memory_order_relaxed);
+  c.shard_exports_inflight_max =
+      shard_exports_inflight_max_.load(std::memory_order_relaxed);
+  c.checkpoints_written = checkpoints_written_.load(std::memory_order_relaxed);
+  c.checkpoint_bytes_written =
+      checkpoint_bytes_written_.load(std::memory_order_relaxed);
+  c.journal_patches = journal_patches_.load(std::memory_order_relaxed);
+  c.journal_compactions =
+      journal_compactions_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -368,6 +393,11 @@ util::Table RouteService::counters_table() const {
   t.add("mean publish latency (ns)",
         c.publishes == 0 ? 0 : c.publish_total_ns / c.publishes);
   t.add("max publish latency (ns)", c.max_publish_ns);
+  t.add("shard exports in flight (max)", c.shard_exports_inflight_max);
+  t.add("checkpoints written", c.checkpoints_written);
+  t.add("checkpoint bytes written", c.checkpoint_bytes_written);
+  t.add("journal patches", c.journal_patches);
+  t.add("journal compactions", c.journal_compactions);
   return t;
 }
 

@@ -8,8 +8,11 @@
 //
 //   readers ──► ShardedSnapshotStore::acquire() ──► consistent View
 //   updater ──► coalesce queued deltas ──► reconverge once per burst
-//           ──► dirty_destinations() ──► from_session_incremental
-//           ──► publish only the shards whose sink trees changed
+//           ──► dirty_destinations() ──► PublishPipeline::run
+//                 ├─ per-shard export tasks on the thread pool, each shard
+//                 │  published through an epoch fence as ITS export lands
+//                 └─ incremental checkpoint (base + patch journal) after
+//                    readers are on the new epoch
 //
 // Publication is *incremental* end to end: the session fingerprints each
 // destination's sink tree per converged epoch, the export re-extracts only
@@ -57,6 +60,8 @@
 
 #include "payments/ledger.h"
 #include "pricing/session.h"
+#include "service/checkpoint.h"
+#include "service/pipeline.h"
 #include "service/protocol.h"
 #include "service/snapshot.h"
 #include "service/store.h"
@@ -79,6 +84,15 @@ struct ServiceConfig {
   /// publish swaps only the shards whose destinations' sink trees changed;
   /// 1 degenerates to the whole-store swap of previous releases.
   std::size_t shards = 1;
+  /// Minimum thread-pool width for the publish pipeline's per-shard export
+  /// fan-out. 0 (or 1) reuses whatever pool the engine was configured
+  /// with; a larger value widens the engine pool (protocol results are
+  /// width-invariant) so exports overlap even when the protocol runs
+  /// serial.
+  unsigned export_threads = 0;
+  /// Incremental checkpointing (fpss-snap v4 base + patch journal). The
+  /// default (empty directory) disables it.
+  CheckpointPolicy checkpoint;
 };
 
 class RouteService {
@@ -142,6 +156,14 @@ class RouteService {
     std::uint64_t full_rebuilds = 0;
     std::uint64_t publish_total_ns = 0;  ///< export+publish wall time summed
     std::uint64_t max_publish_ns = 0;
+    // Pipeline + checkpoint counters (PR 7).
+    /// High-water mark of per-shard export tasks concurrently in flight
+    /// (gauge, monotone max; 0 until a staged publish runs).
+    std::uint64_t shard_exports_inflight_max = 0;
+    std::uint64_t checkpoints_written = 0;  ///< bases + patch records
+    std::uint64_t checkpoint_bytes_written = 0;
+    std::uint64_t journal_patches = 0;  ///< per-destination block patches
+    std::uint64_t journal_compactions = 0;
   };
 
   /// Converges the initial network on the calling thread, publishes
@@ -264,6 +286,12 @@ class RouteService {
   /// session), so the first real publish is a full build.
   std::shared_ptr<const RouteSnapshot> last_published_;
   std::uint64_t last_export_epoch_ = 0;
+  /// Warm-start digest-adoption donor: the disk snapshot currently filling
+  /// every store slot. Consumed by the first real publish (the pipeline
+  /// adopts its unchanged blocks so clean shards need no swap), then null.
+  std::shared_ptr<const RouteSnapshot> warm_base_;
+  /// Non-null iff config_.checkpoint names a directory. Updater-only.
+  std::unique_ptr<CheckpointWriter> checkpoint_;
 
   mutable std::mutex ledger_mutex_;
   payments::Ledger ledger_;
@@ -292,6 +320,11 @@ class RouteService {
   std::atomic<std::uint64_t> full_rebuilds_{0};
   std::atomic<std::uint64_t> publish_total_ns_{0};
   std::atomic<std::uint64_t> max_publish_ns_{0};
+  std::atomic<std::uint64_t> shard_exports_inflight_max_{0};
+  std::atomic<std::uint64_t> checkpoints_written_{0};
+  std::atomic<std::uint64_t> checkpoint_bytes_written_{0};
+  std::atomic<std::uint64_t> journal_patches_{0};
+  std::atomic<std::uint64_t> journal_compactions_{0};
 
   std::thread updater_;  ///< last member: joined before state tears down
 };

@@ -67,8 +67,6 @@ RouteSnapshot::BlockPtr RouteSnapshot::extract_destination(
 }
 
 void RouteSnapshot::finish(const payments::Ledger* ledger) {
-  total_entries_ = 0;
-  for (const BlockPtr& block : blocks_) total_entries_ += block->transit.size();
   if (ledger != nullptr) {
     FPSS_EXPECTS(ledger->node_count() == n_);
     owed_ = ledger->owed_all();
@@ -77,6 +75,12 @@ void RouteSnapshot::finish(const payments::Ledger* ledger) {
     owed_.assign(n_, 0);
     settled_.assign(n_, 0);
   }
+  seal();
+}
+
+void RouteSnapshot::seal() {
+  total_entries_ = 0;
+  for (const BlockPtr& block : blocks_) total_entries_ += block->transit.size();
   checksum_ = compute_checksum();
 }
 
@@ -165,6 +169,28 @@ std::shared_ptr<const RouteSnapshot> RouteSnapshot::from_session_incremental(
   local.rows_rebuilt = rebuild.size();
   local.rows_reused = n - rebuild.size();
   if (stats != nullptr) *stats = local;
+  return snap;
+}
+
+std::shared_ptr<const RouteSnapshot> RouteSnapshot::cow_replace(
+    const RouteSnapshot& prev, const RouteSnapshot& donor,
+    std::span<const NodeId> take, std::uint64_t version) {
+  const std::size_t n = prev.n_;
+  FPSS_EXPECTS(donor.n_ == n);
+  auto snap = std::shared_ptr<RouteSnapshot>(new RouteSnapshot);
+  snap->n_ = n;
+  snap->version_ = version;
+  snap->graph_version_ = donor.graph_version_;
+  snap->published_at_ns_ = donor.published_at_ns_;
+  snap->node_cost_ = donor.node_cost_;
+  snap->blocks_ = prev.blocks_;
+  for (const NodeId j : take) {
+    FPSS_EXPECTS(j < n && donor.blocks_[j] != nullptr);
+    snap->blocks_[j] = donor.blocks_[j];
+  }
+  snap->owed_ = donor.owed_;
+  snap->settled_ = donor.settled_;
+  snap->seal();
   return snap;
 }
 
@@ -282,8 +308,10 @@ namespace {
 
 constexpr char kMagic[8] = {'F', 'P', 'S', 'S', 'S', 'N', 'P', '1'};
 // v3 switched the header digest to the hierarchical per-destination scheme
-// (see snapshot.h); the payload layout is unchanged from v2.
-constexpr std::uint64_t kFormatVersion = 3;
+// (see snapshot.h); v4 keeps the payload layout but marks the
+// incremental-checkpoint era — a v4 base may carry a patch-journal sidecar
+// whose header binds to this file's checksum (service/checkpoint.h).
+constexpr std::uint64_t kFormatVersion = 4;
 
 using Reader = util::BinReader;
 
@@ -460,7 +488,10 @@ SnapshotSaveResult save_snapshot(const RouteSnapshot& snapshot,
   out.write(header.data(), static_cast<std::streamsize>(header.size()));
   out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   out.flush();
-  if (!out) result.error = "write to '" + path + "' failed";
+  if (!out)
+    result.error = "write to '" + path + "' failed";
+  else
+    result.bytes = header.size() + payload.size();
   return result;
 }
 

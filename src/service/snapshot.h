@@ -19,11 +19,13 @@
 // (per-block digests folded into the root) for the same reason — an
 // incremental export checksums O(dirty) data, not O(n^2).
 //
-// Snapshots also serialize ("fpss-snap v3", binary header + FNV-1a
+// Snapshots also serialize ("fpss-snap v4", binary header + FNV-1a
 // checksum, the service-layer sibling of graph/io.h's "fpss-graph v1") so
 // a warm restart can serve traffic before the first reconvergence. v3
-// switched the stored digest to the hierarchical per-destination scheme
-// (the payload layout is unchanged from v2); older files are rejected
+// switched the stored digest to the hierarchical per-destination scheme;
+// v4 (payload layout unchanged from v3) marks the incremental-checkpoint
+// era, where a base image may be accompanied by a per-destination patch
+// journal sidecar (see service/checkpoint.h). Older files are rejected
 // with a version error.
 #pragma once
 
@@ -86,6 +88,18 @@ class RouteSnapshot {
       const pricing::Session& session, std::uint64_t version,
       std::span<const NodeId> dirty, const payments::Ledger* ledger = nullptr,
       util::ThreadPool* pool = nullptr, SnapshotExportStats* stats = nullptr);
+
+  /// CoW surgery: a snapshot sharing every block of `prev` except the
+  /// destinations in `take`, whose blocks are shared from `donor` instead.
+  /// Global state (node costs, payment totals, graph version, publish
+  /// stamp) comes from `donor`; `version` labels the result. This is the
+  /// building block of the publish pipeline's per-shard intermediates (the
+  /// snapshot a shard slot serves while other shards are still exporting),
+  /// public so tests can fabricate fence-era views. Preconditions: equal
+  /// node counts, every id in `take` in range and non-null in `donor`.
+  static std::shared_ptr<const RouteSnapshot> cow_replace(
+      const RouteSnapshot& prev, const RouteSnapshot& donor,
+      std::span<const NodeId> take, std::uint64_t version);
 
   std::size_t node_count() const { return n_; }
   /// Converged-epoch label assigned at export.
@@ -150,6 +164,8 @@ class RouteSnapshot {
 
  private:
   friend struct SnapshotCodec;
+  friend struct CheckpointCodec;  ///< per-block patch journal (checkpoint.cpp)
+  friend class PublishPipeline;   ///< writes dirty blocks in place (pipeline.cpp)
 
   /// Everything destination j's sink tree exports, immutable once built.
   /// The CSR is local (offset[0] == 0); `digest` folds the arrays once so
@@ -174,6 +190,10 @@ class RouteSnapshot {
                                       NodeId j, std::size_t n);
   /// Common tail of both exports: payments, entry total, checksum.
   void finish(const payments::Ledger* ledger);
+  /// The second half of finish(): entry total + checksum over blocks
+  /// already in place. The pipeline sets payments before its fan-out and
+  /// seals the merged snapshot after the per-shard tasks join.
+  void seal();
   /// Folds every field into the digest in serialization order.
   std::uint64_t compute_checksum() const;
 
@@ -196,6 +216,7 @@ class RouteSnapshot {
 /// not bare booleans).
 struct SnapshotSaveResult {
   std::string error;
+  std::uint64_t bytes = 0;  ///< header + payload bytes written on success
   bool ok() const { return error.empty(); }
 };
 
@@ -206,7 +227,7 @@ struct SnapshotLoadResult {
   bool ok() const { return snapshot != nullptr; }
 };
 
-/// Writes the "fpss-snap v3" binary image: an 8-byte magic, format
+/// Writes the "fpss-snap v4" binary image: an 8-byte magic, format
 /// version, payload byte count, and content checksum, then the payload.
 SnapshotSaveResult save_snapshot(const RouteSnapshot& snapshot,
                                  const std::string& path);

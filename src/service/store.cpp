@@ -60,6 +60,7 @@ std::size_t ShardedSnapshotStore::publish(
   displaced.reserve(shard_count_ + 1);
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    FPSS_EXPECTS(!fence_open_);  // direct publish may not cross a fence
     FPSS_ASSERT(newest_ == nullptr || newest_->version() <= version);
     for (std::size_t s = 0; s < shard_count_; ++s) {
       if (!shard_dirty[s] && shards_[s] != nullptr) continue;
@@ -76,6 +77,52 @@ std::size_t ShardedSnapshotStore::publish_all(
     std::shared_ptr<const RouteSnapshot> snapshot) {
   return publish(std::move(snapshot),
                  std::vector<bool>(shard_count_, true));
+}
+
+void ShardedSnapshotStore::fence_begin(std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FPSS_EXPECTS(!fence_open_);
+  FPSS_EXPECTS(newest_ == nullptr || newest_->version() <= version);
+  fence_open_ = true;
+  fence_version_ = version;
+  fence_touched_.assign(shard_count_, false);
+}
+
+void ShardedSnapshotStore::publish_shard(
+    std::size_t shard, std::shared_ptr<const RouteSnapshot> snapshot) {
+  FPSS_EXPECTS(snapshot != nullptr);
+  FPSS_EXPECTS(shard < shard_count_);
+  std::shared_ptr<const RouteSnapshot> displaced;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FPSS_EXPECTS(fence_open_);
+    FPSS_EXPECTS(snapshot->version() == fence_version_);
+    displaced = std::exchange(shards_[shard], std::move(snapshot));
+    fence_touched_[shard] = true;
+  }
+}
+
+std::size_t ShardedSnapshotStore::fence_end(
+    std::shared_ptr<const RouteSnapshot> merged) {
+  FPSS_EXPECTS(merged != nullptr);
+  std::size_t swapped = 0;
+  std::vector<std::shared_ptr<const RouteSnapshot>> displaced;
+  displaced.reserve(shard_count_ + 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FPSS_EXPECTS(fence_open_);
+    FPSS_EXPECTS(merged->version() == fence_version_);
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      if (!fence_touched_[s] && shards_[s] != nullptr) continue;
+      displaced.push_back(std::exchange(shards_[s], merged));
+      ++swapped;
+    }
+    displaced.push_back(std::exchange(newest_, std::move(merged)));
+    ++publishes_;
+    fence_open_ = false;
+    fence_touched_.clear();
+  }
+  return swapped;
 }
 
 std::vector<std::uint64_t> ShardedSnapshotStore::shard_versions() const {

@@ -137,6 +137,39 @@ class ShardedSnapshotStore {
   /// Full publish: every shard flagged dirty.
   std::size_t publish_all(std::shared_ptr<const RouteSnapshot> snapshot);
 
+  /// Epoch fence: the out-of-order publication window used by the staged
+  /// publish pipeline. Between fence_begin(v) and fence_end(), export tasks
+  /// running on pool workers call publish_shard() in *completion* order —
+  /// a cheap shard's new rows become readable the moment its export
+  /// finishes, without waiting on any other shard.
+  ///
+  /// Read guarantee while a fence is open (the relaxation of the strict
+  /// contract above): acquire() still returns one locked cut, but its slots
+  /// may mix at most the two adjacent epochs v-1 and v — never anything
+  /// older, never a partial shard. Each slot that has landed serves its own
+  /// shard's destinations from exactly the blocks the merged epoch-v
+  /// snapshot will hold (the pipeline shares the BlockPtrs), so a
+  /// destination's answer is always internally consistent; `newest` keeps
+  /// reporting v-1 until fence_end, so the composite version a reader
+  /// stamps on replies is a correct lower bound. fence_end(merged) installs
+  /// the merged snapshot as `newest` and over every slot the fence touched
+  /// (block-identical to the intermediates it replaces), restoring the
+  /// strict every-block-shared-with-newest invariant.
+  ///
+  /// Ownership: one fence at a time, begun and ended by the updater;
+  /// publish_shard may be called from any thread while the fence is open.
+  /// A fence counts as one publish (tallied at fence_end).
+  void fence_begin(std::uint64_t version);
+  /// Installs `snapshot` (an epoch-`version` intermediate whose shard
+  /// `shard` rows are final) into that slot. Requires an open fence and
+  /// snapshot->version() == the fence's version.
+  void publish_shard(std::size_t shard,
+                     std::shared_ptr<const RouteSnapshot> snapshot);
+  /// Closes the fence; returns the number of distinct shard slots swapped
+  /// across the whole fence (publish_shard landings + never-published slots
+  /// filled here).
+  std::size_t fence_end(std::shared_ptr<const RouteSnapshot> merged);
+
   std::uint64_t publish_count() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return publishes_;
@@ -159,6 +192,9 @@ class ShardedSnapshotStore {
   std::shared_ptr<const RouteSnapshot> newest_;
   std::vector<std::shared_ptr<const RouteSnapshot>> shards_;
   std::uint64_t publishes_ = 0;
+  bool fence_open_ = false;
+  std::uint64_t fence_version_ = 0;
+  std::vector<bool> fence_touched_;  ///< slots landed during the open fence
 };
 
 }  // namespace fpss::service

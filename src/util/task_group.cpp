@@ -1,0 +1,43 @@
+#include "util/task_group.h"
+
+#include <atomic>
+
+#include "util/thread_pool.h"
+
+namespace fpss::util {
+
+unsigned TaskGroup::run_and_wait() {
+  if (tasks_.empty()) return 0;
+
+  unsigned high_water = 0;
+  if (pool_ == nullptr || pool_->width() <= 1) {
+    for (auto& task : tasks_) task();
+    high_water = 1;
+  } else {
+    // parallel_for hands each worker a fixed stride of [0, count); running
+    // one task per index would pin task -> worker statically. Instead every
+    // index pops the *next unclaimed* task from a shared cursor, so a worker
+    // whose stride indices come up while heavy tasks are still running keeps
+    // draining the queue. Determinism of which worker runs which task is
+    // deliberately given up here — tasks are independent by contract.
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<unsigned> inflight{0};
+    std::atomic<unsigned> max_inflight{0};
+    pool_->parallel_for(tasks_.size(), [&](std::size_t) {
+      const std::size_t t = cursor.fetch_add(1, std::memory_order_relaxed);
+      const unsigned running = inflight.fetch_add(1, std::memory_order_relaxed) + 1;
+      unsigned seen = max_inflight.load(std::memory_order_relaxed);
+      while (running > seen &&
+             !max_inflight.compare_exchange_weak(seen, running,
+                                                 std::memory_order_relaxed)) {
+      }
+      tasks_[t]();
+      inflight.fetch_sub(1, std::memory_order_relaxed);
+    });
+    high_water = max_inflight.load(std::memory_order_relaxed);
+  }
+  tasks_.clear();
+  return high_water;
+}
+
+}  // namespace fpss::util

@@ -1,0 +1,54 @@
+// A batch of independent, heterogeneous tasks run on a ThreadPool and
+// joined — the dynamic-dispatch sibling of ThreadPool::parallel_for.
+//
+// parallel_for partitions a *uniform* index range by a fixed stride, which
+// is the right shape for the engines' per-node kernels but the wrong one
+// for the publication pipeline's per-shard export tasks: shards carry
+// wildly different dirty-row counts, so a static partition would leave
+// most workers idle behind the heaviest shard. TaskGroup instead pops
+// tasks from a shared atomic cursor, so whichever worker frees up first
+// takes the next task — completion order is load-driven, not index-driven,
+// which is exactly what lets a cheap shard publish while an expensive one
+// is still exporting.
+//
+// Usage contract mirrors parallel_for's: run_and_wait() must be called by
+// the pool's owner thread (it participates as a worker), one group at a
+// time, and tasks must not throw or call back into the pool running them.
+// Task side effects are visible to the caller when run_and_wait returns
+// (the pool's join provides the happens-before edge); effects of one task
+// are visible to later tasks only through the caller's own synchronization
+// — tasks are independent by design.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace fpss::util {
+
+class ThreadPool;
+
+class TaskGroup {
+ public:
+  /// Tasks run on `pool`; with a null pool (or width 1) they run serially
+  /// on the calling thread in add() order.
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void add(std::function<void()> task) { tasks_.push_back(std::move(task)); }
+  std::size_t size() const { return tasks_.size(); }
+
+  /// Runs every added task and blocks until all have finished; the group
+  /// is then empty and reusable. Returns the high-water mark of tasks
+  /// running concurrently (1 for a serial run of a non-empty group, 0 for
+  /// an empty one) — the pipeline's shard_exports_inflight_max gauge.
+  unsigned run_and_wait();
+
+ private:
+  ThreadPool* pool_;
+  std::vector<std::function<void()>> tasks_;
+};
+
+}  // namespace fpss::util

@@ -1,0 +1,324 @@
+// Dirty-aware incremental checkpointing (PR 7, "fpss-snap v4"): base image
+// + per-destination patch journal.
+//
+// The load-bearing properties:
+//   1. base + journal replay reloads *bit-identically* (same root checksum,
+//      same provenance) to a full-image save/load of the same snapshot.
+//   2. A patch record after a k-destination burst costs O(k) bytes, not
+//      O(n^2) — counter-asserted against the base image size.
+//   3. Crash safety: truncating the journal at EVERY byte prefix recovers
+//      the newest complete state, never a corrupt one (self_check
+//      asserted); a journal whose binding mismatches the base on disk (the
+//      compaction crash window) is ignored entirely.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pricing/session.h"
+#include "service/checkpoint.h"
+#include "service/service.h"
+#include "service/snapshot.h"
+
+namespace fpss {
+namespace {
+
+using pricing::RestartPolicy;
+using pricing::Session;
+using service::CheckpointLoadResult;
+using service::CheckpointPolicy;
+using service::CheckpointWriter;
+using service::RouteService;
+using service::RouteSnapshot;
+using service::ServiceConfig;
+using service::load_checkpoint;
+using service::load_snapshot;
+using service::save_snapshot;
+
+// `count` disjoint `len`-cycles: a cost change inside one component keeps
+// every other component's sink trees bit-identical, so the dirty fraction
+// of a burst is controllable.
+graph::Graph ring_components(std::size_t count, std::size_t len) {
+  graph::Graph g{static_cast<NodeId>(count * len)};
+  for (std::size_t c = 0; c < count; ++c) {
+    const NodeId base = static_cast<NodeId>(c * len);
+    for (std::size_t v = 0; v < len; ++v) {
+      g.add_edge(base + static_cast<NodeId>(v),
+                 base + static_cast<NodeId>((v + 1) % len));
+      g.set_cost(base + static_cast<NodeId>(v),
+                 Cost{static_cast<Cost::rep>(1 + c + v)});
+    }
+  }
+  return g;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "fpss_" + name;
+  std::filesystem::remove_all(path);
+  std::filesystem::create_directories(path);
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::shared_ptr<const RouteSnapshot> export_now(Session& session) {
+  return RouteSnapshot::from_session(session,
+                                     session.engine().converged_epochs());
+}
+
+// --- base + journal == full image ------------------------------------------
+
+TEST(Checkpoint, BaseAndJournalReloadBitIdenticalToFullImage) {
+  const std::string dir = fresh_dir("ckpt_roundtrip");
+  Session session(ring_components(4, 6), pricing::Protocol::kPriceVector);
+  ASSERT_TRUE(session.run().converged);
+
+  CheckpointWriter writer({dir, 1, 4u << 20});
+  auto snap = export_now(session);
+  ASSERT_EQ(writer.on_publish(snap), "");
+  EXPECT_EQ(writer.stats().checkpoints, 1u);
+  EXPECT_EQ(writer.stats().patches, 0u);  // the first write is the base
+
+  // Three single-component bursts, each checkpointed as a patch record.
+  const NodeId touched[] = {1, 7, 13};
+  for (const NodeId v : touched) {
+    ASSERT_TRUE(
+        session.change_cost(v, Cost{40}, RestartPolicy::kRestartBarrier)
+            .converged);
+    snap = export_now(session);
+    ASSERT_EQ(writer.on_publish(snap), "");
+  }
+  EXPECT_EQ(writer.stats().checkpoints, 4u);
+  EXPECT_GT(writer.stats().patches, 0u);
+
+  const CheckpointLoadResult loaded = load_checkpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.records_applied, 3u);
+  EXPECT_TRUE(loaded.snapshot->self_check());
+
+  // Bit-identical to a full-image save/load of the same snapshot: same
+  // root checksum (which covers provenance), stamp for stamp.
+  const auto saved = save_snapshot(*snap, dir + "/full.fpss-snap");
+  ASSERT_TRUE(saved.ok()) << saved.error;
+  const auto full = load_snapshot(dir + "/full.fpss-snap");
+  ASSERT_TRUE(full.ok()) << full.error;
+  EXPECT_EQ(loaded.snapshot->checksum(), full.snapshot->checksum());
+  EXPECT_EQ(loaded.snapshot->checksum(), snap->checksum());
+  EXPECT_EQ(loaded.snapshot->version(), snap->version());
+  EXPECT_EQ(loaded.snapshot->published_at_ns(), snap->published_at_ns());
+  EXPECT_EQ(loaded.snapshot->content_checksum(), snap->content_checksum());
+  EXPECT_EQ(loaded.snapshot->node_cost(13), Cost{40});
+}
+
+// --- the acceptance criterion: O(k) patch bytes -----------------------------
+
+TEST(Checkpoint, PatchBytesAreProportionalToDirtyNotToN) {
+  const std::string dir = fresh_dir("ckpt_odirty");
+  // 24 destinations in four components; a burst in one component can dirty
+  // at most 6 of them.
+  Session session(ring_components(4, 6), pricing::Protocol::kPriceVector);
+  ASSERT_TRUE(session.run().converged);
+
+  CheckpointWriter writer({dir, 1, 4u << 20});
+  ASSERT_EQ(writer.on_publish(export_now(session)), "");
+  const std::uint64_t base_bytes = writer.stats().bytes_written;
+  ASSERT_GT(base_bytes, 0u);
+
+  // One-node burst: the patch record carries only the genuinely changed
+  // blocks (digest diff), a quarter of the network at most.
+  ASSERT_TRUE(
+      session.change_cost(2, Cost{35}, RestartPolicy::kRestartBarrier)
+          .converged);
+  ASSERT_EQ(writer.on_publish(export_now(session)), "");
+  const std::uint64_t patch_bytes = writer.stats().bytes_written - base_bytes;
+  ASSERT_GT(patch_bytes, 0u);
+  EXPECT_LT(patch_bytes * 2, base_bytes)
+      << "patch " << patch_bytes << "B vs base " << base_bytes << "B";
+  EXPECT_GE(writer.stats().patches, 1u);
+  EXPECT_LE(writer.stats().patches, 6u);  // the touched component only
+}
+
+// --- crash recovery at every journal prefix ---------------------------------
+
+TEST(Checkpoint, RecoversNewestCompleteStateAtEveryJournalPrefix) {
+  const std::string dir = fresh_dir("ckpt_crash");
+  Session session(ring_components(2, 6), pricing::Protocol::kPriceVector);
+  ASSERT_TRUE(session.run().converged);
+
+  CheckpointWriter writer({dir, 1, 4u << 20});
+  // states[r] = the checksum replaying r records must reproduce;
+  // bounds[r] = the journal byte size at which record r is complete.
+  std::vector<std::uint64_t> states;
+  std::vector<std::uint64_t> bounds;
+  auto snap = export_now(session);
+  ASSERT_EQ(writer.on_publish(snap), "");
+  states.push_back(snap->checksum());
+  const NodeId touched[] = {1, 8};
+  for (const NodeId v : touched) {
+    ASSERT_TRUE(
+        session.change_cost(v, Cost{45}, RestartPolicy::kRestartBarrier)
+            .converged);
+    snap = export_now(session);
+    ASSERT_EQ(writer.on_publish(snap), "");
+    states.push_back(snap->checksum());
+    bounds.push_back(std::filesystem::file_size(writer.journal_path()));
+  }
+
+  const std::string journal = read_file(writer.journal_path());
+  ASSERT_EQ(journal.size(), bounds.back());
+
+  // Simulated crash at every byte: copy the base, truncate the journal to
+  // each prefix, recover. The recovered state must always be the newest
+  // whose record is complete in the prefix — and always structurally sound.
+  const std::string scratch = fresh_dir("ckpt_crash_scratch");
+  std::filesystem::copy_file(writer.base_path(),
+                             scratch + "/base.fpss-snap");
+  for (std::size_t len = 0; len <= journal.size(); ++len) {
+    write_file(scratch + "/journal.fpss-jrnl", journal.substr(0, len));
+    const CheckpointLoadResult loaded = load_checkpoint(scratch);
+    ASSERT_TRUE(loaded.ok()) << "len=" << len << ": " << loaded.error;
+    std::uint64_t expect_applied = 0;
+    for (const std::uint64_t bound : bounds)
+      if (len >= bound) ++expect_applied;
+    ASSERT_EQ(loaded.records_applied, expect_applied) << "len=" << len;
+    ASSERT_EQ(loaded.snapshot->checksum(), states[expect_applied])
+        << "len=" << len;
+    ASSERT_TRUE(loaded.snapshot->self_check()) << "len=" << len;
+  }
+}
+
+TEST(Checkpoint, JournalBoundToAnotherBaseIsIgnored) {
+  const std::string dir = fresh_dir("ckpt_binding");
+  Session session(ring_components(2, 6), pricing::Protocol::kPriceVector);
+  ASSERT_TRUE(session.run().converged);
+  CheckpointWriter writer({dir, 1, 4u << 20});
+  ASSERT_EQ(writer.on_publish(export_now(session)), "");
+  ASSERT_TRUE(
+      session.change_cost(3, Cost{30}, RestartPolicy::kRestartBarrier)
+          .converged);
+  ASSERT_EQ(writer.on_publish(export_now(session)), "");
+  ASSERT_GT(std::filesystem::file_size(writer.journal_path()), 24u);
+
+  // The compaction crash window: a *newer* full base landed (tmp+rename)
+  // but the daemon died before truncating the journal. The stale journal's
+  // binding mismatches and replay must not run — the base alone is served.
+  ASSERT_TRUE(
+      session.change_cost(9, Cost{33}, RestartPolicy::kRestartBarrier)
+          .converged);
+  const auto newer = export_now(session);
+  ASSERT_TRUE(save_snapshot(*newer, dir + "/base.fpss-snap").ok());
+
+  const CheckpointLoadResult loaded = load_checkpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.records_applied, 0u);
+  EXPECT_EQ(loaded.snapshot->checksum(), newer->checksum());
+  EXPECT_TRUE(loaded.snapshot->self_check());
+}
+
+// --- policy: cadence and compaction -----------------------------------------
+
+TEST(Checkpoint, EveryPublishesPolicySkipsIntermediatePublishes) {
+  const std::string dir = fresh_dir("ckpt_cadence");
+  Session session(ring_components(2, 6), pricing::Protocol::kPriceVector);
+  ASSERT_TRUE(session.run().converged);
+
+  CheckpointWriter writer({dir, 3, 4u << 20});
+  ASSERT_EQ(writer.on_publish(export_now(session)), "");
+  EXPECT_EQ(writer.stats().checkpoints, 1u);  // the base is never skipped
+
+  std::shared_ptr<const RouteSnapshot> snap;
+  for (const NodeId v : {NodeId{1}, NodeId{2}, NodeId{3}}) {
+    ASSERT_TRUE(
+        session.change_cost(v, Cost{20}, RestartPolicy::kRestartBarrier)
+            .converged);
+    snap = export_now(session);
+    ASSERT_EQ(writer.on_publish(snap), "");
+  }
+  // Publishes 2 and 3 were skipped; the 4th wrote one record diffing the
+  // base against the *cumulative* state of all three bursts.
+  EXPECT_EQ(writer.stats().checkpoints, 2u);
+  const CheckpointLoadResult loaded = load_checkpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.records_applied, 1u);
+  EXPECT_EQ(loaded.snapshot->checksum(), snap->checksum());
+}
+
+TEST(Checkpoint, CompactionFoldsJournalIntoFreshBase) {
+  const std::string dir = fresh_dir("ckpt_compact");
+  Session session(ring_components(2, 6), pricing::Protocol::kPriceVector);
+  ASSERT_TRUE(session.run().converged);
+
+  // A 64-byte budget: the first patch record overruns it, so the following
+  // checkpoint folds the journal into a new base.
+  CheckpointWriter writer({dir, 1, 64});
+  ASSERT_EQ(writer.on_publish(export_now(session)), "");
+  ASSERT_TRUE(
+      session.change_cost(1, Cost{25}, RestartPolicy::kRestartBarrier)
+          .converged);
+  ASSERT_EQ(writer.on_publish(export_now(session)), "");
+  EXPECT_EQ(writer.stats().compactions, 0u);
+  ASSERT_GT(std::filesystem::file_size(writer.journal_path()), 64u);
+
+  ASSERT_TRUE(
+      session.change_cost(7, Cost{26}, RestartPolicy::kRestartBarrier)
+          .converged);
+  const auto latest = export_now(session);
+  ASSERT_EQ(writer.on_publish(latest), "");
+  EXPECT_EQ(writer.stats().compactions, 1u);
+  // The journal is back to a bare (rebound) header and replay is empty.
+  EXPECT_EQ(std::filesystem::file_size(writer.journal_path()), 24u);
+  const CheckpointLoadResult loaded = load_checkpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.records_applied, 0u);
+  EXPECT_EQ(loaded.snapshot->checksum(), latest->checksum());
+}
+
+// --- RouteService integration -----------------------------------------------
+
+TEST(Checkpoint, RouteServiceCheckpointsEveryPublishAndRecovers) {
+  const std::string dir = fresh_dir("ckpt_service");
+  ServiceConfig config;
+  config.shards = 2;
+  config.checkpoint.directory = dir;
+  config.checkpoint.every_publishes = 1;
+  RouteService svc(ring_components(2, 6), config);
+
+  // The constructor's first publish wrote the base.
+  const auto c0 = svc.counters();
+  EXPECT_EQ(c0.checkpoints_written, 1u);
+  EXPECT_GT(c0.checkpoint_bytes_written, 0u);
+  EXPECT_EQ(c0.journal_patches, 0u);
+
+  svc.submit(RouteService::Delta::cost_change(2, Cost{44}));
+  svc.drain();
+  const auto c1 = svc.counters();
+  EXPECT_EQ(c1.checkpoints_written, 2u);
+  EXPECT_GT(c1.checkpoint_bytes_written, c0.checkpoint_bytes_written);
+  EXPECT_GE(c1.journal_patches, 1u);
+
+  // A cold daemon recovering from the directory serves the exact state the
+  // live daemon last published.
+  const CheckpointLoadResult loaded = load_checkpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.records_applied, 1u);
+  EXPECT_EQ(loaded.snapshot->checksum(), svc.snapshot()->checksum());
+  EXPECT_EQ(loaded.snapshot->node_cost(2), Cost{44});
+}
+
+}  // namespace
+}  // namespace fpss

@@ -168,6 +168,11 @@ TEST(Wire, ControlPayloadRoundTrips) {
   counters.full_rebuilds = 13;
   counters.publish_total_ns = 14;
   counters.max_publish_ns = 15;
+  counters.shard_exports_inflight_max = 16;
+  counters.checkpoints_written = 17;
+  counters.checkpoint_bytes_written = 18;
+  counters.journal_patches = 19;
+  counters.journal_compactions = 30;
   net::ServerCounters server;
   server.connections = 20;
   server.frames = 21;
@@ -189,6 +194,11 @@ TEST(Wire, ControlPayloadRoundTrips) {
   EXPECT_EQ(frame.service.full_rebuilds, 13u);
   EXPECT_EQ(frame.service.publish_total_ns, 14u);
   EXPECT_EQ(frame.service.max_publish_ns, 15u);
+  EXPECT_EQ(frame.service.shard_exports_inflight_max, 16u);
+  EXPECT_EQ(frame.service.checkpoints_written, 17u);
+  EXPECT_EQ(frame.service.checkpoint_bytes_written, 18u);
+  EXPECT_EQ(frame.service.journal_patches, 19u);
+  EXPECT_EQ(frame.service.journal_compactions, 30u);
   EXPECT_EQ(frame.server.connections, 20u);
   EXPECT_EQ(frame.server.timeouts, 24u);
   ASSERT_EQ(frame.server.peers.size(), 2u);

@@ -319,7 +319,7 @@ TEST(RouteService, BatchedQueriesShareOneEpochAndCount) {
   EXPECT_GT(counters.total_ns, 0u);
   EXPECT_GE(counters.max_batch_ns, counters.total_ns / counters.batches);
   const util::Table t = svc.counters_table();
-  EXPECT_EQ(t.row_count(), 15u);
+  EXPECT_EQ(t.row_count(), 20u);
 }
 
 TEST(RouteService, ChargesReachPaymentTotalsOnRepublish) {
