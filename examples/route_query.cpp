@@ -8,7 +8,8 @@
 //   nexthop i j     first hop of the served LCP
 //   path i j        the full served LCP
 //   payment k       node k's accumulated payment total
-//   counters        the server's service counters
+//   counters        the server's service counters (a replica daemon also
+//                   reports its replication health: syncs, bytes, lag)
 //   drain           wait for the updater to drain; prints the version
 //   republish       submit a republish delta (forces a fresh publish)
 //
@@ -204,6 +205,19 @@ int main(int argc, char** argv) {
                 "  journal patches %" PRIu64 "  compactions %" PRIu64 "\n",
                 c.checkpoints_written, c.checkpoint_bytes_written,
                 c.journal_patches, c.journal_compactions);
+    if (result.has_replica) {
+      const auto& r = result.replica;
+      std::printf("replica: full syncs %" PRIu64 "  delta syncs %" PRIu64
+                  "  resyncs %" PRIu64 "  sync lag %.3f ms\n",
+                  r.full_syncs, r.delta_syncs, r.resyncs,
+                  static_cast<double>(r.sync_lag_ns) / 1e6);
+      std::printf("  shards fetched %" PRIu64 "  chunks %" PRIu64
+                  "  bytes %" PRIu64 "  blocks adopted %" PRIu64 "\n",
+                  r.shards_fetched, r.chunks_fetched, r.bytes_fetched,
+                  r.blocks_adopted);
+      std::printf("  notifies received %" PRIu64 "  coalesced %" PRIu64 "\n",
+                  r.notifies_received, r.notifies_coalesced);
+    }
     const auto& s = result.server;
     std::printf("server: connections %" PRIu64 "  frames %" PRIu64
                 "  rejected %" PRIu64 "  timeouts %" PRIu64 "\n",

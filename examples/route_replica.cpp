@@ -1,0 +1,305 @@
+// route_replica: a read replica chained behind route_server — and, in
+// self-test mode, a full primary/replica topology on loopback.
+//
+// Self-test mode (default) wires up
+//
+//   RouteService ── RouteServer ──(fpss-wire)── ReplicaService ── RouteServer
+//      (primary)      :ephemeral     snapshot        (replica)     :ephemeral
+//                                  sync + notify
+//
+// then churns the primary through several re-convergence cycles and, after
+// each one, waits for the replica to catch up *push-driven* (no polling —
+// every sync is caused by a kPublishNotify) and checks a batch of queries
+// through both servers for bit-identical answers. The replication counters
+// printed at the end show the O(dirty) transfer property: after the
+// bootstrap, catch-ups fetch only the shards a delta burst touched.
+//
+//   $ ./route_replica [nodes] [cycles]
+//
+// Daemon mode syncs from a running route_server (or another route_replica
+// — replicas chain) and serves the same fpss-wire protocol read-only:
+//
+//   $ ./route_replica --connect PORT [--host H] [--listen PORT]
+//                     [--workers W] [--checkpoint-dir DIR]
+//
+// With --checkpoint-dir the replica warm-starts from a local fpss-snap v4
+// checkpoint directory and serves it before the upstream is reachable;
+// blocks whose content matches the local image are adopted instead of
+// re-materialized from the wire.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graphgen/costs.h"
+#include "graphgen/random.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "replica/replica.h"
+#include "service/service.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fpss;
+
+// Same seeded generator as route_server: a replica daemon pointed at a
+// route_server of the same --nodes sees the identical network.
+graph::Graph make_network(std::size_t nodes) {
+  util::Rng rng(4202);
+  graphgen::TieredParams params;
+  params.core_count = nodes / 12 + 2;
+  params.mid_count = nodes / 4 + 2;
+  params.stub_count = nodes - params.core_count - params.mid_count;
+  graph::Graph g = graphgen::tiered_internet(params, rng);
+  graphgen::assign_degree_costs(g, 1, 9);
+  return g;
+}
+
+void print_replication_counters(const net::ReplicaCounters& c) {
+  std::printf(
+      "replica sync: %llu full + %llu delta syncs, %llu shards "
+      "(%llu chunks, %llu bytes), %llu blocks adopted\n",
+      static_cast<unsigned long long>(c.full_syncs),
+      static_cast<unsigned long long>(c.delta_syncs),
+      static_cast<unsigned long long>(c.shards_fetched),
+      static_cast<unsigned long long>(c.chunks_fetched),
+      static_cast<unsigned long long>(c.bytes_fetched),
+      static_cast<unsigned long long>(c.blocks_adopted));
+  std::printf(
+      "replica notify: %llu received (%llu coalesced), %llu resyncs, "
+      "last sync lag %.3f ms\n",
+      static_cast<unsigned long long>(c.notifies_received),
+      static_cast<unsigned long long>(c.notifies_coalesced),
+      static_cast<unsigned long long>(c.resyncs),
+      static_cast<double>(c.sync_lag_ns) / 1e6);
+}
+
+/// Queries both servers with the same randomized batch (every request
+/// kind, including out-of-range nodes) and compares every answer.
+bool compare_answers(net::RouteClient& primary, net::RouteClient& replica,
+                     NodeId n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<service::Request> batch;
+  for (int q = 0; q < 48; ++q) {
+    service::Request r;
+    const auto kinds = {service::RequestKind::kCost, service::RequestKind::kPrice,
+                        service::RequestKind::kPairPayment,
+                        service::RequestKind::kNextHop,
+                        service::RequestKind::kPath,
+                        service::RequestKind::kPayment};
+    r.kind = *(kinds.begin() + static_cast<long>(rng.below(kinds.size())));
+    r.k = static_cast<NodeId>(rng.below(n));
+    r.i = static_cast<NodeId>(rng.below(n));
+    r.j = static_cast<NodeId>(rng.below(n));
+    batch.push_back(r);
+  }
+  batch.push_back({service::RequestKind::kCost, 0, n, 0});  // bad node
+
+  const auto from_primary = primary.query(batch);
+  const auto from_replica = replica.query(batch);
+  if (!from_primary.ok() || !from_replica.ok()) {
+    std::printf("compare: query failed (%s / %s)\n",
+                from_primary.error.message.c_str(),
+                from_replica.error.message.c_str());
+    return false;
+  }
+  for (std::size_t q = 0; q < batch.size(); ++q)
+    if (!service::same_answer(from_primary.replies[q],
+                              from_replica.replies[q])) {
+      std::printf("compare: answer %zu diverged\n", q);
+      return false;
+    }
+  return true;
+}
+
+// --- daemon mode -----------------------------------------------------------
+
+std::atomic<bool> g_shutdown{false};
+
+void handle_signal(int) { g_shutdown.store(true, std::memory_order_relaxed); }
+
+int run_daemon(std::uint16_t upstream_port, const std::string& upstream_host,
+               std::uint16_t listen_port, unsigned workers,
+               const std::string& checkpoint_dir) {
+  replica::ReplicaConfig config;
+  config.upstream.host = upstream_host;
+  config.upstream.port = upstream_port;
+  config.checkpoint_directory = checkpoint_dir;
+  replica::ReplicaService replica(config);
+
+  if (replica.wait_until_ready(10000)) {
+    std::printf("route_replica: serving v%llu (%zu nodes) from %s:%u\n",
+                static_cast<unsigned long long>(replica.version()),
+                replica.node_count(), upstream_host.c_str(), upstream_port);
+  } else {
+    std::printf("route_replica: upstream %s:%u not ready yet; "
+                "serving empty until it appears\n",
+                upstream_host.c_str(), upstream_port);
+  }
+
+  net::ServerConfig server_config;
+  server_config.port = listen_port;
+  server_config.workers = workers;
+  server_config.allow_deltas = false;  // replicas are read-only
+  net::RouteServer server(replica, server_config);
+  if (!server.ok()) {
+    std::printf("route_replica: %s\n", server.error().c_str());
+    return 1;
+  }
+  std::printf("route_replica: listening on %s:%u (%u workers); "
+              "Ctrl-C to stop\n",
+              server_config.host.c_str(), server.port(), server_config.workers);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_shutdown.load(std::memory_order_relaxed))
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::printf("\nroute_replica: draining...\n");
+  server.stop();
+  replica.stop();
+  print_replication_counters(replica.replication_counters());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fpss;
+
+  // --- daemon mode ---------------------------------------------------------
+  if (argc > 1 && std::strcmp(argv[1], "--connect") == 0) {
+    if (argc < 3) {
+      std::printf("usage: route_replica --connect PORT [--host H] "
+                  "[--listen PORT] [--workers W] [--checkpoint-dir DIR]\n");
+      return 2;
+    }
+    std::uint16_t upstream_port =
+        static_cast<std::uint16_t>(std::atoi(argv[2]));
+    std::string upstream_host = "127.0.0.1";
+    std::uint16_t listen_port = 0;
+    unsigned workers = 4;
+    std::string checkpoint_dir;
+    for (int arg = 3; arg < argc; ++arg) {
+      const std::string flag = argv[arg];
+      if (flag == "--host" && arg + 1 < argc)
+        upstream_host = argv[++arg];
+      else if (flag == "--listen" && arg + 1 < argc)
+        listen_port = static_cast<std::uint16_t>(std::atoi(argv[++arg]));
+      else if (flag == "--workers" && arg + 1 < argc)
+        workers = static_cast<unsigned>(std::atoi(argv[++arg]));
+      else if (flag == "--checkpoint-dir" && arg + 1 < argc)
+        checkpoint_dir = argv[++arg];
+      else {
+        std::printf("unknown flag %s\n", flag.c_str());
+        return 2;
+      }
+    }
+    return run_daemon(upstream_port, upstream_host, listen_port, workers,
+                      checkpoint_dir);
+  }
+
+  // --- self-test mode ------------------------------------------------------
+  const std::size_t nodes =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 48;
+  const std::size_t cycles =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 3;
+
+  const graph::Graph g = make_network(nodes);
+  service::ServiceConfig svc_config;
+  svc_config.shards = 4;
+  service::RouteService primary(g, svc_config);
+  std::printf("primary: %zu nodes, %zu edges, serving v%llu (4 shards)\n",
+              g.node_count(), g.edge_count(),
+              static_cast<unsigned long long>(primary.version()));
+
+  // Size the primary's worker pool for the pinned subscription worker plus
+  // the fetch channel plus interactive queries.
+  net::ServerConfig primary_config;
+  primary_config.workers = 4;
+  net::RouteServer primary_server(primary, primary_config);
+  if (!primary_server.ok()) {
+    std::printf("primary server: %s\n", primary_server.error().c_str());
+    return 1;
+  }
+
+  replica::ReplicaConfig replica_config;
+  replica_config.upstream.port = primary_server.port();
+  replica::ReplicaService replica(replica_config);
+  if (!replica.wait_until_ready(10000) ||
+      replica.wait_for_version_beyond(0, 10000) < primary.version()) {
+    std::printf("replica: bootstrap sync did not complete\n");
+    return 1;
+  }
+  std::printf("replica: bootstrapped at v%llu\n",
+              static_cast<unsigned long long>(replica.version()));
+
+  net::ServerConfig replica_server_config;
+  replica_server_config.workers = 2;
+  replica_server_config.allow_deltas = false;
+  net::RouteServer replica_server(replica, replica_server_config);
+  if (!replica_server.ok()) {
+    std::printf("replica server: %s\n", replica_server.error().c_str());
+    return 1;
+  }
+
+  net::ClientConfig to_primary;
+  to_primary.port = primary_server.port();
+  net::RouteClient primary_client(to_primary);
+  net::ClientConfig to_replica;
+  to_replica.port = replica_server.port();
+  net::RouteClient replica_client(to_replica);
+  if (!primary_client.connect().ok() || !replica_client.connect().ok()) {
+    std::printf("client connect failed\n");
+    return 1;
+  }
+
+  bool all_equal = compare_answers(primary_client, replica_client,
+                                   static_cast<NodeId>(nodes), 11);
+
+  // Churn: each cycle perturbs a couple of node costs, republishes, and
+  // waits for the *push* to propagate — the replica never polls.
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    const NodeId node = static_cast<NodeId>(1 + cycle % (nodes - 1));
+    primary.submit({service::RouteService::Delta::cost_change(
+                        node, Cost{static_cast<Cost::rep>(2 + cycle)}),
+                    service::RouteService::Delta::cost_change(
+                        0, Cost{static_cast<Cost::rep>(1 + cycle % 3)})});
+    const std::uint64_t version = primary.drain();
+    const std::uint64_t caught_up =
+        replica.wait_for_version_beyond(version - 1, 10000);
+    const bool equal = caught_up >= version &&
+                       compare_answers(primary_client, replica_client,
+                                       static_cast<NodeId>(nodes), 101 + cycle);
+    std::printf("cycle %zu: primary v%llu, replica v%llu, answers %s\n",
+                cycle + 1, static_cast<unsigned long long>(version),
+                static_cast<unsigned long long>(caught_up),
+                equal ? "bit-identical" : "DIVERGED");
+    all_equal = all_equal && equal;
+  }
+
+  // The counters frame a monitoring client sees carries the replication
+  // section too — fetch it over the wire from the replica's server.
+  const auto remote_counters = replica_client.counters();
+  const bool counters_ok = remote_counters.ok() && remote_counters.has_replica;
+  if (counters_ok) print_replication_counters(remote_counters.replica);
+
+  replica_server.stop();
+  replica.stop();
+  primary_server.stop();
+
+  const auto sync = replica.replication_counters();
+  const bool synced_incrementally =
+      sync.full_syncs >= 1 && sync.delta_syncs >= cycles &&
+      sync.notifies_received >= cycles;
+  const bool ok = all_equal && counters_ok && synced_incrementally;
+  std::printf(ok ? "route_replica: OK\n" : "route_replica: FAILED\n");
+  return ok ? 0 : 1;
+}

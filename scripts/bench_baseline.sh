@@ -11,11 +11,14 @@
 #   BENCH_publish.json  — bench_publish (publication path: full vs
 #                         incremental CoW export across dirty fractions,
 #                         sharded publish cycle)
+#   BENCH_replica.json  — bench_replica (replication path: stream encode /
+#                         assemble, full bootstrap fetch vs dirty-shard
+#                         catch-up over loopback)
 #
 # Each output is the merged JSON of its binaries, annotated with host
 # context (cores, compiler, commit). Usage:
 #
-#   scripts/bench_baseline.sh [scaling.json] [service.json] [publish.json]
+#   scripts/bench_baseline.sh [scaling.json] [service.json] [publish.json] [replica.json]
 #
 # Environment:
 #   BUILD_DIR       build tree holding the bench binaries (default: build)
@@ -27,9 +30,10 @@ BUILD_DIR=${BUILD_DIR:-build}
 SCALING_OUT=${1:-BENCH_scaling.json}
 SERVICE_OUT=${2:-BENCH_service.json}
 PUBLISH_OUT=${3:-BENCH_publish.json}
+REPLICA_OUT=${4:-BENCH_replica.json}
 FILTER=${BENCH_FILTER:-.}
 
-for bin in bench_scaling bench_parallel bench_service bench_publish; do
+for bin in bench_scaling bench_parallel bench_service bench_publish bench_replica; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -39,7 +43,7 @@ done
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
-for bin in bench_scaling bench_parallel bench_service bench_publish; do
+for bin in bench_scaling bench_parallel bench_service bench_publish bench_replica; do
   echo "== $bin" >&2
   "$BUILD_DIR/bench/$bin" \
     --benchmark_filter="$FILTER" \
@@ -82,3 +86,4 @@ EOF
 merge "$SCALING_OUT" bench_scaling bench_parallel
 merge "$SERVICE_OUT" bench_service
 merge "$PUBLISH_OUT" bench_publish
+merge "$REPLICA_OUT" bench_replica

@@ -1,0 +1,104 @@
+// net::Backend: the seam between the TCP front end and whatever serves
+// the routes behind it.
+//
+// RouteServer originally spoke straight to a service::RouteService. The
+// read-replica subsystem needs the same daemon front end over a
+// replica::ReplicaService (whose snapshots arrive over the wire instead
+// of from a local pricing session), so the server's dispatch now targets
+// this interface. ServiceBackend is the primary-side adapter; the replica
+// implements the interface directly, which is what lets replicas chain
+// (a replica's server can itself feed further replicas).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/wire.h"
+#include "service/service.h"
+#include "service/store.h"
+
+namespace fpss::net {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual std::size_t node_count() const = 0;
+  /// Composite version of the currently served state.
+  virtual std::uint64_t version() const = 0;
+  /// Publish stamp (ns since the Unix epoch) of the served snapshot; 0
+  /// before the first publish.
+  virtual std::uint64_t published_at_ns() const = 0;
+  /// Cumulative local publishes — the subscription push loop's clock.
+  virtual std::uint64_t publish_count() const = 0;
+
+  virtual std::vector<service::Reply> query(
+      std::span<const service::Request> batch) const = 0;
+  virtual service::RouteService::Counters counters() const = 0;
+  /// Fills `out` and returns true on a replica backend; a primary returns
+  /// false and the counters frame omits the replica section.
+  virtual bool replica_counters(ReplicaCounters& /*out*/) const {
+    return false;
+  }
+
+  /// Applies deltas; returns the number accepted. A backend that cannot
+  /// accept deltas (a replica) returns 0 — the server additionally gates
+  /// the frame type on ServerConfig::allow_deltas.
+  virtual std::size_t submit(
+      const std::vector<service::RouteService::Delta>& deltas) = 0;
+  /// Publish barrier; returns the served version afterwards.
+  virtual std::uint64_t drain() = 0;
+
+  /// The sharded publication store backing kSnapshotFetch, or null when
+  /// the backend cannot export per-shard state.
+  virtual const service::ShardedSnapshotStore* store() const {
+    return nullptr;
+  }
+  /// Blocks until publish_count() exceeds `count` or `timeout_ms` elapses;
+  /// returns the current publish count. The subscription pusher calls this
+  /// in bounded slices so it can interleave connection-liveness checks.
+  virtual std::uint64_t wait_for_publish_beyond(std::uint64_t count,
+                                                int timeout_ms) const = 0;
+};
+
+/// The primary-side adapter: a RouteService behind the Backend seam.
+class ServiceBackend final : public Backend {
+ public:
+  explicit ServiceBackend(service::RouteService& service)
+      : service_(service) {}
+
+  std::size_t node_count() const override { return service_.node_count(); }
+  std::uint64_t version() const override { return service_.version(); }
+  std::uint64_t published_at_ns() const override {
+    const auto snap = service_.snapshot();
+    return snap == nullptr ? 0 : snap->published_at_ns();
+  }
+  std::uint64_t publish_count() const override {
+    return service_.publish_count();
+  }
+  std::vector<service::Reply> query(
+      std::span<const service::Request> batch) const override {
+    return service_.query(batch);
+  }
+  service::RouteService::Counters counters() const override {
+    return service_.counters();
+  }
+  std::size_t submit(
+      const std::vector<service::RouteService::Delta>& deltas) override {
+    return service_.submit(deltas);
+  }
+  std::uint64_t drain() override { return service_.drain(); }
+  const service::ShardedSnapshotStore* store() const override {
+    return &service_.store();
+  }
+  std::uint64_t wait_for_publish_beyond(std::uint64_t count,
+                                        int timeout_ms) const override {
+    return service_.wait_for_publish_beyond(count, timeout_ms);
+  }
+
+ private:
+  service::RouteService& service_;
+};
+
+}  // namespace fpss::net

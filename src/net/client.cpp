@@ -12,6 +12,8 @@
 #include <cstring>
 #include <thread>
 
+#include "service/replication.h"
+
 namespace fpss::net {
 
 namespace {
@@ -99,6 +101,8 @@ const char* to_string(ClientStatus status) {
       return "connection lost";
     case ClientStatus::kProtocolError:
       return "protocol error";
+    case ClientStatus::kUnexpectedFrame:
+      return "unexpected frame type";
     case ClientStatus::kServerError:
       return "server error";
   }
@@ -117,6 +121,7 @@ void RouteClient::close() {
     fd_ = -1;
   }
   outstanding_ = 0;
+  subscribed_ = false;
 }
 
 ClientError RouteClient::dial_once() {
@@ -190,6 +195,9 @@ ClientError RouteClient::handshake() {
 ClientError RouteClient::send_frame(FrameType type, std::string_view payload) {
   if (!connected())
     return make_error(ClientStatus::kNotConnected, "send before connect()");
+  if (subscribed_ && type != FrameType::kSubscribe)
+    return make_error(ClientStatus::kUnexpectedFrame,
+                      "connection is subscribed; only await_notify() is valid");
   const std::string frame = encode_frame(type, payload);
   if (!write_all(fd_, frame, config_.io_timeout_ms)) {
     close();
@@ -252,8 +260,12 @@ ClientError RouteClient::receive_frame(FrameType expected,
     return err;
   }
   if (head.header.type != expected) {
+    // The frame itself is well-formed; the *sequence* is wrong. Typed
+    // distinctly from byte-level corruption so callers can tell a desynced
+    // pipeline from a corrupt stream; the connection still closes (an
+    // out-of-step stream cannot be resynchronized).
     close();
-    return make_error(ClientStatus::kProtocolError,
+    return make_error(ClientStatus::kUnexpectedFrame,
                       "unexpected frame type in reply");
   }
   return {};
@@ -311,6 +323,8 @@ CountersResult RouteClient::counters() {
   }
   result.counters = frame.service;
   result.server = std::move(frame.server);
+  result.replica = frame.replica;
+  result.has_replica = frame.has_replica;
   return result;
 }
 
@@ -341,6 +355,97 @@ U64Result RouteClient::drain() {
     close();
     result.error =
         make_error(ClientStatus::kProtocolError, "bad drain reply payload");
+  }
+  return result;
+}
+
+SnapshotFetchResult RouteClient::fetch_snapshot(
+    std::span<const std::uint64_t> known_shard_versions) {
+  SnapshotFetchResult result;
+  result.error = send_frame(FrameType::kSnapshotFetch,
+                            encode_shard_versions(known_shard_versions));
+  if (!result.error.ok()) return result;
+  // The response streams until a final chunk (kind byte 2). Cap the total
+  // at one max frame per possible request batch slot — far above any real
+  // transfer — so a confused server cannot make this loop collect forever.
+  const std::uint64_t cap = std::uint64_t{config_.limits.max_payload_bytes} *
+                            std::uint64_t{config_.limits.max_batch};
+  for (;;) {
+    std::string payload;
+    result.error = receive_frame(FrameType::kSnapshotChunk, payload);
+    if (!result.error.ok()) {
+      result.chunks.clear();
+      return result;
+    }
+    result.bytes += payload.size();
+    const bool final_chunk =
+        !payload.empty() &&
+        static_cast<std::uint8_t>(payload[0]) ==
+            service::ReplicationCodec::kFinalChunk;
+    result.chunks.push_back(std::move(payload));
+    if (final_chunk) return result;
+    if (result.bytes > cap) {
+      close();
+      result.chunks.clear();
+      result.error = make_error(ClientStatus::kProtocolError,
+                                "snapshot stream exceeded the transfer cap");
+      return result;
+    }
+  }
+}
+
+NotifyResult RouteClient::subscribe(std::uint64_t since) {
+  NotifyResult result;
+  result.error = send_frame(FrameType::kSubscribe, encode_u64(since));
+  if (!result.error.ok()) return result;
+  // The ack is the first notify, pushed immediately.
+  std::string payload;
+  result.error = receive_frame(FrameType::kPublishNotify, payload);
+  if (!result.error.ok()) return result;
+  if (!decode_publish_notify(payload, result.notify)) {
+    close();
+    result.error =
+        make_error(ClientStatus::kProtocolError, "bad publish notify payload");
+    return result;
+  }
+  subscribed_ = true;
+  return result;
+}
+
+NotifyResult RouteClient::await_notify(int wait_ms) {
+  NotifyResult result;
+  if (!connected()) {
+    result.error =
+        make_error(ClientStatus::kNotConnected, "await before connect()");
+    return result;
+  }
+  if (!subscribed_) {
+    result.error = make_error(ClientStatus::kUnexpectedFrame,
+                              "await_notify() without a subscription");
+    return result;
+  }
+  // Pre-poll before touching receive_frame: a quiet wire is the normal
+  // case and must not close the subscription the way a mid-frame timeout
+  // would.
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, wait_ms < 0 ? 0 : wait_ms);
+  if (ready == 0) {
+    result.error = make_error(ClientStatus::kTimeout, "no notify yet");
+    return result;
+  }
+  if (ready < 0) {
+    close();
+    result.error = make_error(ClientStatus::kConnectionLost,
+                              std::string("poll: ") + std::strerror(errno));
+    return result;
+  }
+  std::string payload;
+  result.error = receive_frame(FrameType::kPublishNotify, payload);
+  if (!result.error.ok()) return result;
+  if (!decode_publish_notify(payload, result.notify)) {
+    close();
+    result.error =
+        make_error(ClientStatus::kProtocolError, "bad publish notify payload");
   }
   return result;
 }

@@ -41,7 +41,13 @@ enum class ClientStatus : std::uint8_t {
   kConnectFailed,   ///< all dial attempts exhausted
   kTimeout,         ///< frame I/O deadline expired
   kConnectionLost,  ///< EOF or socket error mid-exchange
-  kProtocolError,   ///< undecodable or out-of-sequence server frame
+  kProtocolError,   ///< undecodable frame (bad header, checksum, payload)
+  /// A well-formed frame of the wrong type for this point in the
+  /// exchange — the stream desynced (a pipelining bug or a confused
+  /// server), as opposed to kProtocolError's byte-level corruption. The
+  /// connection is closed either way, but callers can tell "the bytes
+  /// were garbage" from "the conversation got out of step".
+  kUnexpectedFrame,
   kServerError,     ///< server sent a typed kError frame (see wire_status)
 };
 
@@ -66,12 +72,32 @@ struct CountersResult {
   service::RouteService::Counters counters;
   /// The daemon's own frame totals and per-peer breakdown.
   ServerCounters server;
+  /// Replication counters; meaningful iff has_replica (replica daemons).
+  ReplicaCounters replica;
+  bool has_replica = false;
   bool ok() const { return error.ok(); }
 };
 
 struct U64Result {
   ClientError error;
   std::uint64_t value = 0;
+  bool ok() const { return error.ok(); }
+};
+
+/// One kSnapshotFetch exchange: every kSnapshotChunk payload the server
+/// streamed, in arrival order (data chunks then the final chunk). The
+/// client validates framing only; reassembly and content validation are
+/// service::ReplicationCodec::Assembler's job.
+struct SnapshotFetchResult {
+  ClientError error;
+  std::vector<std::string> chunks;
+  std::uint64_t bytes = 0;  ///< total chunk payload bytes received
+  bool ok() const { return error.ok(); }
+};
+
+struct NotifyResult {
+  ClientError error;
+  PublishNotify notify;
   bool ok() const { return error.ok(); }
 };
 
@@ -110,6 +136,25 @@ class RouteClient {
   /// Blocks until the server's updater has drained; value = served version.
   U64Result drain();
 
+  /// Per-shard snapshot transfer: sends the shard versions this side
+  /// already holds (empty = full bootstrap) and collects the streamed
+  /// chunk payloads through the final chunk.
+  SnapshotFetchResult fetch_snapshot(
+      std::span<const std::uint64_t> known_shard_versions);
+
+  /// Converts this connection into a notify stream: after a successful
+  /// subscribe the only valid operation is await_notify() (request/reply
+  /// calls fail with kUnexpectedFrame before touching the socket). The
+  /// result carries the immediate ack notify — the server's current state,
+  /// whose `coalesced` tells a re-subscriber how much it missed beyond
+  /// `since` (its last-seen publish count).
+  NotifyResult subscribe(std::uint64_t since);
+  /// Waits up to `wait_ms` for the next push. A quiet period returns
+  /// kTimeout with the connection *intact* — unlike every other timeout,
+  /// silence is the expected steady state of a subscription.
+  NotifyResult await_notify(int wait_ms);
+  bool subscribed() const { return subscribed_; }
+
  private:
   ClientError dial_once();
   ClientError handshake();
@@ -125,6 +170,7 @@ class RouteClient {
   std::uint64_t snapshot_version_ = 0;
   std::uint32_t server_max_batch_ = 0;
   std::size_t outstanding_ = 0;
+  bool subscribed_ = false;
 };
 
 }  // namespace fpss::net

@@ -11,6 +11,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "service/replication.h"
+
 namespace fpss::net {
 
 namespace {
@@ -94,8 +96,19 @@ bool write_all(int fd, std::string_view bytes, int timeout_ms) {
 
 }  // namespace
 
+RouteServer::RouteServer(Backend& backend, ServerConfig config)
+    : backend_(backend), config_(std::move(config)) {
+  start();
+}
+
 RouteServer::RouteServer(service::RouteService& service, ServerConfig config)
-    : service_(service), config_(std::move(config)) {
+    : owned_(std::make_unique<ServiceBackend>(service)),
+      backend_(*owned_),
+      config_(std::move(config)) {
+  start();
+}
+
+void RouteServer::start() {
   if (config_.workers == 0) config_.workers = 1;
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -316,8 +329,8 @@ bool RouteServer::serve_frame(int fd, const std::string& peer) {
                               " unsupported");
       HelloAck ack;
       ack.wire_version = kWireVersion;
-      ack.node_count = service_.node_count();
-      ack.snapshot_version = service_.version();
+      ack.node_count = backend_.node_count();
+      ack.snapshot_version = backend_.version();
       ack.max_batch = config_.limits.max_batch;
       reply_frame = encode_frame(FrameType::kHelloAck, encode_hello_ack(ack));
       break;
@@ -326,7 +339,7 @@ bool RouteServer::serve_frame(int fd, const std::string& peer) {
       const RequestsResult batch =
           decode_requests(payload, config_.limits.max_batch);
       if (!batch.ok()) return send_error(fd, peer, batch.status, batch.error);
-      const std::vector<service::Reply> replies = service_.query(
+      const std::vector<service::Reply> replies = backend_.query(
           std::span<const service::Request>(batch.requests));
       batches_.fetch_add(1, std::memory_order_relaxed);
       {
@@ -340,8 +353,12 @@ bool RouteServer::serve_frame(int fd, const std::string& peer) {
       break;
     }
     case FrameType::kCountersFetch: {
-      reply_frame = encode_frame(FrameType::kCountersReply,
-                                 encode_counters(service_.counters(), stats()));
+      ReplicaCounters replica;
+      const bool is_replica = backend_.replica_counters(replica);
+      reply_frame = encode_frame(
+          FrameType::kCountersReply,
+          encode_counters(backend_.counters(), stats(),
+                          is_replica ? &replica : nullptr));
       break;
     }
     case FrameType::kDeltaSubmit: {
@@ -351,15 +368,29 @@ bool RouteServer::serve_frame(int fd, const std::string& peer) {
       const DeltasResult deltas =
           decode_deltas(payload, config_.limits.max_batch);
       if (!deltas.ok()) return send_error(fd, peer, deltas.status, deltas.error);
-      const std::size_t accepted = service_.submit(deltas.deltas);
+      const std::size_t accepted = backend_.submit(deltas.deltas);
       reply_frame =
           encode_frame(FrameType::kDeltaAck, encode_u64(accepted));
       break;
     }
     case FrameType::kDrain: {
       reply_frame =
-          encode_frame(FrameType::kDrainReply, encode_u64(service_.drain()));
+          encode_frame(FrameType::kDrainReply, encode_u64(backend_.drain()));
       break;
+    }
+    case FrameType::kSnapshotFetch: {
+      const ShardVersionsResult fetch = decode_shard_versions(payload);
+      if (!fetch.ok()) return send_error(fd, peer, fetch.status, fetch.error);
+      frames_.fetch_add(1, std::memory_order_relaxed);
+      return serve_snapshot_fetch(fd, peer, fetch.versions);
+    }
+    case FrameType::kSubscribe: {
+      std::uint64_t since = 0;
+      if (!decode_u64(payload, since))
+        return send_error(fd, peer, WireStatus::kMalformed,
+                          "bad subscribe payload");
+      frames_.fetch_add(1, std::memory_order_relaxed);
+      return serve_subscription(fd, since);
     }
     default:
       // Server-to-client types (HelloAck, ReplyBatch, ...) and kError are
@@ -373,6 +404,92 @@ bool RouteServer::serve_frame(int fd, const std::string& peer) {
   // Stop taking new frames once shutdown began; the reply above completes
   // the in-flight exchange.
   return !stopping_.load(std::memory_order_relaxed);
+}
+
+bool RouteServer::serve_snapshot_fetch(
+    int fd, const std::string& peer,
+    const std::vector<std::uint64_t>& known) {
+  const service::ShardedSnapshotStore* store = backend_.store();
+  if (store == nullptr)
+    return send_error(fd, peer, WireStatus::kBadFrameType,
+                      "snapshot fetch unsupported by this backend");
+  const service::ShardedSnapshotStore::ExportCut cut = store->export_cut();
+  if (cut.newest == nullptr)
+    return send_error(fd, peer, WireStatus::kShuttingDown,
+                      "no snapshot published yet");
+  const std::size_t shard_count = cut.shard_versions.size();
+  // The dirty set: shards whose slot version moved since the replica's
+  // last sync. A version vector of the wrong length (including the empty
+  // one a bootstrap sends) cannot be compared per slot, so everything is
+  // dirty.
+  const bool full = known.size() != shard_count;
+  std::vector<std::uint32_t> dirty;
+  for (std::size_t s = 0; s < shard_count; ++s)
+    if (full || known[s] != cut.shard_versions[s])
+      dirty.push_back(static_cast<std::uint32_t>(s));
+
+  for (const std::uint32_t s : dirty) {
+    const std::vector<std::string> chunks = service::ReplicationCodec::
+        encode_shard(*cut.newest, s, store->shard_size(),
+                     static_cast<std::uint32_t>(shard_count),
+                     cut.shard_versions[s]);
+    for (const std::string& chunk : chunks) {
+      if (chunk.size() > config_.limits.max_payload_bytes)
+        return send_error(fd, peer, WireStatus::kOversized,
+                          "shard chunk exceeds the frame payload limit");
+      if (!write_all(fd, encode_frame(FrameType::kSnapshotChunk, chunk),
+                     config_.read_timeout_ms))
+        return false;
+      frames_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const std::string final_chunk = service::ReplicationCodec::encode_final(
+      *cut.newest, cut.shard_versions, dirty);
+  if (final_chunk.size() > config_.limits.max_payload_bytes)
+    return send_error(fd, peer, WireStatus::kOversized,
+                      "final chunk exceeds the frame payload limit");
+  if (!write_all(fd, encode_frame(FrameType::kSnapshotChunk, final_chunk),
+                 config_.read_timeout_ms))
+    return false;
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  return !stopping_.load(std::memory_order_relaxed);
+}
+
+bool RouteServer::serve_subscription(int fd, std::uint64_t since) {
+  // The connection is now a push channel: this worker is pinned to it
+  // until the peer closes, a write fails, or the server stops. The notify
+  // "queue" is depth one by construction — each iteration reads the
+  // backend's *current* publish count and version, so a subscriber slower
+  // than the publish rate receives one notify describing the latest state
+  // with `coalesced` counting everything it skipped, never a backlog.
+  std::uint64_t last = since;
+  bool first = true;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // Liveness check: a subscribed peer sends nothing, so any readable
+    // byte is either EOF (normal teardown) or a protocol violation; both
+    // end the subscription.
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 0) > 0) return false;
+    // The first notify is the subscription ack: sent immediately, telling
+    // a late or re-connecting subscriber how far behind `since` it is.
+    const std::uint64_t count =
+        first ? backend_.publish_count()
+              : backend_.wait_for_publish_beyond(last, 100);
+    if (!first && count <= last) continue;  // slice elapsed; re-check peer
+    PublishNotify notify;
+    notify.snapshot_version = backend_.version();
+    notify.published_at_ns = backend_.published_at_ns();
+    notify.publish_count = count;
+    notify.coalesced = count > last + 1 ? count - last - 1 : 0;
+    if (!write_all(fd, encode_frame(FrameType::kPublishNotify,
+                                    encode_publish_notify(notify)),
+                   config_.read_timeout_ms))
+      return false;
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    last = count;
+    first = false;
+  }
+  return false;
 }
 
 }  // namespace fpss::net

@@ -17,6 +17,14 @@
 //     peer cannot pin a worker forever;
 //   * stop() is graceful: the listener closes first, workers finish the
 //     frame they are serving (in-flight batches drain), then join.
+//
+// The server fronts a net::Backend (see backend.h) — a local
+// RouteService via the ServiceBackend adapter, or a ReplicaService. Two
+// frame types stream instead of request/reply: kSnapshotFetch elicits a
+// burst of kSnapshotChunk frames (the per-shard replication transfer),
+// and kSubscribe converts the connection into a push channel that holds
+// its worker and emits kPublishNotify frames until either side closes —
+// size the worker pool for one pinned worker per subscribed replica.
 #pragma once
 
 #include <atomic>
@@ -24,11 +32,13 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/backend.h"
 #include "net/wire.h"
 #include "service/service.h"
 
@@ -58,7 +68,11 @@ class RouteServer {
 
   /// Binds and starts serving immediately. Check ok() — constructors
   /// cannot return the bind error, and a daemon that silently isn't
-  /// listening is worse than one that reports why.
+  /// listening is worse than one that reports why. The backend must
+  /// outlive the server.
+  RouteServer(Backend& backend, ServerConfig config = {});
+  /// Convenience: fronts a local RouteService through an owned
+  /// ServiceBackend adapter.
   RouteServer(service::RouteService& service, ServerConfig config = {});
   ~RouteServer();
 
@@ -91,6 +105,8 @@ class RouteServer {
   };
   static constexpr std::size_t kMaxPeers = 256;
 
+  /// Shared tail of both constructors: bind, listen, spawn threads.
+  void start();
   void accept_loop();
   void worker_loop();
   void serve_connection(int fd);
@@ -98,13 +114,22 @@ class RouteServer {
   /// close (EOF, timeout, protocol error, shutdown). `peer` is the
   /// connection's accounting key.
   bool serve_frame(int fd, const std::string& peer);
+  /// Streams the per-shard snapshot transfer for one kSnapshotFetch:
+  /// data chunks for every shard whose version differs from `known`, then
+  /// the final chunk. Returns false (close) on any write failure.
+  bool serve_snapshot_fetch(int fd, const std::string& peer,
+                            const std::vector<std::uint64_t>& known);
+  /// The push loop a kSubscribe converts the connection into; returns only
+  /// when the peer closes, a write fails, or the server stops.
+  bool serve_subscription(int fd, std::uint64_t since);
   bool send_error(int fd, const std::string& peer, WireStatus code,
                   const std::string& message);
   /// The tally this peer accounts under (the overflow bucket when the
   /// table is full). Caller must hold peers_mutex_.
   PeerTally& peer_tally(const std::string& peer);
 
-  service::RouteService& service_;
+  std::unique_ptr<Backend> owned_;  ///< the compat ctor's adapter, if any
+  Backend& backend_;
   ServerConfig config_;
   std::string error_;
   int listen_fd_ = -1;

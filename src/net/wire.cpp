@@ -33,6 +33,10 @@ bool known_frame_type(std::uint8_t tag) {
     case FrameType::kDeltaAck:
     case FrameType::kDrain:
     case FrameType::kDrainReply:
+    case FrameType::kSnapshotFetch:
+    case FrameType::kSnapshotChunk:
+    case FrameType::kSubscribe:
+    case FrameType::kPublishNotify:
     case FrameType::kError:
       return true;
   }
@@ -381,6 +385,47 @@ DeltasResult decode_deltas(std::string_view payload, std::uint32_t max_batch) {
   return result;
 }
 
+// --- replication payloads --------------------------------------------------
+
+std::string encode_shard_versions(std::span<const std::uint64_t> versions) {
+  std::string out;
+  out.reserve(4 + 8 * versions.size());
+  append_u32(out, static_cast<std::uint32_t>(versions.size()));
+  for (const std::uint64_t v : versions) append_u64(out, v);
+  return out;
+}
+
+ShardVersionsResult decode_shard_versions(std::string_view payload) {
+  ShardVersionsResult result;
+  BinReader in{payload};
+  const std::uint32_t count = in.u32();
+  if (in.fail || in.remaining() != 8 * std::size_t{count}) {
+    result.error = "shard-version vector size mismatch";
+    return result;
+  }
+  result.versions.reserve(count);
+  for (std::uint32_t s = 0; s < count; ++s) result.versions.push_back(in.u64());
+  return result;
+}
+
+std::string encode_publish_notify(const PublishNotify& notify) {
+  std::string out;
+  append_u64(out, notify.snapshot_version);
+  append_u64(out, notify.published_at_ns);
+  append_u64(out, notify.publish_count);
+  append_u64(out, notify.coalesced);
+  return out;
+}
+
+bool decode_publish_notify(std::string_view payload, PublishNotify& out) {
+  BinReader in{payload};
+  out.snapshot_version = in.u64();
+  out.published_at_ns = in.u64();
+  out.publish_count = in.u64();
+  out.coalesced = in.u64();
+  return !in.fail && in.pos == payload.size();
+}
+
 namespace {
 /// A peer address is a dotted quad (or "(other)"); anything longer is a
 /// lying frame.
@@ -388,9 +433,11 @@ constexpr std::uint32_t kMaxPeerAddrBytes = 64;
 }  // namespace
 
 std::string encode_counters(const service::RouteService::Counters& counters,
-                            const ServerCounters& server) {
+                            const ServerCounters& server,
+                            const ReplicaCounters* replica) {
   std::string out;
-  out.reserve((20 + 5) * 8 + 4 + server.peers.size() * (4 + 16 + 4 * 8));
+  out.reserve((20 + 5 + 10) * 8 + 5 +
+              server.peers.size() * (4 + 16 + 4 * 8));
   append_u64(out, counters.queries);
   append_u64(out, counters.batches);
   append_u64(out, counters.total_ns);
@@ -424,6 +471,19 @@ std::string encode_counters(const service::RouteService::Counters& counters,
     append_u64(out, peer.queries);
     append_u64(out, peer.batches);
     append_u64(out, peer.rejected_frames);
+  }
+  append_u8(out, replica != nullptr ? 1 : 0);
+  if (replica != nullptr) {
+    append_u64(out, replica->full_syncs);
+    append_u64(out, replica->delta_syncs);
+    append_u64(out, replica->shards_fetched);
+    append_u64(out, replica->chunks_fetched);
+    append_u64(out, replica->bytes_fetched);
+    append_u64(out, replica->blocks_adopted);
+    append_u64(out, replica->notifies_received);
+    append_u64(out, replica->notifies_coalesced);
+    append_u64(out, replica->resyncs);
+    append_u64(out, replica->sync_lag_ns);
   }
   return out;
 }
@@ -475,7 +535,28 @@ bool decode_counters(std::string_view payload, CountersFrame& out) {
     if (in.fail) return false;
     out.server.peers.push_back(std::move(peer));
   }
-  return !in.fail && in.pos == payload.size();
+  if (in.fail) return false;
+  // The replica section is a later addition: a payload that ends after the
+  // peers decodes as replica-less, so older encoders stay readable.
+  out.has_replica = false;
+  out.replica = ReplicaCounters{};
+  if (in.remaining() == 0) return true;
+  const std::uint8_t present = in.u8();
+  if (present == 0) return !in.fail && in.pos == payload.size();
+  if (present != 1) return false;
+  out.replica.full_syncs = in.u64();
+  out.replica.delta_syncs = in.u64();
+  out.replica.shards_fetched = in.u64();
+  out.replica.chunks_fetched = in.u64();
+  out.replica.bytes_fetched = in.u64();
+  out.replica.blocks_adopted = in.u64();
+  out.replica.notifies_received = in.u64();
+  out.replica.notifies_coalesced = in.u64();
+  out.replica.resyncs = in.u64();
+  out.replica.sync_lag_ns = in.u64();
+  if (in.fail || in.pos != payload.size()) return false;
+  out.has_replica = true;
+  return true;
 }
 
 }  // namespace fpss::net

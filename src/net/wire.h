@@ -20,7 +20,15 @@
 //   kCountersFetch(0x20) -> kCountersReply(0x21) service counters
 //   kDeltaSubmit(0x30)   -> kDeltaAck(0x31)      remote topology deltas
 //   kDrain(0x40)         -> kDrainReply(0x41)    publish barrier
+//   kSnapshotFetch(0x50) -> kSnapshotChunk(0x51)* per-shard snapshot sync
+//   kSubscribe(0x60)     -> kPublishNotify(0x61)* push-based epoch updates
 //   any                  -> kError(0x7f)         typed rejection
+//
+// (* = streamed: one kSnapshotFetch elicits a burst of kSnapshotChunk
+// frames — data chunks for each dirty shard, then a final chunk (see
+// service/replication.h); one kSubscribe converts the connection into a
+// notify stream that pushes a kPublishNotify whenever the served epoch
+// advances, coalescing bursts to the latest version.)
 #pragma once
 
 #include <cstdint>
@@ -50,6 +58,10 @@ enum class FrameType : std::uint8_t {
   kDeltaAck = 0x31,
   kDrain = 0x40,
   kDrainReply = 0x41,
+  kSnapshotFetch = 0x50,
+  kSnapshotChunk = 0x51,
+  kSubscribe = 0x60,
+  kPublishNotify = 0x61,
   kError = 0x7f,
 };
 
@@ -172,6 +184,40 @@ struct DeltasResult {
 };
 DeltasResult decode_deltas(std::string_view payload, std::uint32_t max_batch);
 
+// --- replication payloads --------------------------------------------------
+
+/// kSnapshotFetch: the replica's negotiation state — the per-shard
+/// versions it currently serves (from its last sync's final chunk). An
+/// empty vector requests a full bootstrap; a vector whose length does not
+/// match the server's shard layout is treated the same way. The server
+/// streams back data chunks only for shards whose version moved, then the
+/// final chunk. Payload: count:u32 then count x version:u64.
+std::string encode_shard_versions(std::span<const std::uint64_t> versions);
+
+struct ShardVersionsResult {
+  std::vector<std::uint64_t> versions;
+  WireStatus status = WireStatus::kMalformed;
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+ShardVersionsResult decode_shard_versions(std::string_view payload);
+
+/// kPublishNotify: the push half of a subscription. `publish_count` is the
+/// server's cumulative publish tally at send time and the high-water mark
+/// the subscriber acknowledges implicitly; `coalesced` counts the
+/// publishes this notify collapsed beyond the first (a subscriber slower
+/// than the publish rate sees the latest state with coalesced > 0, never
+/// a backlog of stale notifies).
+struct PublishNotify {
+  std::uint64_t snapshot_version = 0;
+  std::uint64_t published_at_ns = 0;
+  std::uint64_t publish_count = 0;
+  std::uint64_t coalesced = 0;
+};
+
+std::string encode_publish_notify(const PublishNotify& notify);
+bool decode_publish_notify(std::string_view payload, PublishNotify& out);
+
 /// One peer's (client address's) accumulated server-side accounting —
 /// the ROADMAP's per-client counters. `peer` is the textual remote
 /// address (IPv4 dotted quad); a server that cannot resolve it, or whose
@@ -196,11 +242,32 @@ struct ServerCounters {
   std::vector<PeerCounters> peers;    ///< sorted by peer address
 };
 
+/// A replica daemon's sync-side accounting, served locally and over the
+/// wire next to the service counters (absent on a primary).
+struct ReplicaCounters {
+  std::uint64_t full_syncs = 0;     ///< bootstraps fetching every shard
+  std::uint64_t delta_syncs = 0;    ///< catch-ups fetching only dirty shards
+  std::uint64_t shards_fetched = 0; ///< shard payloads received, cumulative
+  std::uint64_t chunks_fetched = 0; ///< kSnapshotChunk frames received
+  std::uint64_t bytes_fetched = 0;  ///< chunk payload bytes received
+  std::uint64_t blocks_adopted = 0; ///< wire blocks swapped for local ones
+  std::uint64_t notifies_received = 0;
+  /// Publishes learned about only through a notify's coalesced tally —
+  /// bursts the push path collapsed instead of queueing.
+  std::uint64_t notifies_coalesced = 0;
+  std::uint64_t resyncs = 0;        ///< upstream reconnects after a loss
+  /// Gauge: at the last sync, now - the adopted snapshot's publish stamp.
+  std::uint64_t sync_lag_ns = 0;
+};
+
 /// What a kCountersReply carries: the service's counters plus the serving
-/// daemon's own frame/peer accounting.
+/// daemon's own frame/peer accounting, plus (from a replica daemon) the
+/// replication counters.
 struct CountersFrame {
   service::RouteService::Counters service;
   ServerCounters server;
+  ReplicaCounters replica;
+  bool has_replica = false;
 };
 
 /// Counters payload: the RouteService::Counters fields as u64 in
@@ -208,10 +275,15 @@ struct CountersFrame {
 /// rows_rebuilt .. max_publish_ns, then the PR 7 pipeline/checkpoint
 /// counters shard_exports_inflight_max .. journal_compactions — new
 /// service fields are appended to the section, never reordered), followed
-/// by the server totals (5 u64) and the per-peer section (count:u32, then
-/// per peer addr_len:u32 addr bytes + 4 u64).
+/// by the server totals (5 u64), the per-peer section (count:u32, then
+/// per peer addr_len:u32 addr bytes + 4 u64), and the replica section
+/// (presence:u8, then the ReplicaCounters fields as u64 in declaration
+/// order when present). The replica section may be absent entirely —
+/// pre-replication encoders stop after the peers — and decoders accept
+/// that.
 std::string encode_counters(const service::RouteService::Counters& counters,
-                            const ServerCounters& server = {});
+                            const ServerCounters& server = {},
+                            const ReplicaCounters* replica = nullptr);
 bool decode_counters(std::string_view payload, CountersFrame& out);
 
 }  // namespace fpss::net

@@ -1,0 +1,379 @@
+#include "replica/replica.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "service/checkpoint.h"
+#include "util/clock.h"
+
+namespace fpss::replica {
+
+using service::ReplicationCodec;
+using service::RouteSnapshot;
+using service::ShardedSnapshotStore;
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+void bump_max(std::atomic<std::uint64_t>& gauge, std::uint64_t value) {
+  std::uint64_t seen = gauge.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !gauge.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Same routing rule as RouteService's read side: destination-bearing
+/// kinds read from the shard holding j, everything else (notably payment
+/// totals, which are global arrays) from the composite.
+const RouteSnapshot& data_snapshot(const ShardedSnapshotStore::View& view,
+                                   const service::Request& request) {
+  switch (request.kind) {
+    case service::RequestKind::kCost:
+    case service::RequestKind::kPrice:
+    case service::RequestKind::kPairPayment:
+    case service::RequestKind::kNextHop:
+    case service::RequestKind::kPath:
+      if (request.j < view.newest->node_count())
+        return view.for_destination(request.j);
+      break;
+    default:
+      break;
+  }
+  return *view.newest;
+}
+
+}  // namespace
+
+ReplicaService::ReplicaService(ReplicaConfig config)
+    : config_(std::move(config)),
+      fetch_(config_.upstream),
+      notify_(config_.upstream) {
+  if (!config_.checkpoint_directory.empty()) {
+    const service::CheckpointLoadResult loaded =
+        service::load_checkpoint(config_.checkpoint_directory);
+    if (loaded.ok()) {
+      // Serve the disk image at once (a warm replica answers before the
+      // upstream is reachable) and keep it as the adoption donor so the
+      // first wire sync shares memory with it instead of duplicating.
+      auto warm = std::make_shared<ShardedSnapshotStore>(
+          loaded.snapshot->node_count(), 1);
+      warm->publish_all(loaded.snapshot);
+      std::lock_guard<std::mutex> lock(store_mutex_);
+      store_ = std::move(warm);
+      adopt_donor_ = loaded.snapshot;
+      ++publishes_;
+    }
+  }
+  sync_ = std::thread([this] { sync_loop(); });
+}
+
+ReplicaService::~ReplicaService() { stop(); }
+
+void ReplicaService::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  stop_.store(true, std::memory_order_relaxed);
+  if (sync_.joinable()) sync_.join();
+  fetch_.close();
+  notify_.close();
+}
+
+// --- sync loop --------------------------------------------------------------
+
+void ReplicaService::sync_loop() {
+  std::uint64_t last_server_count = 0;
+  bool ever_synced = false;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // (Re)establish both channels. Subscribe *before* the catch-up fetch:
+    // any publish that lands after the fetch is then covered by a pending
+    // notify, so there is no window a version can slip through unseen.
+    if (!notify_.connect().ok() || !fetch_.connect().ok()) {
+      fetch_.close();
+      notify_.close();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.resync_backoff_ms));
+      continue;
+    }
+    const net::NotifyResult sub = notify_.subscribe(last_server_count);
+    if (!sub.ok()) {
+      fetch_.close();
+      notify_.close();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.resync_backoff_ms));
+      continue;
+    }
+    notifies_received_.fetch_add(1, std::memory_order_relaxed);
+    notifies_coalesced_.fetch_add(sub.notify.coalesced,
+                                  std::memory_order_relaxed);
+    last_server_count = sub.notify.publish_count;
+    if (!sync_once()) {
+      if (ever_synced) resyncs_.fetch_add(1, std::memory_order_relaxed);
+      fetch_.close();
+      notify_.close();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.resync_backoff_ms));
+      continue;
+    }
+    ever_synced = true;
+
+    // Steady state: push-driven only. Every pull below is caused by a
+    // kPublishNotify; the timeout branch exists solely to re-check the
+    // stop flag.
+    while (!stop_.load(std::memory_order_relaxed)) {
+      const net::NotifyResult pushed =
+          notify_.await_notify(config_.notify_wait_ms);
+      if (pushed.error.status == net::ClientStatus::kTimeout) continue;
+      if (!pushed.ok()) break;  // connection lost; resync
+      notifies_received_.fetch_add(1, std::memory_order_relaxed);
+      notifies_coalesced_.fetch_add(pushed.notify.coalesced,
+                                    std::memory_order_relaxed);
+      last_server_count =
+          std::max(last_server_count, pushed.notify.publish_count);
+      if (!sync_once()) break;
+    }
+    if (stop_.load(std::memory_order_relaxed)) return;
+    resyncs_.fetch_add(1, std::memory_order_relaxed);
+    fetch_.close();
+    notify_.close();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config_.resync_backoff_ms));
+  }
+}
+
+bool ReplicaService::sync_once() {
+  std::vector<std::uint64_t> known;
+  std::shared_ptr<ShardedSnapshotStore> store;
+  std::shared_ptr<const RouteSnapshot> adopt;
+  {
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    known = synced_versions_;
+    store = store_;
+    adopt = adopt_donor_;
+  }
+  const std::shared_ptr<const RouteSnapshot> base =
+      store == nullptr ? nullptr : store->newest();
+
+  const net::SnapshotFetchResult fetched = fetch_.fetch_snapshot(known);
+  if (!fetched.ok()) return false;
+  chunks_fetched_.fetch_add(fetched.chunks.size(), std::memory_order_relaxed);
+  bytes_fetched_.fetch_add(fetched.bytes, std::memory_order_relaxed);
+
+  ReplicationCodec::Assembler assembler(base, adopt);
+  for (const std::string& chunk : fetched.chunks)
+    if (!assembler.feed(chunk)) break;
+  ReplicationCodec::Assembler::Result result = assembler.finish();
+  if (!result.ok()) {
+    // A torn or inconsistent stream publishes nothing. Drop the
+    // negotiation state so the retry is a full bootstrap — the safe
+    // answer to a server whose layout (or identity) changed under us.
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    synced_versions_.clear();
+    return false;
+  }
+
+  shards_fetched_.fetch_add(result.shards_sent.size(),
+                            std::memory_order_relaxed);
+  blocks_adopted_.fetch_add(result.blocks_adopted, std::memory_order_relaxed);
+  if (known.size() == result.shard_versions.size()) {
+    delta_syncs_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    full_syncs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  install(result);
+  sync_lag_ns_.store(util::age_from(result.snapshot->published_at_ns(),
+                                    util::wall_clock_ns()),
+                     std::memory_order_relaxed);
+  return true;
+}
+
+void ReplicaService::install(
+    const ReplicationCodec::Assembler::Result& result) {
+  const std::shared_ptr<const RouteSnapshot>& snap = result.snapshot;
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  const bool rebuild =
+      store_ == nullptr ||
+      store_->shard_count() != result.shard_count ||
+      store_->newest() == nullptr ||
+      store_->newest()->node_count() != snap->node_count() ||
+      store_->version() > snap->version();
+  if (rebuild) {
+    // Bootstrap, layout change, or upstream version regression (a primary
+    // restarted from an older checkpoint): start a fresh store shaped
+    // like the server's and fill every slot.
+    auto fresh = std::make_shared<ShardedSnapshotStore>(snap->node_count(),
+                                                        result.shard_count);
+    fresh->publish_all(snap);
+    store_ = std::move(fresh);
+  } else if (result.shards_sent.empty()) {
+    if (store_->version() == snap->version() &&
+        store_->newest()->checksum() == snap->checksum()) {
+      // Nothing moved at all (e.g. the notify raced a sync that already
+      // caught up); adopt the negotiation state and skip the publish.
+      synced_versions_ = result.shard_versions;
+      return;
+    }
+    // Globals-only refresh (a republish: payment totals moved, no sink
+    // tree did). Swaps `newest` without touching any shard slot — the
+    // same thing the primary's store does for an empty dirty set.
+    store_->publish(snap,
+                    std::vector<bool>(store_->shard_count(), false));
+  } else {
+    // Dirty-shard catch-up through the epoch fence, mirroring the
+    // primary's staged publish: each fetched shard becomes readable as it
+    // lands, and fence_end restores the all-blocks-shared invariant.
+    store_->fence_begin(snap->version());
+    for (const std::uint32_t s : result.shards_sent)
+      store_->publish_shard(s, snap);
+    store_->fence_end(snap);
+  }
+  synced_versions_ = result.shard_versions;
+  ++publishes_;
+  ready_cv_.notify_all();
+}
+
+// --- waiting ----------------------------------------------------------------
+
+bool ReplicaService::wait_until_ready(int timeout_ms) const {
+  std::unique_lock<std::mutex> lock(store_mutex_);
+  return ready_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                            [&] { return store_ != nullptr; });
+}
+
+std::uint64_t ReplicaService::wait_for_version_beyond(std::uint64_t version,
+                                                      int timeout_ms) const {
+  std::unique_lock<std::mutex> lock(store_mutex_);
+  ready_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return store_ != nullptr && store_->version() > version;
+  });
+  return store_ == nullptr ? 0 : store_->version();
+}
+
+std::uint64_t ReplicaService::wait_for_publish_beyond(std::uint64_t count,
+                                                      int timeout_ms) const {
+  std::unique_lock<std::mutex> lock(store_mutex_);
+  ready_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                     [&] { return publishes_ > count; });
+  return publishes_;
+}
+
+// --- read side --------------------------------------------------------------
+
+std::size_t ReplicaService::node_count() const {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  if (store_ == nullptr) return 0;
+  const auto snap = store_->newest();
+  return snap == nullptr ? 0 : snap->node_count();
+}
+
+std::uint64_t ReplicaService::version() const {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  return store_ == nullptr ? 0 : store_->version();
+}
+
+std::uint64_t ReplicaService::published_at_ns() const {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  if (store_ == nullptr) return 0;
+  const auto snap = store_->newest();
+  return snap == nullptr ? 0 : snap->published_at_ns();
+}
+
+std::uint64_t ReplicaService::publish_count() const {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  return publishes_;
+}
+
+std::vector<service::Reply> ReplicaService::query(
+    std::span<const service::Request> batch) const {
+  const auto start = std::chrono::steady_clock::now();
+  std::shared_ptr<ShardedSnapshotStore> store;
+  {
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    store = store_;
+  }
+  std::vector<service::Reply> replies;
+  replies.reserve(batch.size());
+  if (store == nullptr) {
+    // Nothing synced yet: every node is out of range of the (empty)
+    // network this replica currently knows.
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+      service::Reply reply;
+      reply.status = service::Status::kBadNode;
+      replies.push_back(reply);
+    }
+    count_batch(batch.size(), elapsed_ns(start));
+    return replies;
+  }
+  const ShardedSnapshotStore::View view = store->acquire();
+  const std::uint64_t now_ns = util::wall_clock_ns();
+  const service::ReplyProvenance provenance{view.newest->version(),
+                                            view.newest->published_at_ns()};
+  bump_max(max_staleness_ns_,
+           util::age_from(provenance.published_at_ns, now_ns));
+  for (const service::Request& request : batch)
+    replies.push_back(service::answer(data_snapshot(view, request), provenance,
+                                      request, now_ns));
+  count_batch(batch.size(), elapsed_ns(start));
+  return replies;
+}
+
+void ReplicaService::count_batch(std::uint64_t queries,
+                                  std::uint64_t ns) const {
+  queries_.fetch_add(queries, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  bump_max(max_batch_ns_, ns);
+}
+
+service::RouteService::Counters ReplicaService::counters() const {
+  service::RouteService::Counters c;
+  c.queries = queries_.load(std::memory_order_relaxed);
+  c.batches = batches_.load(std::memory_order_relaxed);
+  c.total_ns = total_ns_.load(std::memory_order_relaxed);
+  c.max_batch_ns = max_batch_ns_.load(std::memory_order_relaxed);
+  c.max_staleness_ns = max_staleness_ns_.load(std::memory_order_relaxed);
+  c.publishes = publish_count();
+  return c;
+}
+
+net::ReplicaCounters ReplicaService::replication_counters() const {
+  net::ReplicaCounters c;
+  c.full_syncs = full_syncs_.load(std::memory_order_relaxed);
+  c.delta_syncs = delta_syncs_.load(std::memory_order_relaxed);
+  c.shards_fetched = shards_fetched_.load(std::memory_order_relaxed);
+  c.chunks_fetched = chunks_fetched_.load(std::memory_order_relaxed);
+  c.bytes_fetched = bytes_fetched_.load(std::memory_order_relaxed);
+  c.blocks_adopted = blocks_adopted_.load(std::memory_order_relaxed);
+  c.notifies_received = notifies_received_.load(std::memory_order_relaxed);
+  c.notifies_coalesced = notifies_coalesced_.load(std::memory_order_relaxed);
+  c.resyncs = resyncs_.load(std::memory_order_relaxed);
+  c.sync_lag_ns = sync_lag_ns_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::size_t ReplicaService::submit(
+    const std::vector<service::RouteService::Delta>& /*deltas*/) {
+  return 0;  // read-only by construction
+}
+
+std::uint64_t ReplicaService::drain() { return version(); }
+
+const service::ShardedSnapshotStore* ReplicaService::store() const {
+  // The pointer is stable for the life of a layout; a rebuild swaps it.
+  // Downstream replicas syncing from this one read the store through the
+  // fronting server, which calls this per fetch — a stale pointer across
+  // a rebuild window is the same torn-cut hazard export_cut() already
+  // handles, because the old store object stays alive via shared_ptr in
+  // any in-flight view.
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  return store_.get();
+}
+
+}  // namespace fpss::replica

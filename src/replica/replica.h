@@ -1,0 +1,171 @@
+// replica::ReplicaService: a read-only serving node whose snapshots
+// arrive over fpss-wire instead of from a local pricing session.
+//
+// A replica owns two upstream connections and one background sync thread:
+//
+//   fetch channel  ──► kSnapshotFetch(known shard versions)
+//                      ◄── kSnapshotChunk* (dirty shards + final chunk)
+//   notify channel ──► kSubscribe(last publish count)
+//                      ◄── kPublishNotify pushes (coalesced under bursts)
+//
+// The sync loop bootstraps with a full fetch (every shard), subscribes,
+// and thereafter fetches only on a push — no polling. Each catch-up sends
+// the shard-version vector from its previous sync's final chunk, so the
+// primary streams exactly the shards whose slot version moved: a replica
+// N publishes behind transfers O(dirty shards), not O(all shards). The
+// reassembled snapshot (service::ReplicationCodec::Assembler — checksum
+// verified, torn chunks rejected wholesale) lands in the replica's own
+// ShardedSnapshotStore under an epoch fence, shard by shard, exactly like
+// the primary's staged publish pipeline.
+//
+// Reads go through the same service::Request/Reply surface a primary
+// serves, so a query answered by a replica is bit-identical to the
+// primary's answer for the same snapshot version (the e2e equality tests
+// pin this). ReplicaService implements net::Backend, which is what lets a
+// net::RouteServer front it — replicas chain: primary -> replica ->
+// replica, each tier fanning reads out further.
+//
+// Warm start: with a checkpoint directory configured, a loaded base image
+// is served immediately (before the upstream is even reachable) and then
+// used as a digest-adoption donor — wire blocks whose content matches the
+// local image are dropped in favor of the already-resident ones.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/backend.h"
+#include "net/client.h"
+#include "service/protocol.h"
+#include "service/replication.h"
+#include "service/store.h"
+
+namespace fpss::replica {
+
+struct ReplicaConfig {
+  /// Where the primary (or upstream replica) listens.
+  net::ClientConfig upstream;
+  /// Warm-start checkpoint directory (see service::CheckpointPolicy).
+  /// Empty disables the warm bootstrap.
+  std::string checkpoint_directory;
+  /// How long one await_notify slice blocks before the loop re-checks the
+  /// stop flag. Latency ceiling for noticing shutdown, not for syncs —
+  /// notifies wake the wait immediately.
+  int notify_wait_ms = 200;
+  /// Backoff between reconnect attempts after the upstream drops.
+  int resync_backoff_ms = 100;
+};
+
+class ReplicaService final : public net::Backend {
+ public:
+  /// Starts the background sync loop immediately. If a checkpoint is
+  /// configured and loads, its snapshot is served at once; otherwise reads
+  /// return kUnreachable-free empty-store behavior until the first sync
+  /// (wait_until_ready() to block on it).
+  explicit ReplicaService(ReplicaConfig config);
+  ~ReplicaService() override;
+
+  ReplicaService(const ReplicaService&) = delete;
+  ReplicaService& operator=(const ReplicaService&) = delete;
+
+  /// Blocks until a snapshot is being served (first sync or checkpoint
+  /// load) or `timeout_ms` elapses; true when ready.
+  bool wait_until_ready(int timeout_ms) const;
+
+  /// Blocks until the served version exceeds `version` or `timeout_ms`
+  /// elapses; returns the served version either way.
+  std::uint64_t wait_for_version_beyond(std::uint64_t version,
+                                        int timeout_ms) const;
+
+  /// Stops the sync loop and closes the upstream connections. Idempotent;
+  /// the destructor calls it. Reads keep working on the last synced state.
+  void stop();
+
+  net::ReplicaCounters replication_counters() const;
+
+  // --- net::Backend --------------------------------------------------------
+
+  std::size_t node_count() const override;
+  std::uint64_t version() const override;
+  std::uint64_t published_at_ns() const override;
+  std::uint64_t publish_count() const override;
+  std::vector<service::Reply> query(
+      std::span<const service::Request> batch) const override;
+  service::RouteService::Counters counters() const override;
+  bool replica_counters(net::ReplicaCounters& out) const override {
+    out = replication_counters();
+    return true;
+  }
+  /// Replicas are read-only: deltas are never accepted (the fronting
+  /// server should also set ServerConfig::allow_deltas = false).
+  std::size_t submit(
+      const std::vector<service::RouteService::Delta>& deltas) override;
+  /// No local updater to drain; returns the served version.
+  std::uint64_t drain() override;
+  /// The replica's own store — what lets a downstream replica sync from
+  /// this one.
+  const service::ShardedSnapshotStore* store() const override;
+  std::uint64_t wait_for_publish_beyond(std::uint64_t count,
+                                        int timeout_ms) const override;
+
+ private:
+  /// One sync: fetch (full or dirty-only), reassemble, publish under a
+  /// fence. Returns false when the connection failed or the stream was
+  /// torn (triggers a resync; nothing partial is ever published).
+  bool sync_once();
+  void sync_loop();
+  /// Publishes an assembled snapshot into the store (fence for a shard
+  /// catch-up, a fresh store for a bootstrap or layout change).
+  void install(const service::ReplicationCodec::Assembler::Result& result);
+  void count_batch(std::uint64_t queries, std::uint64_t ns) const;
+
+  ReplicaConfig config_;
+
+  /// The served store plus the negotiation state from the last final
+  /// chunk. The store pointer itself is swapped on layout changes, so
+  /// readers copy it under the mutex (the store's own lock then provides
+  /// the usual RCU cut).
+  mutable std::mutex store_mutex_;
+  std::shared_ptr<service::ShardedSnapshotStore> store_;
+  std::vector<std::uint64_t> synced_versions_;  ///< echoed in the next fetch
+  std::shared_ptr<const service::RouteSnapshot> adopt_donor_;
+
+  mutable std::condition_variable ready_cv_;  ///< store_mutex_; publishes
+  std::uint64_t publishes_ = 0;  ///< replica-local publish tally (store_mutex_)
+
+  // Upstream connections: sync-thread-only.
+  net::RouteClient fetch_;
+  net::RouteClient notify_;
+
+  std::atomic<bool> stop_{false};
+  bool stopped_ = false;  ///< stop() completed (caller thread only)
+
+  // Read-side counters (any reader thread).
+  mutable std::atomic<std::uint64_t> queries_{0};
+  mutable std::atomic<std::uint64_t> batches_{0};
+  mutable std::atomic<std::uint64_t> total_ns_{0};
+  mutable std::atomic<std::uint64_t> max_batch_ns_{0};
+  mutable std::atomic<std::uint64_t> max_staleness_ns_{0};
+  // Sync-side counters (sync thread writes, any thread reads).
+  std::atomic<std::uint64_t> full_syncs_{0};
+  std::atomic<std::uint64_t> delta_syncs_{0};
+  std::atomic<std::uint64_t> shards_fetched_{0};
+  std::atomic<std::uint64_t> chunks_fetched_{0};
+  std::atomic<std::uint64_t> bytes_fetched_{0};
+  std::atomic<std::uint64_t> blocks_adopted_{0};
+  std::atomic<std::uint64_t> notifies_received_{0};
+  std::atomic<std::uint64_t> notifies_coalesced_{0};
+  std::atomic<std::uint64_t> resyncs_{0};
+  std::atomic<std::uint64_t> sync_lag_ns_{0};
+
+  std::thread sync_;  ///< last member: joined before state tears down
+};
+
+}  // namespace fpss::replica

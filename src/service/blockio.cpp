@@ -1,0 +1,54 @@
+#include "service/blockio.h"
+
+namespace fpss::service {
+
+using util::append_i64;
+using util::append_u32;
+using util::append_u64;
+using util::encode_cost;
+
+void BlockCodec::append(std::string& out, const Block& block) {
+  for (const NodeId v : block.next_hop) append_u32(out, v);
+  for (const Cost c : block.cost) append_i64(out, encode_cost(c));
+  for (const std::uint64_t o : block.offset) append_u64(out, o);
+  for (const NodeId v : block.transit) append_u32(out, v);
+  for (const Cost c : block.price) append_i64(out, encode_cost(c));
+}
+
+BlockCodec::BlockPtr BlockCodec::parse(util::BinReader& in, std::size_t n) {
+  auto block = std::make_shared<Block>();
+  block->next_hop.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) block->next_hop.push_back(in.u32());
+  block->cost.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) block->cost.push_back(in.cost());
+  block->offset.reserve(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    const std::uint64_t o = in.u64();
+    // Monotone and bounded before the entry arrays are sized from it: a
+    // corrupt offset must not trigger a huge allocation.
+    if (!block->offset.empty() && !in.fail &&
+        (o < block->offset.back() || o > n * n))
+      return nullptr;
+    block->offset.push_back(o);
+  }
+  if (in.fail || block->offset.front() != 0) return nullptr;
+  const std::uint64_t entries = block->offset.back();
+  if (in.remaining() < entries * 12) return nullptr;
+  block->transit.reserve(entries);
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    const NodeId v = in.u32();
+    if (v >= n) return nullptr;
+    block->transit.push_back(v);
+  }
+  block->price.reserve(entries);
+  for (std::uint64_t e = 0; e < entries; ++e) block->price.push_back(in.cost());
+  if (in.fail) return nullptr;
+  block->digest = block->compute_digest();
+  return block;
+}
+
+std::size_t BlockCodec::encoded_bytes(const Block& block, std::size_t n) {
+  return 12 * n + 8 * (n + 1) + 12 * block.transit.size();
+}
+
+}  // namespace fpss::service

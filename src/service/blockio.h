@@ -1,0 +1,39 @@
+// The fpss-snap v4 per-destination block encoding, hoisted out of the
+// checkpoint journal so every consumer of the format shares one codec:
+//
+//   block := next_hop[n]:u32  cost[n]:i64  offset[n+1]:u64
+//            transit[entries]:u32  price[entries]:i64
+//
+// (entries = offset[n], costs via the -1 = +infinity convention). Users:
+//   * checkpoint.cpp — patch-journal records (the original home);
+//   * replication.cpp — kSnapshotChunk frames streaming shards to a
+//     read replica.
+// parse() validates structure before it allocates from attacker-supplied
+// counts: offsets must be monotone and bounded by n^2, transit ids < n —
+// the same discipline the journal replay always had, now enforced at the
+// one shared entry point.
+#pragma once
+
+#include "service/snapshot.h"
+#include "util/binio.h"
+
+namespace fpss::service {
+
+struct BlockCodec {
+  using Block = RouteSnapshot::DestinationBlock;
+  using BlockPtr = RouteSnapshot::BlockPtr;
+
+  /// Appends one block in serialization order.
+  static void append(std::string& out, const Block& block);
+
+  /// Parses and validates one block for an n-node snapshot; null on any
+  /// structural violation (reader left failed or mid-block — callers
+  /// treat null as "reject the whole payload").
+  static BlockPtr parse(util::BinReader& in, std::size_t n);
+
+  /// Serialized size of `block` for an n-node snapshot, for chunk
+  /// budgeting: 12n + 8(n + 1) + 12 * entries bytes.
+  static std::size_t encoded_bytes(const Block& block, std::size_t n);
+};
+
+}  // namespace fpss::service

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "service/blockio.h"
 #include "util/binio.h"
 #include "util/checksum.h"
 #include "util/contract.h"
@@ -54,13 +55,8 @@ struct CheckpointCodec {
     return out;
   }
 
-  static void append_block(std::string& out, const Block& block) {
-    for (const NodeId v : block.next_hop) append_u32(out, v);
-    for (const Cost c : block.cost) append_i64(out, encode_cost(c));
-    for (const std::uint64_t o : block.offset) append_u64(out, o);
-    for (const NodeId v : block.transit) append_u32(out, v);
-    for (const Cost c : block.price) append_i64(out, encode_cost(c));
-  }
+  // Block encode/parse delegate to BlockCodec (blockio.h) — the same v4
+  // block encoding the replication wire chunks stream, kept in one place.
 
   /// Payload: provenance + the checksum replay must reproduce, the global
   /// arrays, then the patched blocks. Self-contained — a record can be
@@ -78,42 +74,9 @@ struct CheckpointCodec {
     append_u32(out, static_cast<std::uint32_t>(patched.size()));
     for (const NodeId j : patched) {
       append_u32(out, j);
-      append_block(out, *snap.blocks_[j]);
+      BlockCodec::append(out, *snap.blocks_[j]);
     }
     return out;
-  }
-
-  static std::shared_ptr<const Block> parse_block(util::BinReader& in,
-                                                  std::size_t n) {
-    auto block = std::make_shared<Block>();
-    block->next_hop.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) block->next_hop.push_back(in.u32());
-    block->cost.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) block->cost.push_back(in.cost());
-    block->offset.reserve(n + 1);
-    for (std::size_t i = 0; i <= n; ++i) {
-      const std::uint64_t o = in.u64();
-      // Monotone and bounded before the entry arrays are sized from it: a
-      // corrupt offset must not trigger a huge allocation.
-      if (!block->offset.empty() && !in.fail &&
-          (o < block->offset.back() || o > n * n))
-        return nullptr;
-      block->offset.push_back(o);
-    }
-    if (in.fail || block->offset.front() != 0) return nullptr;
-    const std::uint64_t entries = block->offset.back();
-    if (in.remaining() < entries * 12) return nullptr;
-    block->transit.reserve(entries);
-    for (std::uint64_t e = 0; e < entries; ++e) {
-      const NodeId v = in.u32();
-      if (v >= n) return nullptr;
-      block->transit.push_back(v);
-    }
-    block->price.reserve(entries);
-    for (std::uint64_t e = 0; e < entries; ++e) block->price.push_back(in.cost());
-    if (in.fail) return nullptr;
-    block->digest = block->compute_digest();
-    return block;
   }
 
   /// Applies one validated payload onto `state`; null when the payload is
@@ -141,7 +104,7 @@ struct CheckpointCodec {
     for (std::uint32_t p = 0; p < patches; ++p) {
       const NodeId j = in.u32();
       if (in.fail || j >= n) return nullptr;
-      auto block = parse_block(in, n);
+      auto block = BlockCodec::parse(in, n);
       if (block == nullptr) return nullptr;
       snap->blocks_[j] = std::move(block);
     }

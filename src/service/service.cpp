@@ -447,6 +447,14 @@ void RouteService::wait_for_publishes(std::uint64_t count) const {
   publish_cv_.wait(lock, [&] { return store_.publish_count() >= count; });
 }
 
+std::uint64_t RouteService::wait_for_publish_beyond(std::uint64_t count,
+                                                    int timeout_ms) const {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  publish_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                       [&] { return store_.publish_count() > count; });
+  return store_.publish_count();
+}
+
 std::uint64_t RouteService::drain() {
   std::unique_lock<std::mutex> lock(queue_mutex_);
   publish_cv_.wait(lock, [&] { return queue_.empty() && !updater_busy_; });

@@ -248,6 +248,17 @@ class RouteService {
   /// publish_count() + 1 before a submit to await its effect).
   void wait_for_publishes(std::uint64_t count) const;
 
+  /// Bounded-wait variant for push loops: blocks until publish_count()
+  /// exceeds `count` or `timeout_ms` elapses, and returns the current
+  /// publish count either way. A subscription pusher polls this in slices
+  /// so it can also observe connection teardown between publishes.
+  std::uint64_t wait_for_publish_beyond(std::uint64_t count,
+                                        int timeout_ms) const;
+
+  /// The sharded publication store — the replication fetch path reads one
+  /// export_cut() from it per kSnapshotFetch.
+  const ShardedSnapshotStore& store() const { return store_; }
+
   /// Blocks until the delta queue is empty and everything submitted so far
   /// has been published; returns the served version.
   std::uint64_t drain();

@@ -164,8 +164,10 @@ class RouteSnapshot {
 
  private:
   friend struct SnapshotCodec;
-  friend struct CheckpointCodec;  ///< per-block patch journal (checkpoint.cpp)
-  friend class PublishPipeline;   ///< writes dirty blocks in place (pipeline.cpp)
+  friend struct CheckpointCodec;   ///< per-block patch journal (checkpoint.cpp)
+  friend struct BlockCodec;        ///< shared v4 block encoding (blockio.h)
+  friend struct ReplicationCodec;  ///< per-shard wire chunks (replication.h)
+  friend class PublishPipeline;    ///< writes dirty blocks in place (pipeline.cpp)
 
   /// Everything destination j's sink tree exports, immutable once built.
   /// The CSR is local (offset[0] == 0); `digest` folds the arrays once so

@@ -125,6 +125,19 @@ std::size_t ShardedSnapshotStore::fence_end(
   return swapped;
 }
 
+ShardedSnapshotStore::ExportCut ShardedSnapshotStore::export_cut() const {
+  ExportCut cut;
+  cut.shard_versions.assign(shard_count_, 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  cut.newest = newest_;
+  const std::uint64_t ceiling =
+      newest_ == nullptr ? 0 : newest_->version();
+  for (std::size_t s = 0; s < shard_count_; ++s)
+    if (shards_[s] != nullptr)
+      cut.shard_versions[s] = std::min(shards_[s]->version(), ceiling);
+  return cut;
+}
+
 std::vector<std::uint64_t> ShardedSnapshotStore::shard_versions() const {
   std::vector<std::uint64_t> versions(shard_count_, 0);
   std::lock_guard<std::mutex> lock(mutex_);

@@ -185,6 +185,18 @@ class ShardedSnapshotStore {
   /// behind `version()` each shard's last-changed publish is. Diagnostics.
   std::vector<std::uint64_t> shard_versions() const;
 
+  /// One replication cut: `newest` plus the per-shard versions, read under
+  /// a single lock so they describe the same instant. Slot versions are
+  /// clamped to newest->version() — while a fence is open a landed slot
+  /// carries the *next* epoch, which must not leak into the negotiation
+  /// state a replica echoes back (it would mark the shard clean before the
+  /// merged snapshot exists).
+  struct ExportCut {
+    std::shared_ptr<const RouteSnapshot> newest;  ///< null before 1st publish
+    std::vector<std::uint64_t> shard_versions;
+  };
+  ExportCut export_cut() const;
+
  private:
   const std::size_t shard_count_;
   const std::size_t shard_size_;

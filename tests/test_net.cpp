@@ -560,6 +560,158 @@ TEST(RouteClientNet, TypedErrors) {
   EXPECT_FALSE(client.connected());
 }
 
+TEST(Wire, ReplicationControlPayloadRoundTrips) {
+  // Shard-version vectors (the kSnapshotFetch negotiation payload).
+  const std::vector<std::uint64_t> versions = {3, 0, 7, 7, 12};
+  const std::string payload = net::encode_shard_versions(versions);
+  const auto decoded = net::decode_shard_versions(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.error;
+  EXPECT_EQ(decoded.versions, versions);
+  const auto empty = net::decode_shard_versions(net::encode_shard_versions({}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.versions.empty());
+  for (std::size_t cut = 0; cut < payload.size(); ++cut)
+    EXPECT_FALSE(net::decode_shard_versions(payload.substr(0, cut)).ok())
+        << "shard-versions prefix " << cut << " accepted";
+
+  // Publish notifies.
+  net::PublishNotify notify{9, 12345, 17, 4};
+  net::PublishNotify notify2;
+  const std::string notify_payload = net::encode_publish_notify(notify);
+  ASSERT_TRUE(net::decode_publish_notify(notify_payload, notify2));
+  EXPECT_EQ(notify2.snapshot_version, 9u);
+  EXPECT_EQ(notify2.published_at_ns, 12345u);
+  EXPECT_EQ(notify2.publish_count, 17u);
+  EXPECT_EQ(notify2.coalesced, 4u);
+  for (std::size_t cut = 0; cut < notify_payload.size(); ++cut)
+    EXPECT_FALSE(
+        net::decode_publish_notify(notify_payload.substr(0, cut), notify2))
+        << "notify prefix " << cut << " accepted";
+}
+
+TEST(Wire, CountersFrameCarriesOptionalReplicaSection) {
+  RouteService::Counters counters;
+  counters.queries = 5;
+  net::ServerCounters server;
+  server.frames = 6;
+  net::ReplicaCounters replica;
+  replica.full_syncs = 1;
+  replica.delta_syncs = 2;
+  replica.shards_fetched = 3;
+  replica.chunks_fetched = 4;
+  replica.bytes_fetched = 5;
+  replica.blocks_adopted = 6;
+  replica.notifies_received = 7;
+  replica.notifies_coalesced = 8;
+  replica.resyncs = 9;
+  replica.sync_lag_ns = 10;
+
+  net::CountersFrame with;
+  ASSERT_TRUE(net::decode_counters(
+      net::encode_counters(counters, server, &replica), with));
+  ASSERT_TRUE(with.has_replica);
+  EXPECT_EQ(with.replica.full_syncs, 1u);
+  EXPECT_EQ(with.replica.delta_syncs, 2u);
+  EXPECT_EQ(with.replica.shards_fetched, 3u);
+  EXPECT_EQ(with.replica.bytes_fetched, 5u);
+  EXPECT_EQ(with.replica.blocks_adopted, 6u);
+  EXPECT_EQ(with.replica.notifies_coalesced, 8u);
+  EXPECT_EQ(with.replica.sync_lag_ns, 10u);
+
+  // A primary's frame (no replica section) still decodes, as does one
+  // with the presence byte explicitly zero — and a truncated replica
+  // section is rejected rather than half-read.
+  net::CountersFrame without;
+  ASSERT_TRUE(
+      net::decode_counters(net::encode_counters(counters, server), without));
+  EXPECT_FALSE(without.has_replica);
+  const std::string full = net::encode_counters(counters, server, &replica);
+  const std::string bare = net::encode_counters(counters, server);
+  for (std::size_t cut = bare.size() + 1; cut < full.size(); ++cut) {
+    net::CountersFrame torn;
+    EXPECT_FALSE(net::decode_counters(full.substr(0, cut), torn))
+        << "replica-section prefix " << cut << " accepted";
+  }
+}
+
+// A well-formed frame of the wrong type must surface as kUnexpectedFrame
+// (the stream desynced), not kProtocolError (the bytes were garbage) —
+// the satellite distinction a resyncing replica relies on.
+TEST(RouteClientNet, UnexpectedFrameTypeIsTypedDistinctFromCorruption) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  // A confused fake server: completes the handshake correctly, then
+  // answers the query batch with a perfectly valid kDrainReply.
+  std::thread impostor([listener] {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    ASSERT_GE(fd, 0);
+    auto read_frame = [fd]() {
+      std::string head(net::kFrameHeaderBytes, '\0');
+      std::size_t got = 0;
+      while (got < head.size()) {
+        const ssize_t n = ::recv(fd, head.data() + got, head.size() - got, 0);
+        ASSERT_GT(n, 0);
+        got += static_cast<std::size_t>(n);
+      }
+      const auto header = net::decode_frame_header(head, {});
+      ASSERT_TRUE(header.ok());
+      std::string payload(header.header.payload_bytes, '\0');
+      got = 0;
+      while (got < payload.size()) {
+        const ssize_t n =
+            ::recv(fd, payload.data() + got, payload.size() - got, 0);
+        ASSERT_GT(n, 0);
+        got += static_cast<std::size_t>(n);
+      }
+    };
+    auto write_frame = [fd](net::FrameType type, const std::string& payload) {
+      const std::string frame = net::encode_frame(type, payload);
+      std::size_t sent = 0;
+      while (sent < frame.size()) {
+        const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                                 MSG_NOSIGNAL);
+        ASSERT_GT(n, 0);
+        sent += static_cast<std::size_t>(n);
+      }
+    };
+    read_frame();  // kHello
+    net::HelloAck ack;
+    ack.node_count = 4;
+    ack.snapshot_version = 1;
+    ack.max_batch = 64;
+    write_frame(net::FrameType::kHelloAck, net::encode_hello_ack(ack));
+    read_frame();  // kQueryBatch
+    write_frame(net::FrameType::kDrainReply, net::encode_u64(1));
+    ::close(fd);
+  });
+
+  net::ClientConfig config;
+  config.port = port;
+  net::RouteClient client(config);
+  ASSERT_TRUE(client.connect().ok());
+  const std::vector<Request> batch{{RequestKind::kCost, kInvalidNode, 0, 1}};
+  const auto result = client.query(batch);
+  EXPECT_EQ(result.error.status, net::ClientStatus::kUnexpectedFrame);
+  EXPECT_NE(result.error.status, net::ClientStatus::kProtocolError);
+  EXPECT_FALSE(client.connected());  // a desynced stream is unusable
+
+  impostor.join();
+  ::close(listener);
+}
+
 TEST(RouteServerNet, GracefulStopDrainsAndRefusesNewWork) {
   const auto f = graphgen::fig1();
   RouteService svc(f.g);
