@@ -9,9 +9,16 @@
 //   path i j        the full served LCP
 //   payment k       node k's accumulated payment total
 //   counters        the server's service counters (a replica daemon also
-//                   reports its replication health: syncs, bytes, lag)
+//                   reports its replication health: syncs, bytes, lag,
+//                   chain hop, forwarding tallies)
 //   drain           wait for the updater to drain; prints the version
 //   republish       submit a republish delta (forces a fresh publish)
+//
+// The data path runs through net::RemoteQueryBackend — the same unified
+// service::QueryBackend surface the examples and chain tests use — so a
+// primary, a replica, or a deep chain tier all answer through one code
+// path (writes included: `republish` against a forwarding replica relays
+// upstream transparently).
 //
 // Every routed answer is printed with the snapshot version it came from
 // and that snapshot's age at answer time — the staleness the RCU serving
@@ -24,7 +31,7 @@
 #include <string>
 #include <vector>
 
-#include "net/client.h"
+#include "net/remote_backend.h"
 #include "service/protocol.h"
 
 namespace {
@@ -62,11 +69,11 @@ const char* status_name(service::Status status) {
   return "unknown";
 }
 
-int run_request(net::RouteClient& client, const service::Request& request) {
-  const auto result = client.query({&request, 1});
+int run_request(service::QueryBackend& backend,
+                const service::Request& request) {
+  const auto result = backend.query_one(request);
   if (!result.ok()) {
-    std::printf("query failed: %s (%s)\n", result.error.message.c_str(),
-                net::to_string(result.error.status));
+    std::printf("query failed: %s\n", result.error.c_str());
     return 1;
   }
   const service::Reply& reply = result.replies.front();
@@ -129,7 +136,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[arg++];
   const int operands = argc - arg;
 
-  net::RouteClient client(config);
+  net::RemoteQueryBackend client(config);
   if (const auto err = client.connect(); !err.ok()) {
     std::printf("connect failed: %s (%s)\n", err.message.c_str(),
                 net::to_string(err.status));
@@ -174,7 +181,7 @@ int main(int argc, char** argv) {
     return run_request(client, request);
   }
   if (command == "counters" && operands == 0) {
-    const auto result = client.counters();
+    const auto result = client.full_counters();
     if (!result.ok()) {
       std::printf("counters failed: %s\n", result.error.message.c_str());
       return 1;
@@ -207,16 +214,22 @@ int main(int argc, char** argv) {
                 c.journal_patches, c.journal_compactions);
     if (result.has_replica) {
       const auto& r = result.replica;
-      std::printf("replica: full syncs %" PRIu64 "  delta syncs %" PRIu64
-                  "  resyncs %" PRIu64 "  sync lag %.3f ms\n",
-                  r.full_syncs, r.delta_syncs, r.resyncs,
+      std::printf("replica: hop %" PRIu64 "  full syncs %" PRIu64
+                  "  delta syncs %" PRIu64 "  resyncs %" PRIu64
+                  "  sync lag %.3f ms\n",
+                  r.hop_count, r.full_syncs, r.delta_syncs, r.resyncs,
                   static_cast<double>(r.sync_lag_ns) / 1e6);
       std::printf("  shards fetched %" PRIu64 "  chunks %" PRIu64
                   "  bytes %" PRIu64 "  blocks adopted %" PRIu64 "\n",
                   r.shards_fetched, r.chunks_fetched, r.bytes_fetched,
                   r.blocks_adopted);
-      std::printf("  notifies received %" PRIu64 "  coalesced %" PRIu64 "\n",
-                  r.notifies_received, r.notifies_coalesced);
+      std::printf("  notifies received %" PRIu64 "  coalesced %" PRIu64
+                  "  upstream disconnects %" PRIu64 "\n",
+                  r.notifies_received, r.notifies_coalesced,
+                  r.upstream_disconnects);
+      std::printf("  deltas forwarded %" PRIu64 "  forward retries %" PRIu64
+                  "  forward rejected %" PRIu64 "\n",
+                  r.deltas_forwarded, r.forward_retries, r.forward_rejected);
     }
     const auto& s = result.server;
     std::printf("server: connections %" PRIu64 "  frames %" PRIu64
@@ -240,19 +253,23 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (command == "republish" && operands == 0) {
-    const service::RouteService::Delta delta =
-        service::RouteService::Delta::republish();
-    const auto submitted = client.submit_deltas({&delta, 1});
+    const auto submitted =
+        client.submit_delta(service::RouteService::Delta::republish());
     if (!submitted.ok()) {
-      std::printf("submit failed: %s\n", submitted.error.message.c_str());
+      std::printf("submit failed: %s\n", submitted.error.c_str());
       return 1;
     }
+    // The ack already carries the post-publish clock — on a forwarding
+    // replica that is the *primary's* clock, so print the local served
+    // version separately.
     const auto drained = client.drain();
     if (!drained.ok()) {
       std::printf("drain failed: %s\n", drained.error.message.c_str());
       return 1;
     }
-    std::printf("republished; serving snapshot v%" PRIu64 "\n", drained.value);
+    std::printf("republished (publish %" PRIu64 "); serving snapshot v%" PRIu64
+                "\n",
+                submitted.publish_count, drained.value);
     return 0;
   }
   return usage();

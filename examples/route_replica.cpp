@@ -1,26 +1,35 @@
-// route_replica: a read replica chained behind route_server — and, in
+// route_replica: a replica chained behind route_server — and, in
 // self-test mode, a full primary/replica topology on loopback.
 //
 // Self-test mode (default) wires up
 //
 //   RouteService ── RouteServer ──(fpss-wire)── ReplicaService ── RouteServer
 //      (primary)      :ephemeral     snapshot        (replica)     :ephemeral
-//                                  sync + notify
+//                                 sync + notify +
+//                                 delta forwarding
 //
 // then churns the primary through several re-convergence cycles and, after
 // each one, waits for the replica to catch up *push-driven* (no polling —
 // every sync is caused by a kPublishNotify) and checks a batch of queries
-// through both servers for bit-identical answers. The replication counters
-// printed at the end show the O(dirty) transfer property: after the
-// bootstrap, catch-ups fetch only the shards a delta burst touched.
+// through both servers for bit-identical answers. Both sides are driven
+// through the unified service::QueryBackend surface; the final cycle
+// exercises the write path end to end: a delta submitted at the *replica*
+// front is forwarded to the primary, whose ack's publish count then lets
+// the submitter read its own write back through the replica.
 //
 //   $ ./route_replica [nodes] [cycles]
 //
 // Daemon mode syncs from a running route_server (or another route_replica
-// — replicas chain) and serves the same fpss-wire protocol read-only:
+// — replicas chain) and serves the same fpss-wire protocol, forwarding
+// writes upstream unless --forward-deltas 0 makes the tier read-only:
 //
-//   $ ./route_replica --connect PORT [--host H] [--listen PORT]
-//                     [--workers W] [--checkpoint-dir DIR]
+//   $ ./route_replica --connect HOST:PORT[,HOST:PORT...] [--host H]
+//                     [--listen PORT] [--workers W] [--checkpoint-dir DIR]
+//                     [--forward-deltas 0|1]
+//
+// --connect takes a fallback list in preference order; on upstream death
+// the replica serves its last consistent cut and fails over round-robin.
+// A bare port is shorthand for --host's value (default 127.0.0.1).
 //
 // With --checkpoint-dir the replica warm-starts from a local fpss-snap v4
 // checkpoint directory and serves it before the upstream is reachable;
@@ -39,7 +48,7 @@
 
 #include "graphgen/costs.h"
 #include "graphgen/random.h"
-#include "net/client.h"
+#include "net/remote_backend.h"
 #include "net/server.h"
 #include "replica/replica.h"
 #include "service/service.h"
@@ -79,12 +88,23 @@ void print_replication_counters(const net::ReplicaCounters& c) {
       static_cast<unsigned long long>(c.notifies_coalesced),
       static_cast<unsigned long long>(c.resyncs),
       static_cast<double>(c.sync_lag_ns) / 1e6);
+  std::printf(
+      "replica chain: hop %llu, %llu upstream disconnects; forwarding: "
+      "%llu deltas, %llu retries, %llu rejected\n",
+      static_cast<unsigned long long>(c.hop_count),
+      static_cast<unsigned long long>(c.upstream_disconnects),
+      static_cast<unsigned long long>(c.deltas_forwarded),
+      static_cast<unsigned long long>(c.forward_retries),
+      static_cast<unsigned long long>(c.forward_rejected));
 }
 
-/// Queries both servers with the same randomized batch (every request
-/// kind, including out-of-range nodes) and compares every answer.
-bool compare_answers(net::RouteClient& primary, net::RouteClient& replica,
-                     NodeId n, std::uint64_t seed) {
+/// Queries both backends with the same randomized batch (every request
+/// kind, including out-of-range nodes) and compares every answer. Written
+/// once against QueryBackend: the same check runs over a local service, a
+/// replica, or either's wire connection.
+bool compare_answers(service::QueryBackend& primary,
+                     service::QueryBackend& replica, NodeId n,
+                     std::uint64_t seed) {
   util::Rng rng(seed);
   std::vector<service::Request> batch;
   for (int q = 0; q < 48; ++q) {
@@ -102,12 +122,11 @@ bool compare_answers(net::RouteClient& primary, net::RouteClient& replica,
   }
   batch.push_back({service::RequestKind::kCost, 0, n, 0});  // bad node
 
-  const auto from_primary = primary.query(batch);
-  const auto from_replica = replica.query(batch);
+  const auto from_primary = primary.query_batch(batch);
+  const auto from_replica = replica.query_batch(batch);
   if (!from_primary.ok() || !from_replica.ok()) {
     std::printf("compare: query failed (%s / %s)\n",
-                from_primary.error.message.c_str(),
-                from_replica.error.message.c_str());
+                from_primary.error.c_str(), from_replica.error.c_str());
     return false;
   }
   for (std::size_t q = 0; q < batch.size(); ++q)
@@ -119,43 +138,76 @@ bool compare_answers(net::RouteClient& primary, net::RouteClient& replica,
   return true;
 }
 
+/// Parses "HOST:PORT[,HOST:PORT...]" (a bare PORT means default_host) into
+/// a fallback list. Returns empty on a malformed entry.
+std::vector<net::ClientConfig> parse_connect(const std::string& spec,
+                                             const std::string& default_host) {
+  std::vector<net::ClientConfig> upstreams;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string entry =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    net::ClientConfig upstream;
+    const std::size_t colon = entry.rfind(':');
+    const std::string port_text =
+        colon == std::string::npos ? entry : entry.substr(colon + 1);
+    upstream.host =
+        colon == std::string::npos ? default_host : entry.substr(0, colon);
+    upstream.port = static_cast<std::uint16_t>(std::atoi(port_text.c_str()));
+    if (upstream.host.empty() || upstream.port == 0) return {};
+    upstreams.push_back(std::move(upstream));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return upstreams;
+}
+
 // --- daemon mode -----------------------------------------------------------
 
 std::atomic<bool> g_shutdown{false};
 
 void handle_signal(int) { g_shutdown.store(true, std::memory_order_relaxed); }
 
-int run_daemon(std::uint16_t upstream_port, const std::string& upstream_host,
+int run_daemon(std::vector<net::ClientConfig> upstreams,
                std::uint16_t listen_port, unsigned workers,
-               const std::string& checkpoint_dir) {
+               const std::string& checkpoint_dir, bool forward_deltas) {
   replica::ReplicaConfig config;
-  config.upstream.host = upstream_host;
-  config.upstream.port = upstream_port;
+  config.upstreams = std::move(upstreams);
   config.checkpoint_directory = checkpoint_dir;
+  config.forward_deltas = forward_deltas;
   replica::ReplicaService replica(config);
 
+  const auto& first = config.upstreams.front();
   if (replica.wait_until_ready(10000)) {
-    std::printf("route_replica: serving v%llu (%zu nodes) from %s:%u\n",
+    std::printf("route_replica: serving v%llu (%zu nodes) from %s:%u "
+                "(hop %u, %zu upstream%s)\n",
                 static_cast<unsigned long long>(replica.version()),
-                replica.node_count(), upstream_host.c_str(), upstream_port);
+                replica.node_count(), first.host.c_str(), first.port,
+                replica.hop_count(), config.upstreams.size(),
+                config.upstreams.size() == 1 ? "" : "s");
   } else {
-    std::printf("route_replica: upstream %s:%u not ready yet; "
-                "serving empty until it appears\n",
-                upstream_host.c_str(), upstream_port);
+    std::printf("route_replica: no upstream ready yet (%zu configured); "
+                "serving empty until one appears\n",
+                config.upstreams.size());
   }
 
   net::ServerConfig server_config;
   server_config.port = listen_port;
   server_config.workers = workers;
-  server_config.allow_deltas = false;  // replicas are read-only
+  // A forwarding tier is a full-service address; only a read-only tier
+  // refuses the frame type outright.
+  server_config.allow_deltas = forward_deltas;
   net::RouteServer server(replica, server_config);
   if (!server.ok()) {
     std::printf("route_replica: %s\n", server.error().c_str());
     return 1;
   }
-  std::printf("route_replica: listening on %s:%u (%u workers); "
+  std::printf("route_replica: listening on %s:%u (%u workers, writes %s); "
               "Ctrl-C to stop\n",
-              server_config.host.c_str(), server.port(), server_config.workers);
+              server_config.host.c_str(), server.port(), server_config.workers,
+              forward_deltas ? "forwarded" : "refused");
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -177,33 +229,43 @@ int main(int argc, char** argv) {
   // --- daemon mode ---------------------------------------------------------
   if (argc > 1 && std::strcmp(argv[1], "--connect") == 0) {
     if (argc < 3) {
-      std::printf("usage: route_replica --connect PORT [--host H] "
-                  "[--listen PORT] [--workers W] [--checkpoint-dir DIR]\n");
+      std::printf(
+          "usage: route_replica --connect HOST:PORT[,HOST:PORT...] "
+          "[--host H] [--listen PORT] [--workers W] "
+          "[--checkpoint-dir DIR] [--forward-deltas 0|1]\n");
       return 2;
     }
-    std::uint16_t upstream_port =
-        static_cast<std::uint16_t>(std::atoi(argv[2]));
-    std::string upstream_host = "127.0.0.1";
+    const std::string connect_spec = argv[2];
+    std::string default_host = "127.0.0.1";
     std::uint16_t listen_port = 0;
     unsigned workers = 4;
     std::string checkpoint_dir;
+    bool forward_deltas = true;
     for (int arg = 3; arg < argc; ++arg) {
       const std::string flag = argv[arg];
       if (flag == "--host" && arg + 1 < argc)
-        upstream_host = argv[++arg];
+        default_host = argv[++arg];
       else if (flag == "--listen" && arg + 1 < argc)
         listen_port = static_cast<std::uint16_t>(std::atoi(argv[++arg]));
       else if (flag == "--workers" && arg + 1 < argc)
         workers = static_cast<unsigned>(std::atoi(argv[++arg]));
       else if (flag == "--checkpoint-dir" && arg + 1 < argc)
         checkpoint_dir = argv[++arg];
+      else if (flag == "--forward-deltas" && arg + 1 < argc)
+        forward_deltas = std::atoi(argv[++arg]) != 0;
       else {
         std::printf("unknown flag %s\n", flag.c_str());
         return 2;
       }
     }
-    return run_daemon(upstream_port, upstream_host, listen_port, workers,
-                      checkpoint_dir);
+    std::vector<net::ClientConfig> upstreams =
+        parse_connect(connect_spec, default_host);
+    if (upstreams.empty()) {
+      std::printf("bad --connect list '%s'\n", connect_spec.c_str());
+      return 2;
+    }
+    return run_daemon(std::move(upstreams), listen_port, workers,
+                      checkpoint_dir, forward_deltas);
   }
 
   // --- self-test mode ------------------------------------------------------
@@ -221,9 +283,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(primary.version()));
 
   // Size the primary's worker pool for the pinned subscription worker plus
-  // the fetch channel plus interactive queries.
+  // the fetch + forwarding channels plus interactive queries.
   net::ServerConfig primary_config;
-  primary_config.workers = 4;
+  primary_config.workers = 5;
   net::RouteServer primary_server(primary, primary_config);
   if (!primary_server.ok()) {
     std::printf("primary server: %s\n", primary_server.error().c_str());
@@ -238,12 +300,13 @@ int main(int argc, char** argv) {
     std::printf("replica: bootstrap sync did not complete\n");
     return 1;
   }
-  std::printf("replica: bootstrapped at v%llu\n",
-              static_cast<unsigned long long>(replica.version()));
+  std::printf("replica: bootstrapped at v%llu (hop %u)\n",
+              static_cast<unsigned long long>(replica.version()),
+              replica.hop_count());
 
   net::ServerConfig replica_server_config;
-  replica_server_config.workers = 2;
-  replica_server_config.allow_deltas = false;
+  replica_server_config.workers = 3;
+  replica_server_config.allow_deltas = true;  // forwarded upstream
   net::RouteServer replica_server(replica, replica_server_config);
   if (!replica_server.ok()) {
     std::printf("replica server: %s\n", replica_server.error().c_str());
@@ -252,16 +315,16 @@ int main(int argc, char** argv) {
 
   net::ClientConfig to_primary;
   to_primary.port = primary_server.port();
-  net::RouteClient primary_client(to_primary);
+  net::RemoteQueryBackend primary_backend(to_primary);
   net::ClientConfig to_replica;
   to_replica.port = replica_server.port();
-  net::RouteClient replica_client(to_replica);
-  if (!primary_client.connect().ok() || !replica_client.connect().ok()) {
+  net::RemoteQueryBackend replica_backend(to_replica);
+  if (!primary_backend.connect().ok() || !replica_backend.connect().ok()) {
     std::printf("client connect failed\n");
     return 1;
   }
 
-  bool all_equal = compare_answers(primary_client, replica_client,
+  bool all_equal = compare_answers(primary_backend, replica_backend,
                                    static_cast<NodeId>(nodes), 11);
 
   // Churn: each cycle perturbs a couple of node costs, republishes, and
@@ -276,7 +339,7 @@ int main(int argc, char** argv) {
     const std::uint64_t caught_up =
         replica.wait_for_version_beyond(version - 1, 10000);
     const bool equal = caught_up >= version &&
-                       compare_answers(primary_client, replica_client,
+                       compare_answers(primary_backend, replica_backend,
                                        static_cast<NodeId>(nodes), 101 + cycle);
     std::printf("cycle %zu: primary v%llu, replica v%llu, answers %s\n",
                 cycle + 1, static_cast<unsigned long long>(version),
@@ -285,9 +348,31 @@ int main(int argc, char** argv) {
     all_equal = all_equal && equal;
   }
 
+  // Forwarded write round-trip: submit at the *replica* front, let the
+  // forwarder relay it to the primary, then use the ack's publish count to
+  // read the write back through the replica — the read-your-write
+  // contract, exercised over two wire hops.
+  const auto forwarded = replica_backend.submit_delta(
+      service::RouteService::Delta::cost_change(0, Cost{5}));
+  bool forward_ok = forwarded.ok() && forwarded.accepted == 1;
+  if (!forward_ok) {
+    std::printf("forwarded write failed: %s\n", forwarded.error.c_str());
+  } else {
+    const std::uint64_t seen = replica_backend.wait_for_publish_beyond(
+        forwarded.publish_count - 1, 10000);
+    forward_ok = seen >= forwarded.publish_count &&
+                 compare_answers(primary_backend, replica_backend,
+                                 static_cast<NodeId>(nodes), 4242);
+    std::printf("forwarded write: ack publish %llu, replica clock %llu, "
+                "answers %s\n",
+                static_cast<unsigned long long>(forwarded.publish_count),
+                static_cast<unsigned long long>(seen),
+                forward_ok ? "bit-identical" : "DIVERGED");
+  }
+
   // The counters frame a monitoring client sees carries the replication
   // section too — fetch it over the wire from the replica's server.
-  const auto remote_counters = replica_client.counters();
+  const auto remote_counters = replica_backend.full_counters();
   const bool counters_ok = remote_counters.ok() && remote_counters.has_replica;
   if (counters_ok) print_replication_counters(remote_counters.replica);
 
@@ -298,8 +383,10 @@ int main(int argc, char** argv) {
   const auto sync = replica.replication_counters();
   const bool synced_incrementally =
       sync.full_syncs >= 1 && sync.delta_syncs >= cycles &&
-      sync.notifies_received >= cycles;
-  const bool ok = all_equal && counters_ok && synced_incrementally;
+      sync.notifies_received >= cycles && sync.deltas_forwarded >= 1 &&
+      sync.hop_count == 1;
+  const bool ok =
+      all_equal && forward_ok && counters_ok && synced_incrementally;
   std::printf(ok ? "route_replica: OK\n" : "route_replica: FAILED\n");
   return ok ? 0 : 1;
 }

@@ -49,7 +49,9 @@
 #include "graphgen/costs.h"
 #include "graphgen/random.h"
 #include "net/client.h"
+#include "net/remote_backend.h"
 #include "net/server.h"
+#include "service/query_backend.h"
 #include "service/service.h"
 #include "service/snapshot.h"
 #include "util/rng.h"
@@ -100,7 +102,9 @@ void reader_loop(const service::RouteService& svc, std::uint64_t seed,
 
 /// Remote-vs-local equivalence over the loopback: every request kind
 /// (including deliberately bad ones) through a real socket must match the
-/// in-process answer on every field but age_ns.
+/// in-process answer on every field but age_ns. Both sides run through the
+/// unified service::QueryBackend surface (its wire and in-process
+/// adapters), the same seam the replica chain tests compare across.
 bool loopback_check(service::RouteService& svc) {
   net::ServerConfig server_config;
   server_config.workers = 2;
@@ -111,11 +115,12 @@ bool loopback_check(service::RouteService& svc) {
   }
   net::ClientConfig client_config;
   client_config.port = server.port();
-  net::RouteClient client(client_config);
-  if (const auto err = client.connect(); !err.ok()) {
+  net::RemoteQueryBackend remote_backend(client_config);
+  if (const auto err = remote_backend.connect(); !err.ok()) {
     std::printf("loopback: connect failed: %s\n", err.message.c_str());
     return false;
   }
+  service::ServiceQueryBackend local_backend(svc);
 
   const NodeId n = static_cast<NodeId>(svc.node_count());
   std::vector<service::Request> batch;
@@ -135,20 +140,21 @@ bool loopback_check(service::RouteService& svc) {
   }
   batch.push_back({service::RequestKind::kCost, 0, n, 0});  // bad node
 
-  const auto remote = client.query(batch);
+  const auto remote = remote_backend.query_batch(batch);
   if (!remote.ok()) {
-    std::printf("loopback: query failed: %s\n", remote.error.message.c_str());
+    std::printf("loopback: query failed: %s\n", remote.error.c_str());
     return false;
   }
-  const auto local = svc.query(batch);
-  if (remote.replies.size() != local.size()) return false;
-  for (std::size_t q = 0; q < local.size(); ++q)
-    if (!service::same_answer(remote.replies[q], local[q])) {
+  const auto local = local_backend.query_batch(batch);
+  if (!local.ok() || remote.replies.size() != local.replies.size())
+    return false;
+  for (std::size_t q = 0; q < local.replies.size(); ++q)
+    if (!service::same_answer(remote.replies[q], local.replies[q])) {
       std::printf("loopback: answer %zu diverged\n", q);
       return false;
     }
   std::printf("loopback: %zu remote answers bit-identical to local query()\n",
-              local.size());
+              local.replies.size());
   return true;
 }
 

@@ -14,11 +14,14 @@
 #   BENCH_replica.json  — bench_replica (replication path: stream encode /
 #                         assemble, full bootstrap fetch vs dirty-shard
 #                         catch-up over loopback)
+#   BENCH_chain.json    — bench_chain (chained mesh: publish propagation to
+#                         the leaf and leaf-submitted forwarded writes at
+#                         depth 1-4)
 #
 # Each output is the merged JSON of its binaries, annotated with host
 # context (cores, compiler, commit). Usage:
 #
-#   scripts/bench_baseline.sh [scaling.json] [service.json] [publish.json] [replica.json]
+#   scripts/bench_baseline.sh [scaling.json] [service.json] [publish.json] [replica.json] [chain.json]
 #
 # Environment:
 #   BUILD_DIR       build tree holding the bench binaries (default: build)
@@ -31,9 +34,10 @@ SCALING_OUT=${1:-BENCH_scaling.json}
 SERVICE_OUT=${2:-BENCH_service.json}
 PUBLISH_OUT=${3:-BENCH_publish.json}
 REPLICA_OUT=${4:-BENCH_replica.json}
+CHAIN_OUT=${5:-BENCH_chain.json}
 FILTER=${BENCH_FILTER:-.}
 
-for bin in bench_scaling bench_parallel bench_service bench_publish bench_replica; do
+for bin in bench_scaling bench_parallel bench_service bench_publish bench_replica bench_chain; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -43,7 +47,7 @@ done
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
-for bin in bench_scaling bench_parallel bench_service bench_publish bench_replica; do
+for bin in bench_scaling bench_parallel bench_service bench_publish bench_replica bench_chain; do
   echo "== $bin" >&2
   "$BUILD_DIR/bench/$bin" \
     --benchmark_filter="$FILTER" \
@@ -87,3 +91,4 @@ merge "$SCALING_OUT" bench_scaling bench_parallel
 merge "$SERVICE_OUT" bench_service
 merge "$PUBLISH_OUT" bench_publish
 merge "$REPLICA_OUT" bench_replica
+merge "$CHAIN_OUT" bench_chain

@@ -42,10 +42,30 @@ class Backend {
     return false;
   }
 
-  /// Applies deltas; returns the number accepted. A backend that cannot
-  /// accept deltas (a replica) returns 0 — the server additionally gates
-  /// the frame type on ServerConfig::allow_deltas.
-  virtual std::size_t submit(
+  /// Chain depth the hello ack advertises: 0 on a primary, upstream's hop
+  /// + 1 on a replica.
+  virtual std::uint32_t hop_count() const { return 0; }
+
+  /// Outcome of a write. `publish_count` is the primary's publish clock
+  /// after the accepted deltas were applied and published — every
+  /// forwarding tier relays it unchanged, so the submitter can
+  /// wait_for_publish_beyond(publish_count - 1) at whatever depth it
+  /// queries and then read its own write.
+  struct SubmitOutcome {
+    enum class Status : std::uint8_t {
+      kOk = 0,
+      kReadOnly = 1,    ///< backend does not accept deltas
+      kOverloaded = 2,  ///< forwarding in-flight gate full; retry later
+      kUnavailable = 3  ///< no upstream reachable within the retry budget
+    };
+    Status status = Status::kOk;
+    std::uint64_t accepted = 0;
+    std::uint64_t publish_count = 0;
+  };
+
+  /// Applies (or forwards) deltas. The server additionally gates the
+  /// frame type on ServerConfig::allow_deltas.
+  virtual SubmitOutcome submit(
       const std::vector<service::RouteService::Delta>& deltas) = 0;
   /// Publish barrier; returns the served version afterwards.
   virtual std::uint64_t drain() = 0;
@@ -84,9 +104,16 @@ class ServiceBackend final : public Backend {
   service::RouteService::Counters counters() const override {
     return service_.counters();
   }
-  std::size_t submit(
+  /// Submit-then-drain: the ack must carry the post-publish clock, so the
+  /// write is published before the reply leaves. Local callers that want
+  /// to coalesce bursts keep using RouteService::submit directly.
+  SubmitOutcome submit(
       const std::vector<service::RouteService::Delta>& deltas) override {
-    return service_.submit(deltas);
+    SubmitOutcome outcome;
+    outcome.accepted = service_.submit(deltas);
+    if (outcome.accepted > 0) service_.drain();
+    outcome.publish_count = service_.publish_count();
+    return outcome;
   }
   std::uint64_t drain() override { return service_.drain(); }
   const service::ShardedSnapshotStore* store() const override {

@@ -189,6 +189,7 @@ ClientError RouteClient::handshake() {
   node_count_ = ack.node_count;
   snapshot_version_ = ack.snapshot_version;
   server_max_batch_ = ack.max_batch;
+  hop_count_ = ack.hop_count;
   return {};
 }
 
@@ -328,19 +329,23 @@ CountersResult RouteClient::counters() {
   return result;
 }
 
-U64Result RouteClient::submit_deltas(
+SubmitResult RouteClient::submit_deltas(
     std::span<const service::RouteService::Delta> deltas) {
-  U64Result result;
+  SubmitResult result;
   result.error = send_frame(FrameType::kDeltaSubmit, encode_deltas(deltas));
   if (!result.error.ok()) return result;
   std::string payload;
   result.error = receive_frame(FrameType::kDeltaAck, payload);
   if (!result.error.ok()) return result;
-  if (!decode_u64(payload, result.value)) {
+  DeltaAck ack;
+  if (!decode_delta_ack(payload, ack)) {
     close();
     result.error =
         make_error(ClientStatus::kProtocolError, "bad delta ack payload");
+    return result;
   }
+  result.accepted = ack.accepted;
+  result.publish_count = ack.publish_count;
   return result;
 }
 

@@ -84,6 +84,17 @@ struct U64Result {
   bool ok() const { return error.ok(); }
 };
 
+/// Write acknowledgment. `publish_count` is the primary's publish clock
+/// after the write published (relayed unchanged through forwarding
+/// replicas); wait_for_publish_beyond(publish_count - 1) against any tier
+/// then guarantees reading your own write.
+struct SubmitResult {
+  ClientError error;
+  std::uint64_t accepted = 0;
+  std::uint64_t publish_count = 0;
+  bool ok() const { return error.ok(); }
+};
+
 /// One kSnapshotFetch exchange: every kSnapshotChunk payload the server
 /// streamed, in arrival order (data chunks then the final chunk). The
 /// client validates framing only; reassembly and content validation are
@@ -119,6 +130,8 @@ class RouteClient {
   std::uint64_t server_node_count() const { return node_count_; }
   std::uint64_t server_snapshot_version() const { return snapshot_version_; }
   std::uint32_t server_max_batch() const { return server_max_batch_; }
+  /// Chain depth of the server's backend: 0 = primary, n = n hops from it.
+  std::uint32_t server_hop_count() const { return hop_count_; }
 
   /// One blocking request/reply exchange (send + receive).
   QueryResult query(std::span<const service::Request> batch);
@@ -131,8 +144,11 @@ class RouteClient {
   std::size_t outstanding() const { return outstanding_; }
 
   CountersResult counters();
-  /// Submits topology deltas; value = number the server accepted.
-  U64Result submit_deltas(std::span<const service::RouteService::Delta> deltas);
+  /// Submits topology deltas. A replica with forwarding enabled relays
+  /// them upstream; a rejection surfaces as kServerError with wire_status
+  /// kOverloaded (back-pressure) or kUpstreamDown (no upstream reachable).
+  SubmitResult submit_deltas(
+      std::span<const service::RouteService::Delta> deltas);
   /// Blocks until the server's updater has drained; value = served version.
   U64Result drain();
 
@@ -169,6 +185,7 @@ class RouteClient {
   std::uint64_t node_count_ = 0;
   std::uint64_t snapshot_version_ = 0;
   std::uint32_t server_max_batch_ = 0;
+  std::uint32_t hop_count_ = 0;
   std::size_t outstanding_ = 0;
   bool subscribed_ = false;
 };

@@ -1,0 +1,144 @@
+#include "net/remote_backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+namespace fpss::net {
+
+namespace {
+
+std::string describe(const ClientError& error) {
+  std::string out = to_string(error.status);
+  if (!error.message.empty()) {
+    out += ": ";
+    out += error.message;
+  }
+  return out;
+}
+
+}  // namespace
+
+RemoteQueryBackend::RemoteQueryBackend(ClientConfig config)
+    : config_(config), data_(config) {}
+
+RemoteQueryBackend::~RemoteQueryBackend() = default;
+
+ClientError RemoteQueryBackend::ensure_data() {
+  if (data_.connected()) return {};
+  return data_.connect();
+}
+
+ClientError RemoteQueryBackend::connect() { return ensure_data(); }
+
+service::QueryOutcome RemoteQueryBackend::query_batch(
+    std::span<const service::Request> batch) {
+  service::QueryOutcome outcome;
+  if (const auto err = ensure_data(); !err.ok()) {
+    outcome.error = describe(err);
+    return outcome;
+  }
+  auto result = data_.query(batch);
+  if (!result.ok()) {
+    outcome.error = describe(result.error);
+    return outcome;
+  }
+  outcome.replies = std::move(result.replies);
+  return outcome;
+}
+
+service::SubmitAck RemoteQueryBackend::submit_deltas(
+    std::span<const service::RouteService::Delta> deltas) {
+  service::SubmitAck ack;
+  last_submit_status_.reset();
+  if (const auto err = ensure_data(); !err.ok()) {
+    ack.error = describe(err);
+    return ack;
+  }
+  const auto result = data_.submit_deltas(deltas);
+  if (!result.ok()) {
+    ack.error = describe(result.error);
+    last_submit_status_ = result.error.wire_status;
+    return ack;
+  }
+  ack.accepted = result.accepted;
+  ack.publish_count = result.publish_count;
+  return ack;
+}
+
+service::CountersOutcome RemoteQueryBackend::counters() {
+  service::CountersOutcome outcome;
+  auto result = full_counters();
+  if (!result.ok()) {
+    outcome.error = describe(result.error);
+    return outcome;
+  }
+  outcome.counters = result.counters;
+  return outcome;
+}
+
+CountersResult RemoteQueryBackend::full_counters() {
+  if (const auto err = ensure_data(); !err.ok()) {
+    CountersResult result;
+    result.error = err;
+    return result;
+  }
+  return data_.counters();
+}
+
+U64Result RemoteQueryBackend::drain() {
+  if (const auto err = ensure_data(); !err.ok()) {
+    U64Result result;
+    result.error = err;
+    return result;
+  }
+  return data_.drain();
+}
+
+std::uint32_t RemoteQueryBackend::server_hop_count() const {
+  return data_.server_hop_count();
+}
+
+std::uint64_t RemoteQueryBackend::wait_for_publish_beyond(std::uint64_t count,
+                                                          int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (notify_ == nullptr || !notify_->connected()) {
+      notify_ = std::make_unique<RouteClient>(config_);
+      if (!notify_->connect().ok()) {
+        notify_.reset();
+        break;
+      }
+      // Subscribing from the last count we saw makes the ack report what
+      // was missed; the ack itself carries the current clock.
+      const auto sub = notify_->subscribe(notify_count_);
+      if (!sub.ok()) {
+        notify_.reset();
+        break;
+      }
+      if (sub.notify.publish_count > notify_count_)
+        notify_count_ = sub.notify.publish_count;
+    }
+    if (notify_count_ > count) break;
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (remaining.count() <= 0) break;
+    // Bounded slices keep the wait responsive to the deadline; a quiet
+    // slice returns kTimeout with the subscription intact.
+    const int wait_ms =
+        static_cast<int>(std::min<long long>(remaining.count(), 100));
+    const auto push = notify_->await_notify(wait_ms);
+    if (push.ok()) {
+      if (push.notify.publish_count > notify_count_)
+        notify_count_ = push.notify.publish_count;
+    } else if (push.error.status != ClientStatus::kTimeout) {
+      // Connection died; the loop re-dials (the deadline bounds retries —
+      // connect() itself fails fast when the server is gone).
+      notify_.reset();
+    }
+  }
+  return notify_count_;
+}
+
+}  // namespace fpss::net

@@ -332,6 +332,7 @@ bool RouteServer::serve_frame(int fd, const std::string& peer) {
       ack.node_count = backend_.node_count();
       ack.snapshot_version = backend_.version();
       ack.max_batch = config_.limits.max_batch;
+      ack.hop_count = backend_.hop_count();
       reply_frame = encode_frame(FrameType::kHelloAck, encode_hello_ack(ack));
       break;
     }
@@ -368,9 +369,24 @@ bool RouteServer::serve_frame(int fd, const std::string& peer) {
       const DeltasResult deltas =
           decode_deltas(payload, config_.limits.max_batch);
       if (!deltas.ok()) return send_error(fd, peer, deltas.status, deltas.error);
-      const std::size_t accepted = backend_.submit(deltas.deltas);
-      reply_frame =
-          encode_frame(FrameType::kDeltaAck, encode_u64(accepted));
+      const Backend::SubmitOutcome outcome = backend_.submit(deltas.deltas);
+      switch (outcome.status) {
+        case Backend::SubmitOutcome::Status::kOk:
+          break;
+        case Backend::SubmitOutcome::Status::kReadOnly:
+          return send_error(fd, peer, WireStatus::kBadFrameType,
+                            "delta submission disabled on this server");
+        case Backend::SubmitOutcome::Status::kOverloaded:
+          return send_error(fd, peer, WireStatus::kOverloaded,
+                            "forwarding queue full; retry later");
+        case Backend::SubmitOutcome::Status::kUnavailable:
+          return send_error(fd, peer, WireStatus::kUpstreamDown,
+                            "no upstream reachable; write not applied");
+      }
+      DeltaAck ack;
+      ack.accepted = outcome.accepted;
+      ack.publish_count = outcome.publish_count;
+      reply_frame = encode_frame(FrameType::kDeltaAck, encode_delta_ack(ack));
       break;
     }
     case FrameType::kDrain: {

@@ -132,6 +132,7 @@ std::string encode_hello_ack(const HelloAck& ack) {
   append_u64(out, ack.node_count);
   append_u64(out, ack.snapshot_version);
   append_u32(out, ack.max_batch);
+  append_u32(out, ack.hop_count);
   return out;
 }
 
@@ -141,6 +142,9 @@ bool decode_hello_ack(std::string_view payload, HelloAck& out) {
   out.node_count = in.u64();
   out.snapshot_version = in.u64();
   out.max_batch = in.u32();
+  // hop_count is a later addition: a payload ending after max_batch came
+  // from a pre-chaining encoder and decodes as hop 0 (a primary).
+  out.hop_count = in.remaining() > 0 ? in.u32() : 0;
   return !in.fail && in.pos == payload.size();
 }
 
@@ -170,6 +174,23 @@ std::string encode_u64(std::uint64_t value) {
 bool decode_u64(std::string_view payload, std::uint64_t& out) {
   BinReader in{payload};
   out = in.u64();
+  return !in.fail && in.pos == payload.size();
+}
+
+std::string encode_delta_ack(const DeltaAck& ack) {
+  std::string out;
+  append_u64(out, ack.accepted);
+  append_u64(out, ack.publish_count);
+  return out;
+}
+
+bool decode_delta_ack(std::string_view payload, DeltaAck& out) {
+  BinReader in{payload};
+  out.accepted = in.u64();
+  // publish_count is a later addition: a pre-ack encoder sent only the
+  // accepted count, which decodes with publish_count 0 (no read-your-write
+  // promise can be made from it).
+  out.publish_count = in.remaining() > 0 ? in.u64() : 0;
   return !in.fail && in.pos == payload.size();
 }
 
@@ -484,6 +505,11 @@ std::string encode_counters(const service::RouteService::Counters& counters,
     append_u64(out, replica->notifies_coalesced);
     append_u64(out, replica->resyncs);
     append_u64(out, replica->sync_lag_ns);
+    append_u64(out, replica->hop_count);
+    append_u64(out, replica->upstream_disconnects);
+    append_u64(out, replica->deltas_forwarded);
+    append_u64(out, replica->forward_retries);
+    append_u64(out, replica->forward_rejected);
   }
   return out;
 }
@@ -554,6 +580,17 @@ bool decode_counters(std::string_view payload, CountersFrame& out) {
   out.replica.notifies_coalesced = in.u64();
   out.replica.resyncs = in.u64();
   out.replica.sync_lag_ns = in.u64();
+  if (in.fail) return false;
+  // The chain/forwarding fields are a later addition: a payload that ends
+  // after sync_lag_ns came from a pre-chaining encoder and decodes with
+  // all five zero.
+  if (in.remaining() > 0) {
+    out.replica.hop_count = in.u64();
+    out.replica.upstream_disconnects = in.u64();
+    out.replica.deltas_forwarded = in.u64();
+    out.replica.forward_retries = in.u64();
+    out.replica.forward_rejected = in.u64();
+  }
   if (in.fail || in.pos != payload.size()) return false;
   out.has_replica = true;
   return true;

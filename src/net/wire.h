@@ -72,6 +72,13 @@ enum class WireStatus : std::uint8_t {
   kUnsupportedVersion = 3,  ///< header version != kWireVersion
   kBadFrameType = 4,        ///< unknown or out-of-sequence frame type
   kShuttingDown = 5,        ///< server is draining; retry elsewhere/later
+  /// The forwarding queue is full (a replica's bounded in-flight write
+  /// path): the write was NOT applied; back off and retry.
+  kOverloaded = 6,
+  /// A forwarding replica could not reach any upstream within its retry
+  /// budget: the write was NOT applied; the replica still serves reads
+  /// from its last consistent cut.
+  kUpstreamDown = 7,
 };
 
 /// Size/batch bounds both ends enforce. The server rejects (without
@@ -122,6 +129,10 @@ struct HelloAck {
   std::uint64_t node_count = 0;
   std::uint64_t snapshot_version = 0;
   std::uint32_t max_batch = 0;  ///< server's request-batch capacity
+  /// Chain depth of the answering backend: 0 on a primary, upstream's
+  /// hop + 1 on a replica. Appended in PR 9; a pre-chaining encoder's
+  /// shorter payload decodes with hop_count = 0.
+  std::uint32_t hop_count = 0;
 };
 
 struct ErrorFrame {
@@ -136,9 +147,24 @@ bool decode_hello_ack(std::string_view payload, HelloAck& out);
 std::string encode_error(const ErrorFrame& error);
 bool decode_error(std::string_view payload, ErrorFrame& out);
 
-/// kDeltaAck / kDrainReply carry one u64 (accepted count / version).
+/// kDrainReply carries one u64 (the served version).
 std::string encode_u64(std::uint64_t value);
 bool decode_u64(std::string_view payload, std::uint64_t& out);
+
+/// kDeltaAck: the write acknowledgment. `publish_count` is the accepting
+/// backend's publish clock *after* the write was applied and published —
+/// on a forwarding chain every tier relays the primary's post-drain count
+/// unchanged, so a caller at any depth can wait_for_publish_beyond
+/// (publish_count - 1) against its local replica and then read its own
+/// write. A pre-ack encoder sent only the accepted count; that 8-byte
+/// payload decodes with publish_count = 0 (no read-your-write guarantee).
+struct DeltaAck {
+  std::uint64_t accepted = 0;
+  std::uint64_t publish_count = 0;
+};
+
+std::string encode_delta_ack(const DeltaAck& ack);
+bool decode_delta_ack(std::string_view payload, DeltaAck& out);
 
 // --- data payloads ---------------------------------------------------------
 
@@ -257,7 +283,18 @@ struct ReplicaCounters {
   std::uint64_t notifies_coalesced = 0;
   std::uint64_t resyncs = 0;        ///< upstream reconnects after a loss
   /// Gauge: at the last sync, now - the adopted snapshot's publish stamp.
+  /// The stamp is the *primary's* publish time, so on a chain each tier's
+  /// lag already compounds every upstream hop's lag.
   std::uint64_t sync_lag_ns = 0;
+  // Chain / forwarding fields (PR 9; appended on the wire, a shorter
+  // pre-chaining payload decodes with all five zero).
+  std::uint64_t hop_count = 0;  ///< chain depth (1 = directly on the primary)
+  /// Established upstream sessions lost (the degraded-to-last-cut events).
+  std::uint64_t upstream_disconnects = 0;
+  std::uint64_t deltas_forwarded = 0;  ///< deltas relayed upstream, accepted
+  std::uint64_t forward_retries = 0;   ///< forwarding attempts that failed
+  /// Writes rejected locally by the bounded in-flight gate (kOverloaded).
+  std::uint64_t forward_rejected = 0;
 };
 
 /// What a kCountersReply carries: the service's counters plus the serving

@@ -53,9 +53,10 @@ const RouteSnapshot& data_snapshot(const ShardedSnapshotStore::View& view,
 }  // namespace
 
 ReplicaService::ReplicaService(ReplicaConfig config)
-    : config_(std::move(config)),
-      fetch_(config_.upstream),
-      notify_(config_.upstream) {
+    : config_(std::move(config)) {
+  upstreams_ = config_.upstreams.empty()
+                   ? std::vector<net::ClientConfig>{config_.upstream}
+                   : config_.upstreams;
   if (!config_.checkpoint_directory.empty()) {
     const service::CheckpointLoadResult loaded =
         service::load_checkpoint(config_.checkpoint_directory);
@@ -69,7 +70,7 @@ ReplicaService::ReplicaService(ReplicaConfig config)
       std::lock_guard<std::mutex> lock(store_mutex_);
       store_ = std::move(warm);
       adopt_donor_ = loaded.snapshot;
-      ++publishes_;
+      ++installs_;
     }
   }
   sync_ = std::thread([this] { sync_loop(); });
@@ -82,8 +83,23 @@ void ReplicaService::stop() {
   stopped_ = true;
   stop_.store(true, std::memory_order_relaxed);
   if (sync_.joinable()) sync_.join();
-  fetch_.close();
-  notify_.close();
+  fetch_.reset();
+  notify_.reset();
+  std::lock_guard<std::mutex> lock(forward_mutex_);
+  forward_.reset();
+}
+
+// --- shared reconnect state machine -----------------------------------------
+
+std::size_t ReplicaService::current_upstream_index() const {
+  std::lock_guard<std::mutex> lock(upstream_mutex_);
+  return upstream_index_;
+}
+
+void ReplicaService::note_upstream_failure(std::size_t index) {
+  std::lock_guard<std::mutex> lock(upstream_mutex_);
+  if (index == upstream_index_)
+    upstream_index_ = (upstream_index_ + 1) % upstreams_.size();
 }
 
 // --- sync loop --------------------------------------------------------------
@@ -92,34 +108,43 @@ void ReplicaService::sync_loop() {
   std::uint64_t last_server_count = 0;
   bool ever_synced = false;
   while (!stop_.load(std::memory_order_relaxed)) {
+    // Dial whichever upstream the shared cursor points at; every failure
+    // below advances it (round-robin over the fallback list) and backs
+    // off, so a dead primary degrades this tier to its last cut while the
+    // loop hunts for a live upstream.
+    const std::size_t target = current_upstream_index();
+    const auto fail_over = [&](bool established) {
+      if (established) {
+        resyncs_.fetch_add(1, std::memory_order_relaxed);
+        upstream_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      }
+      fetch_.reset();
+      notify_.reset();
+      note_upstream_failure(target);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.resync_backoff_ms));
+    };
+    fetch_ = std::make_unique<net::RouteClient>(upstreams_[target]);
+    notify_ = std::make_unique<net::RouteClient>(upstreams_[target]);
     // (Re)establish both channels. Subscribe *before* the catch-up fetch:
     // any publish that lands after the fetch is then covered by a pending
     // notify, so there is no window a version can slip through unseen.
-    if (!notify_.connect().ok() || !fetch_.connect().ok()) {
-      fetch_.close();
-      notify_.close();
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(config_.resync_backoff_ms));
+    if (!notify_->connect().ok() || !fetch_->connect().ok()) {
+      fail_over(false);
       continue;
     }
-    const net::NotifyResult sub = notify_.subscribe(last_server_count);
+    hop_.store(notify_->server_hop_count() + 1, std::memory_order_relaxed);
+    const net::NotifyResult sub = notify_->subscribe(last_server_count);
     if (!sub.ok()) {
-      fetch_.close();
-      notify_.close();
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(config_.resync_backoff_ms));
+      fail_over(false);
       continue;
     }
     notifies_received_.fetch_add(1, std::memory_order_relaxed);
     notifies_coalesced_.fetch_add(sub.notify.coalesced,
                                   std::memory_order_relaxed);
     last_server_count = sub.notify.publish_count;
-    if (!sync_once()) {
-      if (ever_synced) resyncs_.fetch_add(1, std::memory_order_relaxed);
-      fetch_.close();
-      notify_.close();
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(config_.resync_backoff_ms));
+    if (!sync_once(last_server_count)) {
+      fail_over(ever_synced);
       continue;
     }
     ever_synced = true;
@@ -129,7 +154,7 @@ void ReplicaService::sync_loop() {
     // stop flag.
     while (!stop_.load(std::memory_order_relaxed)) {
       const net::NotifyResult pushed =
-          notify_.await_notify(config_.notify_wait_ms);
+          notify_->await_notify(config_.notify_wait_ms);
       if (pushed.error.status == net::ClientStatus::kTimeout) continue;
       if (!pushed.ok()) break;  // connection lost; resync
       notifies_received_.fetch_add(1, std::memory_order_relaxed);
@@ -137,18 +162,14 @@ void ReplicaService::sync_loop() {
                                     std::memory_order_relaxed);
       last_server_count =
           std::max(last_server_count, pushed.notify.publish_count);
-      if (!sync_once()) break;
+      if (!sync_once(last_server_count)) break;
     }
     if (stop_.load(std::memory_order_relaxed)) return;
-    resyncs_.fetch_add(1, std::memory_order_relaxed);
-    fetch_.close();
-    notify_.close();
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(config_.resync_backoff_ms));
+    fail_over(true);
   }
 }
 
-bool ReplicaService::sync_once() {
+bool ReplicaService::sync_once(std::uint64_t server_count) {
   std::vector<std::uint64_t> known;
   std::shared_ptr<ShardedSnapshotStore> store;
   std::shared_ptr<const RouteSnapshot> adopt;
@@ -161,7 +182,7 @@ bool ReplicaService::sync_once() {
   const std::shared_ptr<const RouteSnapshot> base =
       store == nullptr ? nullptr : store->newest();
 
-  const net::SnapshotFetchResult fetched = fetch_.fetch_snapshot(known);
+  const net::SnapshotFetchResult fetched = fetch_->fetch_snapshot(known);
   if (!fetched.ok()) return false;
   chunks_fetched_.fetch_add(fetched.chunks.size(), std::memory_order_relaxed);
   bytes_fetched_.fetch_add(fetched.bytes, std::memory_order_relaxed);
@@ -187,7 +208,7 @@ bool ReplicaService::sync_once() {
   } else {
     full_syncs_.fetch_add(1, std::memory_order_relaxed);
   }
-  install(result);
+  install(result, server_count);
   sync_lag_ns_.store(util::age_from(result.snapshot->published_at_ns(),
                                     util::wall_clock_ns()),
                      std::memory_order_relaxed);
@@ -195,9 +216,19 @@ bool ReplicaService::sync_once() {
 }
 
 void ReplicaService::install(
-    const ReplicationCodec::Assembler::Result& result) {
+    const ReplicationCodec::Assembler::Result& result,
+    std::uint64_t server_count) {
   const std::shared_ptr<const RouteSnapshot>& snap = result.snapshot;
   std::lock_guard<std::mutex> lock(store_mutex_);
+  // Raise the chain-wide clock in the same critical section that makes
+  // the synced state readable: a waiter woken by this install must not
+  // be able to read a publish_count() older than what it sees served.
+  // (Notified here, not only at the end — the nothing-moved branch below
+  // returns early but clock waiters still need the wake-up.)
+  if (server_count > synced_publish_count_) {
+    synced_publish_count_ = server_count;
+    ready_cv_.notify_all();
+  }
   const bool rebuild =
       store_ == nullptr ||
       store_->shard_count() != result.shard_count ||
@@ -235,7 +266,7 @@ void ReplicaService::install(
     store_->fence_end(snap);
   }
   synced_versions_ = result.shard_versions;
-  ++publishes_;
+  ++installs_;
   ready_cv_.notify_all();
 }
 
@@ -260,8 +291,8 @@ std::uint64_t ReplicaService::wait_for_publish_beyond(std::uint64_t count,
                                                       int timeout_ms) const {
   std::unique_lock<std::mutex> lock(store_mutex_);
   ready_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                     [&] { return publishes_ > count; });
-  return publishes_;
+                     [&] { return synced_publish_count_ > count; });
+  return synced_publish_count_;
 }
 
 // --- read side --------------------------------------------------------------
@@ -287,7 +318,7 @@ std::uint64_t ReplicaService::published_at_ns() const {
 
 std::uint64_t ReplicaService::publish_count() const {
   std::lock_guard<std::mutex> lock(store_mutex_);
-  return publishes_;
+  return synced_publish_count_;
 }
 
 std::vector<service::Reply> ReplicaService::query(
@@ -339,7 +370,12 @@ service::RouteService::Counters ReplicaService::counters() const {
   c.total_ns = total_ns_.load(std::memory_order_relaxed);
   c.max_batch_ns = max_batch_ns_.load(std::memory_order_relaxed);
   c.max_staleness_ns = max_staleness_ns_.load(std::memory_order_relaxed);
-  c.publishes = publish_count();
+  {
+    // Local installs, not the chain-wide clock: "how many times did this
+    // tier's store move" is the serving-health question counters answer.
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    c.publishes = installs_;
+  }
   return c;
 }
 
@@ -355,12 +391,84 @@ net::ReplicaCounters ReplicaService::replication_counters() const {
   c.notifies_coalesced = notifies_coalesced_.load(std::memory_order_relaxed);
   c.resyncs = resyncs_.load(std::memory_order_relaxed);
   c.sync_lag_ns = sync_lag_ns_.load(std::memory_order_relaxed);
+  c.hop_count = hop_.load(std::memory_order_relaxed);
+  c.upstream_disconnects =
+      upstream_disconnects_.load(std::memory_order_relaxed);
+  c.deltas_forwarded = deltas_forwarded_.load(std::memory_order_relaxed);
+  c.forward_retries = forward_retries_.load(std::memory_order_relaxed);
+  c.forward_rejected = forward_rejected_.load(std::memory_order_relaxed);
   return c;
 }
 
-std::size_t ReplicaService::submit(
-    const std::vector<service::RouteService::Delta>& /*deltas*/) {
-  return 0;  // read-only by construction
+net::Backend::SubmitOutcome ReplicaService::submit(
+    const std::vector<service::RouteService::Delta>& deltas) {
+  SubmitOutcome outcome;
+  if (!config_.forward_deltas) {
+    outcome.status = SubmitOutcome::Status::kReadOnly;
+    return outcome;
+  }
+  if (deltas.empty()) {
+    outcome.publish_count = publish_count();
+    return outcome;
+  }
+  // The in-flight gate counts every writer on the path (waiting on
+  // forward_mutex_ included) and rejects the excess before it blocks —
+  // back-pressure is a fast typed refusal, not a growing queue.
+  if (forward_inflight_.fetch_add(1, std::memory_order_acq_rel) >=
+      config_.forward_inflight_limit) {
+    forward_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    forward_rejected_.fetch_add(1, std::memory_order_relaxed);
+    outcome.status = SubmitOutcome::Status::kOverloaded;
+    return outcome;
+  }
+
+  outcome.status = SubmitOutcome::Status::kUnavailable;
+  std::lock_guard<std::mutex> lock(forward_mutex_);
+  const unsigned attempts = std::max(1u, config_.forward_attempts);
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    if (stop_.load(std::memory_order_relaxed)) break;
+    if (attempt > 0) {
+      const int backoff = std::min(
+          1000, config_.forward_backoff_ms << std::min(attempt - 1, 10u));
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    // Follow the shared cursor: a failover observed by the sync loop (or a
+    // previous write) redirects this connection too.
+    const std::size_t target = current_upstream_index();
+    if (forward_ == nullptr || !forward_->connected() ||
+        forward_upstream_index_ != target) {
+      forward_ = std::make_unique<net::RouteClient>(upstreams_[target]);
+      forward_upstream_index_ = target;
+      if (!forward_->connect().ok()) {
+        forward_.reset();
+        note_upstream_failure(target);
+        forward_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    const net::SubmitResult relayed = forward_->submit_deltas(deltas);
+    if (relayed.ok()) {
+      deltas_forwarded_.fetch_add(relayed.accepted,
+                                  std::memory_order_relaxed);
+      outcome.status = SubmitOutcome::Status::kOk;
+      outcome.accepted = relayed.accepted;
+      outcome.publish_count = relayed.publish_count;
+      break;
+    }
+    if (relayed.error.status == net::ClientStatus::kServerError &&
+        relayed.error.wire_status == net::WireStatus::kOverloaded) {
+      // Upstream back-pressure: retrying immediately would pile on; hand
+      // the typed refusal straight back to the writer instead.
+      outcome.status = SubmitOutcome::Status::kOverloaded;
+      forward_.reset();  // the server closed the connection after kError
+      break;
+    }
+    forward_.reset();
+    note_upstream_failure(target);
+    forward_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  forward_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  return outcome;
 }
 
 std::uint64_t ReplicaService::drain() { return version(); }
@@ -374,6 +482,49 @@ const service::ShardedSnapshotStore* ReplicaService::store() const {
   // any in-flight view.
   std::lock_guard<std::mutex> lock(store_mutex_);
   return store_.get();
+}
+
+// --- ReplicaQueryBackend ----------------------------------------------------
+
+service::QueryOutcome ReplicaQueryBackend::query_batch(
+    std::span<const service::Request> batch) {
+  service::QueryOutcome outcome;
+  outcome.replies = replica_.query(batch);
+  return outcome;
+}
+
+service::SubmitAck ReplicaQueryBackend::submit_deltas(
+    std::span<const service::RouteService::Delta> deltas) {
+  service::SubmitAck ack;
+  const auto outcome = replica_.submit(std::vector<service::RouteService::Delta>(
+      deltas.begin(), deltas.end()));
+  switch (outcome.status) {
+    case net::Backend::SubmitOutcome::Status::kOk:
+      ack.accepted = outcome.accepted;
+      ack.publish_count = outcome.publish_count;
+      break;
+    case net::Backend::SubmitOutcome::Status::kReadOnly:
+      ack.error = "replica is read-only (forwarding disabled)";
+      break;
+    case net::Backend::SubmitOutcome::Status::kOverloaded:
+      ack.error = "forwarding queue full; retry later";
+      break;
+    case net::Backend::SubmitOutcome::Status::kUnavailable:
+      ack.error = "no upstream reachable; write not applied";
+      break;
+  }
+  return ack;
+}
+
+service::CountersOutcome ReplicaQueryBackend::counters() {
+  service::CountersOutcome outcome;
+  outcome.counters = replica_.counters();
+  return outcome;
+}
+
+std::uint64_t ReplicaQueryBackend::wait_for_publish_beyond(
+    std::uint64_t count, int timeout_ms) {
+  return replica_.wait_for_publish_beyond(count, timeout_ms);
 }
 
 }  // namespace fpss::replica

@@ -1,12 +1,16 @@
-// replica::ReplicaService: a read-only serving node whose snapshots
-// arrive over fpss-wire instead of from a local pricing session.
+// replica::ReplicaService: a serving node whose snapshots arrive over
+// fpss-wire instead of from a local pricing session — and whose writes
+// are forwarded back up the same wire.
 //
-// A replica owns two upstream connections and one background sync thread:
+// A replica owns three upstream connections and one background sync
+// thread:
 //
-//   fetch channel  ──► kSnapshotFetch(known shard versions)
-//                      ◄── kSnapshotChunk* (dirty shards + final chunk)
-//   notify channel ──► kSubscribe(last publish count)
-//                      ◄── kPublishNotify pushes (coalesced under bursts)
+//   fetch channel   ──► kSnapshotFetch(known shard versions)
+//                       ◄── kSnapshotChunk* (dirty shards + final chunk)
+//   notify channel  ──► kSubscribe(last publish count)
+//                       ◄── kPublishNotify pushes (coalesced under bursts)
+//   forward channel ──► kDeltaSubmit (writes relayed toward the primary)
+//                       ◄── kDeltaAck (accepted + primary publish clock)
 //
 // The sync loop bootstraps with a full fetch (every shard), subscribes,
 // and thereafter fetches only on a push — no polling. Each catch-up sends
@@ -29,6 +33,21 @@
 // is served immediately (before the upstream is even reachable) and then
 // used as a digest-adoption donor — wire blocks whose content matches the
 // local image are dropped in favor of the already-resident ones.
+//
+// Writes (PR 9): with forwarding enabled, kDeltaSubmit at any tier relays
+// upstream over a dedicated forwarding connection until it reaches the
+// primary, whose ack (accepted count + post-publish clock) rides back down
+// unchanged. The forwarding path is bounded on every axis: a concurrent
+// in-flight gate rejects excess writers with kOverloaded before they
+// queue, and a retry budget with exponential backoff bounds how long one
+// write can chase a dead upstream before kUnavailable.
+//
+// Failover: the sync loop and the forwarder share one upstream cursor over
+// the configured fallback list. Whichever side observes a failure advances
+// the cursor (round-robin, only if it still points at the failed entry, so
+// two observers of one death advance once); the other side follows on its
+// next (re)connect. While no upstream is reachable the replica keeps
+// serving its last consistent cut — degraded, never torn.
 #pragma once
 
 #include <atomic>
@@ -44,6 +63,7 @@
 #include "net/backend.h"
 #include "net/client.h"
 #include "service/protocol.h"
+#include "service/query_backend.h"
 #include "service/replication.h"
 #include "service/store.h"
 
@@ -52,6 +72,10 @@ namespace fpss::replica {
 struct ReplicaConfig {
   /// Where the primary (or upstream replica) listens.
   net::ClientConfig upstream;
+  /// Fallback list: when non-empty it replaces `upstream` entirely and the
+  /// replica fails over through it round-robin (sync and forwarding share
+  /// the cursor). Order is preference order; entry 0 is tried first.
+  std::vector<net::ClientConfig> upstreams;
   /// Warm-start checkpoint directory (see service::CheckpointPolicy).
   /// Empty disables the warm bootstrap.
   std::string checkpoint_directory;
@@ -61,6 +85,20 @@ struct ReplicaConfig {
   int notify_wait_ms = 200;
   /// Backoff between reconnect attempts after the upstream drops.
   int resync_backoff_ms = 100;
+  /// Relay kDeltaSubmit to the upstream (false = read-only tier: submit
+  /// reports kReadOnly and the fronting server should also set
+  /// ServerConfig::allow_deltas = false).
+  bool forward_deltas = true;
+  /// Forwarding retry budget: total attempts across the fallback list
+  /// before a write fails kUnavailable (1 = no retry).
+  unsigned forward_attempts = 3;
+  /// Backoff before forwarding attempt k is forward_backoff_ms << (k-1),
+  /// capped at 1s.
+  int forward_backoff_ms = 50;
+  /// Writers allowed on the forwarding path at once (waiting included);
+  /// the excess is rejected kOverloaded without blocking. 0 rejects every
+  /// write — the deterministic back-pressure configuration.
+  std::size_t forward_inflight_limit = 16;
 };
 
 class ReplicaService final : public net::Backend {
@@ -95,6 +133,10 @@ class ReplicaService final : public net::Backend {
   std::size_t node_count() const override;
   std::uint64_t version() const override;
   std::uint64_t published_at_ns() const override;
+  /// The chain-wide publish clock: the *upstream's* publish count as of
+  /// this replica's last completed sync (not a local install tally). Every
+  /// tier reports the same clock the primary advances, which is what makes
+  /// a primary ack's publish count meaningful at any depth.
   std::uint64_t publish_count() const override;
   std::vector<service::Reply> query(
       std::span<const service::Request> batch) const override;
@@ -103,9 +145,12 @@ class ReplicaService final : public net::Backend {
     out = replication_counters();
     return true;
   }
-  /// Replicas are read-only: deltas are never accepted (the fronting
-  /// server should also set ServerConfig::allow_deltas = false).
-  std::size_t submit(
+  std::uint32_t hop_count() const override {
+    return hop_.load(std::memory_order_relaxed);
+  }
+  /// Forwards the deltas upstream (see the file comment); kReadOnly when
+  /// forwarding is disabled.
+  SubmitOutcome submit(
       const std::vector<service::RouteService::Delta>& deltas) override;
   /// No local updater to drain; returns the served version.
   std::uint64_t drain() override;
@@ -117,16 +162,28 @@ class ReplicaService final : public net::Backend {
 
  private:
   /// One sync: fetch (full or dirty-only), reassemble, publish under a
-  /// fence. Returns false when the connection failed or the stream was
-  /// torn (triggers a resync; nothing partial is ever published).
-  bool sync_once();
+  /// fence. `server_count` is the upstream publish count this sync covers
+  /// (the notify that caused it); the chain-wide clock is raised to it
+  /// atomically with the install. Returns false when the connection
+  /// failed or the stream was torn (triggers a resync; nothing partial is
+  /// ever published).
+  bool sync_once(std::uint64_t server_count);
   void sync_loop();
   /// Publishes an assembled snapshot into the store (fence for a shard
-  /// catch-up, a fresh store for a bootstrap or layout change).
-  void install(const service::ReplicationCodec::Assembler::Result& result);
+  /// catch-up, a fresh store for a bootstrap or layout change) and raises
+  /// the chain-wide clock to `server_count` under the same lock.
+  void install(const service::ReplicationCodec::Assembler::Result& result,
+               std::uint64_t server_count);
   void count_batch(std::uint64_t queries, std::uint64_t ns) const;
 
+  // Shared reconnect state machine (sync loop + forwarder).
+  std::size_t current_upstream_index() const;
+  /// Advances the cursor iff `index` is still current — the loser of a
+  /// double report is a no-op, so one upstream death advances once.
+  void note_upstream_failure(std::size_t index);
+
   ReplicaConfig config_;
+  std::vector<net::ClientConfig> upstreams_;  ///< resolved fallback list
 
   /// The served store plus the negotiation state from the last final
   /// chunk. The store pointer itself is swapped on layout changes, so
@@ -138,11 +195,29 @@ class ReplicaService final : public net::Backend {
   std::shared_ptr<const service::RouteSnapshot> adopt_donor_;
 
   mutable std::condition_variable ready_cv_;  ///< store_mutex_; publishes
-  std::uint64_t publishes_ = 0;  ///< replica-local publish tally (store_mutex_)
+  std::uint64_t installs_ = 0;  ///< replica-local install tally (store_mutex_)
+  /// Upstream publish count at the last completed sync (store_mutex_) —
+  /// what publish_count()/wait_for_publish_beyond report.
+  std::uint64_t synced_publish_count_ = 0;
 
-  // Upstream connections: sync-thread-only.
-  net::RouteClient fetch_;
-  net::RouteClient notify_;
+  // Shared reconnect cursor into upstreams_.
+  mutable std::mutex upstream_mutex_;
+  std::size_t upstream_index_ = 0;
+
+  // Upstream connections: sync-thread-only, re-created per failover cycle.
+  std::unique_ptr<net::RouteClient> fetch_;
+  std::unique_ptr<net::RouteClient> notify_;
+
+  // Forwarding path: forward_mutex_ serializes the relay; the in-flight
+  // gate counts waiters + the holder and rejects the excess unblocked.
+  std::mutex forward_mutex_;
+  std::unique_ptr<net::RouteClient> forward_;
+  std::size_t forward_upstream_index_ = 0;  ///< forward_mutex_
+  std::atomic<std::size_t> forward_inflight_{0};
+
+  /// Chain depth: upstream's advertised hop + 1 once connected; a replica
+  /// is at least one hop from a primary, so 1 before the first handshake.
+  std::atomic<std::uint32_t> hop_{1};
 
   std::atomic<bool> stop_{false};
   bool stopped_ = false;  ///< stop() completed (caller thread only)
@@ -164,8 +239,34 @@ class ReplicaService final : public net::Backend {
   std::atomic<std::uint64_t> notifies_coalesced_{0};
   std::atomic<std::uint64_t> resyncs_{0};
   std::atomic<std::uint64_t> sync_lag_ns_{0};
+  /// Established (subscribed) upstream sessions lost — the events where
+  /// the replica degrades to its last cut until a reconnect succeeds.
+  std::atomic<std::uint64_t> upstream_disconnects_{0};
+  // Forwarding counters (any server worker writes).
+  std::atomic<std::uint64_t> deltas_forwarded_{0};
+  std::atomic<std::uint64_t> forward_retries_{0};
+  std::atomic<std::uint64_t> forward_rejected_{0};
 
   std::thread sync_;  ///< last member: joined before state tears down
+};
+
+/// The replica adapter for the unified query/write surface: reads answer
+/// locally, writes relay through the replica's forwarding path, and the
+/// publish-beyond wait runs against the chain-wide clock.
+class ReplicaQueryBackend final : public service::QueryBackend {
+ public:
+  explicit ReplicaQueryBackend(ReplicaService& replica) : replica_(replica) {}
+
+  service::QueryOutcome query_batch(
+      std::span<const service::Request> batch) override;
+  service::SubmitAck submit_deltas(
+      std::span<const service::RouteService::Delta> deltas) override;
+  service::CountersOutcome counters() override;
+  std::uint64_t wait_for_publish_beyond(std::uint64_t count,
+                                        int timeout_ms) override;
+
+ private:
+  ReplicaService& replica_;
 };
 
 }  // namespace fpss::replica

@@ -44,9 +44,6 @@ enum class Status : std::uint8_t {
 
 /// One element of a batched read. Identical for local and remote callers.
 struct Request {
-  /// Deprecated spelling kept for RouteService::Query::Kind callers.
-  using Kind = RequestKind;
-
   RequestKind kind = RequestKind::kCost;
   NodeId k = kInvalidNode;  ///< transit node (kPrice/kPayment)
   NodeId i = kInvalidNode;

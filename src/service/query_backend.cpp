@@ -1,0 +1,33 @@
+#include "service/query_backend.h"
+
+namespace fpss::service {
+
+QueryOutcome ServiceQueryBackend::query_batch(
+    std::span<const Request> batch) {
+  QueryOutcome outcome;
+  outcome.replies = service_.query(batch);
+  return outcome;
+}
+
+SubmitAck ServiceQueryBackend::submit_deltas(
+    std::span<const RouteService::Delta> deltas) {
+  SubmitAck ack;
+  ack.accepted = service_.submit(
+      std::vector<RouteService::Delta>(deltas.begin(), deltas.end()));
+  if (ack.accepted > 0) service_.drain();
+  ack.publish_count = service_.publish_count();
+  return ack;
+}
+
+CountersOutcome ServiceQueryBackend::counters() {
+  CountersOutcome outcome;
+  outcome.counters = service_.counters();
+  return outcome;
+}
+
+std::uint64_t ServiceQueryBackend::wait_for_publish_beyond(
+    std::uint64_t count, int timeout_ms) {
+  return service_.wait_for_publish_beyond(count, timeout_ms);
+}
+
+}  // namespace fpss::service

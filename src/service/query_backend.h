@@ -1,0 +1,94 @@
+// service::QueryBackend: one call surface for every way to reach routes.
+//
+// The repo grew three near-duplicate client surfaces: an in-process
+// RouteService, a replica::ReplicaService mirroring one over the wire,
+// and a net::RouteClient talking to either's daemon. Tools and e2e
+// checks (route_query, the example self-tests, the chain tests) want to
+// be written once and pointed at any of the three. QueryBackend is that
+// seam: queries, writes with the publish-clock acknowledgment, counters,
+// and the read-your-write wait, each reporting failure as a value (an
+// in-process backend simply never fails).
+//
+// Adapters: ServiceQueryBackend (here, over RouteService),
+// net::RemoteQueryBackend (over a RouteClient connection), and
+// replica::ReplicaQueryBackend (over a ReplicaService). They live with
+// their wrapped types because the library layering is service -> net ->
+// replica and the interface must sit at the bottom.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+
+namespace fpss::service {
+
+/// A failed outcome carries a non-empty `error`; everything else is
+/// meaningful only when `error` is empty.
+struct QueryOutcome {
+  std::string error;
+  std::vector<Reply> replies;
+  bool ok() const { return error.empty(); }
+};
+
+/// Write acknowledgment. `publish_count` is the primary's publish clock
+/// after the write published — wait_for_publish_beyond(publish_count - 1)
+/// against the same backend then observes the write, even when the
+/// backend is a forwarding replica several hops below the primary.
+struct SubmitAck {
+  std::string error;
+  std::uint64_t accepted = 0;
+  std::uint64_t publish_count = 0;
+  bool ok() const { return error.empty(); }
+};
+
+struct CountersOutcome {
+  std::string error;
+  RouteService::Counters counters;
+  bool ok() const { return error.empty(); }
+};
+
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+
+  virtual QueryOutcome query_batch(std::span<const Request> batch) = 0;
+  /// Applies (or forwards) deltas and publishes before acknowledging.
+  virtual SubmitAck submit_deltas(
+      std::span<const RouteService::Delta> deltas) = 0;
+  virtual CountersOutcome counters() = 0;
+  /// Blocks until the backend's publish clock exceeds `count` or the
+  /// timeout elapses; returns the clock at return.
+  virtual std::uint64_t wait_for_publish_beyond(std::uint64_t count,
+                                                int timeout_ms) = 0;
+
+  /// Conveniences over the virtuals.
+  QueryOutcome query_one(const Request& request) {
+    return query_batch({&request, 1});
+  }
+  SubmitAck submit_delta(const RouteService::Delta& delta) {
+    return submit_deltas({&delta, 1});
+  }
+};
+
+/// The in-process adapter: a RouteService behind the QueryBackend seam.
+/// Writes drain before acknowledging so the ack's publish count is
+/// post-publish, matching the wire contract.
+class ServiceQueryBackend final : public QueryBackend {
+ public:
+  explicit ServiceQueryBackend(RouteService& service) : service_(service) {}
+
+  QueryOutcome query_batch(std::span<const Request> batch) override;
+  SubmitAck submit_deltas(
+      std::span<const RouteService::Delta> deltas) override;
+  CountersOutcome counters() override;
+  std::uint64_t wait_for_publish_beyond(std::uint64_t count,
+                                        int timeout_ms) override;
+
+ private:
+  RouteService& service_;
+};
+
+}  // namespace fpss::service

@@ -122,11 +122,6 @@ class RouteService {
     static Delta republish() { return {}; }
   };
 
-  /// Deprecated spellings of the wire-stable protocol types (protocol.h).
-  /// New code names service::Request/service::Reply directly.
-  using Query = service::Request;
-  using Answer = service::Reply;
-
   /// Aggregate read-side counters (monotone except the gauges;
   /// relaxed-atomic maintained).
   struct Counters {

@@ -136,11 +136,44 @@ TEST(Wire, ControlPayloadRoundTrips) {
   ack.node_count = 60;
   ack.snapshot_version = 9;
   ack.max_batch = 4096;
+  ack.hop_count = 3;
   net::HelloAck ack2;
-  ASSERT_TRUE(net::decode_hello_ack(net::encode_hello_ack(ack), ack2));
+  const std::string ack_payload = net::encode_hello_ack(ack);
+  ASSERT_TRUE(net::decode_hello_ack(ack_payload, ack2));
   EXPECT_EQ(ack2.node_count, 60u);
   EXPECT_EQ(ack2.snapshot_version, 9u);
   EXPECT_EQ(ack2.max_batch, 4096u);
+  EXPECT_EQ(ack2.hop_count, 3u);
+  // A pre-chaining encoder's ack ends after max_batch; it must decode
+  // with hop 0, and every other truncation must be rejected.
+  ASSERT_TRUE(
+      net::decode_hello_ack(ack_payload.substr(0, ack_payload.size() - 4),
+                            ack2));
+  EXPECT_EQ(ack2.hop_count, 0u);
+  EXPECT_EQ(ack2.max_batch, 4096u);
+  for (std::size_t cut = 0; cut < ack_payload.size(); ++cut) {
+    if (cut == ack_payload.size() - 4) continue;
+    EXPECT_FALSE(net::decode_hello_ack(ack_payload.substr(0, cut), ack2))
+        << "hello-ack prefix " << cut << " accepted";
+  }
+
+  // Delta acks: both fields round-trip, and the legacy accepted-only
+  // payload decodes with publish_count 0.
+  net::DeltaAck delta_ack{7, 42};
+  net::DeltaAck delta_ack2;
+  const std::string delta_ack_payload = net::encode_delta_ack(delta_ack);
+  ASSERT_TRUE(net::decode_delta_ack(delta_ack_payload, delta_ack2));
+  EXPECT_EQ(delta_ack2.accepted, 7u);
+  EXPECT_EQ(delta_ack2.publish_count, 42u);
+  ASSERT_TRUE(net::decode_delta_ack(net::encode_u64(7), delta_ack2));
+  EXPECT_EQ(delta_ack2.accepted, 7u);
+  EXPECT_EQ(delta_ack2.publish_count, 0u);
+  for (std::size_t cut = 0; cut < delta_ack_payload.size(); ++cut) {
+    if (cut == 8) continue;
+    EXPECT_FALSE(
+        net::decode_delta_ack(delta_ack_payload.substr(0, cut), delta_ack2))
+        << "delta-ack prefix " << cut << " accepted";
+  }
 
   net::ErrorFrame error{net::WireStatus::kOversized, "too big"};
   net::ErrorFrame error2;
@@ -399,7 +432,10 @@ TEST(RouteServerNet, RemoteDeltasCountersAndDrain) {
   deltas.push_back(RouteService::Delta::cost_change(99, Cost{1}));
   const auto accepted = loop.client->submit_deltas(deltas);
   ASSERT_TRUE(accepted.ok()) << accepted.error.message;
-  EXPECT_EQ(accepted.value, 1u);
+  EXPECT_EQ(accepted.accepted, 1u);
+  // The ack's publish clock is post-drain: the write is already published.
+  EXPECT_EQ(accepted.publish_count, svc.publish_count());
+  EXPECT_GE(accepted.publish_count, 2u);
 
   const auto drained = loop.client->drain();
   ASSERT_TRUE(drained.ok());
@@ -605,6 +641,11 @@ TEST(Wire, CountersFrameCarriesOptionalReplicaSection) {
   replica.notifies_coalesced = 8;
   replica.resyncs = 9;
   replica.sync_lag_ns = 10;
+  replica.hop_count = 2;
+  replica.upstream_disconnects = 11;
+  replica.deltas_forwarded = 12;
+  replica.forward_retries = 13;
+  replica.forward_rejected = 14;
 
   net::CountersFrame with;
   ASSERT_TRUE(net::decode_counters(
@@ -617,18 +658,34 @@ TEST(Wire, CountersFrameCarriesOptionalReplicaSection) {
   EXPECT_EQ(with.replica.blocks_adopted, 6u);
   EXPECT_EQ(with.replica.notifies_coalesced, 8u);
   EXPECT_EQ(with.replica.sync_lag_ns, 10u);
+  EXPECT_EQ(with.replica.hop_count, 2u);
+  EXPECT_EQ(with.replica.upstream_disconnects, 11u);
+  EXPECT_EQ(with.replica.deltas_forwarded, 12u);
+  EXPECT_EQ(with.replica.forward_retries, 13u);
+  EXPECT_EQ(with.replica.forward_rejected, 14u);
 
   // A primary's frame (no replica section) still decodes, as does one
   // with the presence byte explicitly zero — and a truncated replica
-  // section is rejected rather than half-read.
+  // section is rejected rather than half-read. One cut is legitimate:
+  // ending exactly after sync_lag_ns is the pre-chaining encoder's
+  // format, which must decode with the chain fields zeroed.
   net::CountersFrame without;
   ASSERT_TRUE(
       net::decode_counters(net::encode_counters(counters, server), without));
   EXPECT_FALSE(without.has_replica);
   const std::string full = net::encode_counters(counters, server, &replica);
   const std::string bare = net::encode_counters(counters, server);
+  const std::size_t legacy_end = bare.size() + 10 * 8;  // presence + 10 u64s
   for (std::size_t cut = bare.size() + 1; cut < full.size(); ++cut) {
     net::CountersFrame torn;
+    if (cut == legacy_end) {
+      ASSERT_TRUE(net::decode_counters(full.substr(0, cut), torn));
+      EXPECT_TRUE(torn.has_replica);
+      EXPECT_EQ(torn.replica.sync_lag_ns, 10u);
+      EXPECT_EQ(torn.replica.hop_count, 0u);
+      EXPECT_EQ(torn.replica.deltas_forwarded, 0u);
+      continue;
+    }
     EXPECT_FALSE(net::decode_counters(full.substr(0, cut), torn))
         << "replica-section prefix " << cut << " accepted";
   }

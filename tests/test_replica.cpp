@@ -456,7 +456,8 @@ TEST(ReplicaE2E, RepublishSyncsGlobalsWithoutFetchingAnyShard) {
   // Payment-only churn: totals move, no sink tree does. The replica must
   // pick up the new globals notify-driven while fetching zero shards.
   // A republish may keep the served version, so the catch-up is awaited
-  // on the replica's own publish tally, not the version.
+  // on the publish clock (the upstream's count at the last completed
+  // sync), not the version.
   const std::uint64_t installs = replica.publish_count();
   primary.charge(0, static_cast<NodeId>(n - 1), 500);
   primary.settle();
@@ -534,10 +535,11 @@ TEST(ReplicaE2E, WarmStartAdoptsMatchingBlocksFromCheckpoint) {
   config.checkpoint_directory = dir;
   ReplicaService replica(config);
   ASSERT_TRUE(replica.wait_until_ready(10000));
-  // The checkpoint counts as the replica's first publish; the wire sync
-  // is the second — version alone can't distinguish them (the fresh
-  // primary converges to the same epoch), the publish tally can.
-  ASSERT_GT(replica.wait_for_publish_beyond(1, 10000), 1u);
+  // The publish clock is chain-wide (the upstream's count as of the last
+  // completed sync), so it stays 0 while only the checkpoint is served
+  // and crosses 0 exactly when the wire sync lands — version alone can't
+  // distinguish the two (the fresh primary converges to the same epoch).
+  ASSERT_GT(replica.wait_for_publish_beyond(0, 10000), 0u);
 
   const auto counters = replica.replication_counters();
   EXPECT_GE(counters.full_syncs, 1u);

@@ -289,15 +289,15 @@ TEST(RouteService, BackgroundDeltasReachReadersWithMechanismExactness) {
 TEST(RouteService, BatchedQueriesShareOneEpochAndCount) {
   const auto f = graphgen::fig1();
   RouteService svc(f.g);
-  std::vector<RouteService::Query> batch;
-  batch.push_back({RouteService::Query::Kind::kCost, kInvalidNode, f.x, f.z});
-  batch.push_back({RouteService::Query::Kind::kPrice, f.d, f.x, f.z});
-  batch.push_back({RouteService::Query::Kind::kPairPayment, kInvalidNode,
+  std::vector<service::Request> batch;
+  batch.push_back({service::RequestKind::kCost, kInvalidNode, f.x, f.z});
+  batch.push_back({service::RequestKind::kPrice, f.d, f.x, f.z});
+  batch.push_back({service::RequestKind::kPairPayment, kInvalidNode,
                    f.x, f.z});
-  batch.push_back({RouteService::Query::Kind::kNextHop, kInvalidNode, f.x,
+  batch.push_back({service::RequestKind::kNextHop, kInvalidNode, f.x,
                    f.z});
-  batch.push_back({RouteService::Query::Kind::kPath, kInvalidNode, f.x, f.z});
-  batch.push_back({RouteService::Query::Kind::kPayment, f.d, kInvalidNode,
+  batch.push_back({service::RequestKind::kPath, kInvalidNode, f.x, f.z});
+  batch.push_back({service::RequestKind::kPayment, f.d, kInvalidNode,
                    kInvalidNode});
 
   const auto answers = svc.query(batch);
