@@ -1,0 +1,50 @@
+// Shared entry-point glue for the fuzz harnesses.
+//
+// Each harness defines LLVMFuzzerTestOneInput — libFuzzer's contract. Two
+// build modes share that one function:
+//
+//   * FPSS_FUZZ_LIBFUZZER (Clang + -fsanitize=fuzzer): libFuzzer supplies
+//     main() and mutates inputs; this header adds nothing.
+//   * standalone (any compiler): the main() below replays every file named
+//     on the command line through the harness once and exits. This is what
+//     the corpus-replay ctest entries run, so the committed seed corpus is
+//     exercised on every build — including GCC builds with no fuzzer
+//     runtime at all.
+//
+// Harnesses must be deterministic, must not write global state between
+// inputs, and must treat *any* byte string as reachable — the decoders
+// under test face exactly that on a real socket or disk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#ifndef FPSS_FUZZ_LIBFUZZER
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::size_t ran = 0;
+  for (int a = 1; a < argc; ++a) {
+    std::ifstream in(argv[a], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[a]);
+      return 1;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    ++ran;
+  }
+  std::printf("replayed %zu input(s)\n", ran);
+  return 0;
+}
+
+#endif  // FPSS_FUZZ_LIBFUZZER

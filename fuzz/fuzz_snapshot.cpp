@@ -1,0 +1,16 @@
+// Fuzz target: the fpss-snap v4 loader — the bytes-to-snapshot half of
+// load_snapshot(), i.e. everything a hostile snapshot file can reach. The
+// parser's own contract (validate sizes before allocating, reject
+// non-monotone offsets, reproduce the checksum, self_check() the result)
+// is exactly what the fuzzer tries to break.
+#include <string_view>
+
+#include "fuzz_common.h"
+#include "service/snapshot.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fpss::service::load_snapshot_bytes(
+      std::string_view(reinterpret_cast<const char*>(data), size));
+  return 0;
+}

@@ -37,6 +37,24 @@ REPLICA_OUT=${4:-BENCH_replica.json}
 CHAIN_OUT=${5:-BENCH_chain.json}
 FILTER=${BENCH_FILTER:-.}
 
+# Refuse to record baselines from a build tree with instrumentation or
+# diagnostic options leaked in: sanitizers distort timings by integer
+# factors, and a non-Release build type measures the wrong thing. The
+# numbers would poison every future PR's comparison.
+if [[ -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  for opt in FPSS_SANITIZE FPSS_THREAD_SAFETY FPSS_FUZZ; do
+    val=$(sed -n "s/^${opt}:[A-Z]*=//p" "$BUILD_DIR/CMakeCache.txt")
+    if [[ -n "$val" && "$val" != "OFF" && "$val" != "0" && "$val" != "FALSE" ]]; then
+      echo "error: $BUILD_DIR was configured with $opt=$val — baselines must come from a plain Release build" >&2
+      exit 1
+    fi
+  done
+  build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' "$BUILD_DIR/CMakeCache.txt")
+  if [[ "$build_type" != "Release" ]]; then
+    echo "warning: $BUILD_DIR build type is '${build_type:-unset}', not Release — baselines for the committed trajectory should come from -DCMAKE_BUILD_TYPE=Release" >&2
+  fi
+fi
+
 for bin in bench_scaling bench_parallel bench_service bench_publish bench_replica bench_chain; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Prove the thread-safety annotation layer actually bites.
+#
+# Compiles tests/test_annotations_negative.cpp twice under Clang with
+# -Werror=thread-safety:
+#   - with the seeded GUARDED_BY violation enabled  -> compile MUST fail
+#   - with the violation disabled (locked correctly) -> compile MUST pass
+#
+# Exits 0 only if both expectations hold. This guards against the
+# annotation macros silently compiling to no-ops (e.g. a broken
+# __has_attribute probe) which would leave the entire -Werror=thread-safety
+# CI gate green while checking nothing.
+#
+# Usage: scripts/check_negative_compile.sh [clang++-binary]
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cxx="${1:-${CXX:-clang++}}"
+
+if ! command -v "$cxx" >/dev/null 2>&1; then
+  echo "check_negative_compile: '$cxx' not found; this check needs Clang" >&2
+  exit 2
+fi
+if ! "$cxx" --version 2>/dev/null | grep -qi clang; then
+  echo "check_negative_compile: '$cxx' is not Clang; thread-safety analysis unavailable" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+flags=(-std=c++17 -fsyntax-only -Wthread-safety -Werror=thread-safety
+       -I "$repo_root/src" "$repo_root/tests/test_annotations_negative.cpp")
+
+fail=0
+
+# 1. Seeded violation must NOT compile.
+if "$cxx" -DFPSS_SEED_VIOLATION "${flags[@]}" 2>"$workdir/violation.log"; then
+  echo "FAIL: seeded GUARDED_BY violation compiled clean — annotations are inert" >&2
+  fail=1
+else
+  if grep -q thread-safety "$workdir/violation.log"; then
+    echo "ok: seeded violation rejected by -Werror=thread-safety"
+  else
+    echo "FAIL: seeded violation failed to compile, but not with a thread-safety diagnostic:" >&2
+    cat "$workdir/violation.log" >&2
+    fail=1
+  fi
+fi
+
+# 2. The correctly locked version must compile clean.
+if "$cxx" "${flags[@]}" 2>"$workdir/clean.log"; then
+  echo "ok: locked version compiles clean"
+else
+  echo "FAIL: correctly locked version did not compile:" >&2
+  cat "$workdir/clean.log" >&2
+  fail=1
+fi
+
+exit "$fail"

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Run the .clang-tidy baseline over every first-party source file using the
+# compile_commands.json from an existing build directory.
+#
+#   scripts/run_clang_tidy.sh [build_dir]    (default: build)
+#
+# The build dir must have been configured already (any compiler — the
+# database only supplies flags/include paths; clang-tidy does its own
+# parse). CMAKE_EXPORT_COMPILE_COMMANDS is ON unconditionally in the
+# top-level CMakeLists, so every build tree has the database.
+#
+# Exits non-zero on any warning: the baseline is curated to be clean, so a
+# warning is either a real finding or a check that should be consciously
+# suppressed in .clang-tidy with a rationale.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+tidy="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "run_clang_tidy: '$tidy' not found; install clang-tidy or set CLANG_TIDY" >&2
+  exit 2
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing — configure the build first:" >&2
+  echo "  cmake -B $build_dir -S $repo_root" >&2
+  exit 2
+fi
+
+# First-party sources only: src/ and fuzz/. Tests lean on GTest macros that
+# are noisy under several bugprone checks; they are covered by the
+# sanitizer jobs instead. Restrict to files the database actually knows —
+# fuzz/ only appears when the tree was configured with -DFPSS_FUZZ=ON.
+mapfile -t files < <(find "$repo_root/src" "$repo_root/fuzz" -name '*.cpp' 2>/dev/null | sort)
+known=()
+for file in "${files[@]}"; do
+  if grep -qF "$file" "$build_dir/compile_commands.json"; then
+    known+=("$file")
+  fi
+done
+files=("${known[@]+"${known[@]}"}")
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: no sources found" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: checking ${#files[@]} files against $build_dir"
+fail=0
+for file in "${files[@]}"; do
+  # --quiet suppresses the "N warnings generated" chatter; findings still
+  # print in full. Warnings are errors per .clang-tidy, so any finding
+  # flips the exit status.
+  if ! "$tidy" --quiet -p "$build_dir" "$file"; then
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "run_clang_tidy: findings above — fix them or suppress with a rationale in .clang-tidy" >&2
+fi
+exit "$fail"

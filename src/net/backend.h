@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -71,8 +72,12 @@ class Backend {
   virtual std::uint64_t drain() = 0;
 
   /// The sharded publication store backing kSnapshotFetch, or null when
-  /// the backend cannot export per-shard state.
-  virtual const service::ShardedSnapshotStore* store() const {
+  /// the backend cannot export per-shard state. Returned as a shared_ptr
+  /// because a replica backend can swap (and destroy) its store on a
+  /// layout-changing install — a raw pointer read before the swap would
+  /// dangle mid-transfer. Backends whose store's lifetime is fixed return
+  /// a non-owning alias.
+  virtual std::shared_ptr<const service::ShardedSnapshotStore> store() const {
     return nullptr;
   }
   /// Blocks until publish_count() exceeds `count` or `timeout_ms` elapses;
@@ -116,8 +121,11 @@ class ServiceBackend final : public Backend {
     return outcome;
   }
   std::uint64_t drain() override { return service_.drain(); }
-  const service::ShardedSnapshotStore* store() const override {
-    return &service_.store();
+  std::shared_ptr<const service::ShardedSnapshotStore> store() const override {
+    // Non-owning alias: the service (and its store) must outlive this
+    // backend per the RouteServer contract, so there is nothing to pin.
+    return std::shared_ptr<const service::ShardedSnapshotStore>(
+        std::shared_ptr<const void>(), &service_.store());
   }
   std::uint64_t wait_for_publish_beyond(std::uint64_t count,
                                         int timeout_ms) const override {

@@ -171,11 +171,18 @@ void RouteServer::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  {
+    // The stop flag was written without the queue mutex; take and drop the
+    // lock before notifying so a worker that just evaluated its wait
+    // condition as "keep sleeping" cannot block *after* this notify and
+    // miss it (the classic lost wakeup — stop() would hang in join below).
+    util::MutexLock lock(queue_mutex_);
+  }
   queue_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
   // Connections accepted but never picked up by a worker.
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  util::MutexLock lock(queue_mutex_);
   for (const int fd : pending_) ::close(fd);
   pending_.clear();
 }
@@ -187,7 +194,7 @@ RouteServer::Stats RouteServer::stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.rejected_frames = rejected_frames_.load(std::memory_order_relaxed);
   s.timeouts = timeouts_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(peers_mutex_);
+  util::MutexLock lock(peers_mutex_);
   s.peers.reserve(peers_.size());
   for (const auto& [peer, tally] : peers_) {
     PeerCounters counters;
@@ -217,7 +224,7 @@ void RouteServer::accept_loop() {
     }
     connections_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      util::MutexLock lock(queue_mutex_);
       pending_.push_back(fd);
     }
     queue_cv_.notify_one();
@@ -228,10 +235,9 @@ void RouteServer::worker_loop() {
   for (;;) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] {
-        return !pending_.empty() || stopping_.load(std::memory_order_relaxed);
-      });
+      util::MutexLock lock(queue_mutex_);
+      while (pending_.empty() && !stopping_.load(std::memory_order_relaxed))
+        queue_cv_.wait(lock);
       if (pending_.empty()) return;  // stopping, nothing left to serve
       fd = pending_.front();
       pending_.pop_front();
@@ -256,7 +262,7 @@ void RouteServer::serve_connection(int fd) {
     peer = addr;
   }
   {
-    std::lock_guard<std::mutex> lock(peers_mutex_);
+    util::MutexLock lock(peers_mutex_);
     peer_tally(peer).connections += 1;
   }
   while (serve_frame(fd, peer)) {
@@ -268,7 +274,7 @@ bool RouteServer::send_error(int fd, const std::string& peer, WireStatus code,
                              const std::string& message) {
   rejected_frames_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(peers_mutex_);
+    util::MutexLock lock(peers_mutex_);
     peer_tally(peer).rejected_frames += 1;
   }
   const std::string frame =
@@ -344,7 +350,7 @@ bool RouteServer::serve_frame(int fd, const std::string& peer) {
           std::span<const service::Request>(batch.requests));
       batches_.fetch_add(1, std::memory_order_relaxed);
       {
-        std::lock_guard<std::mutex> lock(peers_mutex_);
+        util::MutexLock lock(peers_mutex_);
         PeerTally& tally = peer_tally(peer);
         tally.queries += batch.requests.size();
         tally.batches += 1;
@@ -425,7 +431,11 @@ bool RouteServer::serve_frame(int fd, const std::string& peer) {
 bool RouteServer::serve_snapshot_fetch(
     int fd, const std::string& peer,
     const std::vector<std::uint64_t>& known) {
-  const service::ShardedSnapshotStore* store = backend_.store();
+  // Keep the shared_ptr for the whole transfer: a replica backend may swap
+  // its store out concurrently, and this reference is what keeps the old
+  // one alive until the stream finishes.
+  const std::shared_ptr<const service::ShardedSnapshotStore> store =
+      backend_.store();
   if (store == nullptr)
     return send_error(fd, peer, WireStatus::kBadFrameType,
                       "snapshot fetch unsupported by this backend");

@@ -28,12 +28,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,6 +39,7 @@
 #include "net/backend.h"
 #include "net/wire.h"
 #include "service/service.h"
+#include "util/mutex.h"
 
 namespace fpss::net {
 
@@ -125,8 +124,9 @@ class RouteServer {
   bool send_error(int fd, const std::string& peer, WireStatus code,
                   const std::string& message);
   /// The tally this peer accounts under (the overflow bucket when the
-  /// table is full). Caller must hold peers_mutex_.
-  PeerTally& peer_tally(const std::string& peer);
+  /// table is full).
+  PeerTally& peer_tally(const std::string& peer)
+      FPSS_REQUIRES(peers_mutex_);
 
   std::unique_ptr<Backend> owned_;  ///< the compat ctor's adapter, if any
   Backend& backend_;
@@ -138,9 +138,10 @@ class RouteServer {
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;  ///< stop() already completed (main thread only)
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_;  ///< accepted fds awaiting a worker
+  util::Mutex queue_mutex_;
+  util::CondVar queue_cv_;
+  /// Accepted fds awaiting a worker.
+  std::deque<int> pending_ FPSS_GUARDED_BY(queue_mutex_);
 
   // Stats: relaxed atomics, written by any worker.
   std::atomic<std::uint64_t> connections_{0};
@@ -149,8 +150,8 @@ class RouteServer {
   std::atomic<std::uint64_t> rejected_frames_{0};
   std::atomic<std::uint64_t> timeouts_{0};
 
-  mutable std::mutex peers_mutex_;
-  std::map<std::string, PeerTally> peers_;
+  mutable util::Mutex peers_mutex_;
+  std::map<std::string, PeerTally> peers_ FPSS_GUARDED_BY(peers_mutex_);
 
   std::vector<std::thread> workers_;
   std::thread acceptor_;

@@ -67,7 +67,7 @@ ReplicaService::ReplicaService(ReplicaConfig config)
       auto warm = std::make_shared<ShardedSnapshotStore>(
           loaded.snapshot->node_count(), 1);
       warm->publish_all(loaded.snapshot);
-      std::lock_guard<std::mutex> lock(store_mutex_);
+      util::MutexLock lock(store_mutex_);
       store_ = std::move(warm);
       adopt_donor_ = loaded.snapshot;
       ++installs_;
@@ -85,19 +85,19 @@ void ReplicaService::stop() {
   if (sync_.joinable()) sync_.join();
   fetch_.reset();
   notify_.reset();
-  std::lock_guard<std::mutex> lock(forward_mutex_);
+  util::MutexLock lock(forward_mutex_);
   forward_.reset();
 }
 
 // --- shared reconnect state machine -----------------------------------------
 
 std::size_t ReplicaService::current_upstream_index() const {
-  std::lock_guard<std::mutex> lock(upstream_mutex_);
+  util::MutexLock lock(upstream_mutex_);
   return upstream_index_;
 }
 
 void ReplicaService::note_upstream_failure(std::size_t index) {
-  std::lock_guard<std::mutex> lock(upstream_mutex_);
+  util::MutexLock lock(upstream_mutex_);
   if (index == upstream_index_)
     upstream_index_ = (upstream_index_ + 1) % upstreams_.size();
 }
@@ -174,7 +174,7 @@ bool ReplicaService::sync_once(std::uint64_t server_count) {
   std::shared_ptr<ShardedSnapshotStore> store;
   std::shared_ptr<const RouteSnapshot> adopt;
   {
-    std::lock_guard<std::mutex> lock(store_mutex_);
+    util::MutexLock lock(store_mutex_);
     known = synced_versions_;
     store = store_;
     adopt = adopt_donor_;
@@ -195,7 +195,7 @@ bool ReplicaService::sync_once(std::uint64_t server_count) {
     // A torn or inconsistent stream publishes nothing. Drop the
     // negotiation state so the retry is a full bootstrap — the safe
     // answer to a server whose layout (or identity) changed under us.
-    std::lock_guard<std::mutex> lock(store_mutex_);
+    util::MutexLock lock(store_mutex_);
     synced_versions_.clear();
     return false;
   }
@@ -219,7 +219,7 @@ void ReplicaService::install(
     const ReplicationCodec::Assembler::Result& result,
     std::uint64_t server_count) {
   const std::shared_ptr<const RouteSnapshot>& snap = result.snapshot;
-  std::lock_guard<std::mutex> lock(store_mutex_);
+  util::MutexLock lock(store_mutex_);
   // Raise the chain-wide clock in the same critical section that makes
   // the synced state readable: a waiter woken by this install must not
   // be able to read a publish_count() older than what it sees served.
@@ -273,51 +273,60 @@ void ReplicaService::install(
 // --- waiting ----------------------------------------------------------------
 
 bool ReplicaService::wait_until_ready(int timeout_ms) const {
-  std::unique_lock<std::mutex> lock(store_mutex_);
-  return ready_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                            [&] { return store_ != nullptr; });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  util::MutexLock lock(store_mutex_);
+  while (store_ == nullptr)
+    if (ready_cv_.wait_until(lock, deadline) == std::cv_status::timeout)
+      break;
+  return store_ != nullptr;
 }
 
 std::uint64_t ReplicaService::wait_for_version_beyond(std::uint64_t version,
                                                       int timeout_ms) const {
-  std::unique_lock<std::mutex> lock(store_mutex_);
-  ready_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
-    return store_ != nullptr && store_->version() > version;
-  });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  util::MutexLock lock(store_mutex_);
+  while (store_ == nullptr || store_->version() <= version)
+    if (ready_cv_.wait_until(lock, deadline) == std::cv_status::timeout)
+      break;
   return store_ == nullptr ? 0 : store_->version();
 }
 
 std::uint64_t ReplicaService::wait_for_publish_beyond(std::uint64_t count,
                                                       int timeout_ms) const {
-  std::unique_lock<std::mutex> lock(store_mutex_);
-  ready_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                     [&] { return synced_publish_count_ > count; });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  util::MutexLock lock(store_mutex_);
+  while (synced_publish_count_ <= count)
+    if (ready_cv_.wait_until(lock, deadline) == std::cv_status::timeout)
+      break;
   return synced_publish_count_;
 }
 
 // --- read side --------------------------------------------------------------
 
 std::size_t ReplicaService::node_count() const {
-  std::lock_guard<std::mutex> lock(store_mutex_);
+  util::MutexLock lock(store_mutex_);
   if (store_ == nullptr) return 0;
   const auto snap = store_->newest();
   return snap == nullptr ? 0 : snap->node_count();
 }
 
 std::uint64_t ReplicaService::version() const {
-  std::lock_guard<std::mutex> lock(store_mutex_);
+  util::MutexLock lock(store_mutex_);
   return store_ == nullptr ? 0 : store_->version();
 }
 
 std::uint64_t ReplicaService::published_at_ns() const {
-  std::lock_guard<std::mutex> lock(store_mutex_);
+  util::MutexLock lock(store_mutex_);
   if (store_ == nullptr) return 0;
   const auto snap = store_->newest();
   return snap == nullptr ? 0 : snap->published_at_ns();
 }
 
 std::uint64_t ReplicaService::publish_count() const {
-  std::lock_guard<std::mutex> lock(store_mutex_);
+  util::MutexLock lock(store_mutex_);
   return synced_publish_count_;
 }
 
@@ -326,7 +335,7 @@ std::vector<service::Reply> ReplicaService::query(
   const auto start = std::chrono::steady_clock::now();
   std::shared_ptr<ShardedSnapshotStore> store;
   {
-    std::lock_guard<std::mutex> lock(store_mutex_);
+    util::MutexLock lock(store_mutex_);
     store = store_;
   }
   std::vector<service::Reply> replies;
@@ -373,7 +382,7 @@ service::RouteService::Counters ReplicaService::counters() const {
   {
     // Local installs, not the chain-wide clock: "how many times did this
     // tier's store move" is the serving-health question counters answer.
-    std::lock_guard<std::mutex> lock(store_mutex_);
+    util::MutexLock lock(store_mutex_);
     c.publishes = installs_;
   }
   return c;
@@ -423,7 +432,7 @@ net::Backend::SubmitOutcome ReplicaService::submit(
   }
 
   outcome.status = SubmitOutcome::Status::kUnavailable;
-  std::lock_guard<std::mutex> lock(forward_mutex_);
+  util::MutexLock lock(forward_mutex_);
   const unsigned attempts = std::max(1u, config_.forward_attempts);
   for (unsigned attempt = 0; attempt < attempts; ++attempt) {
     if (stop_.load(std::memory_order_relaxed)) break;
@@ -473,15 +482,15 @@ net::Backend::SubmitOutcome ReplicaService::submit(
 
 std::uint64_t ReplicaService::drain() { return version(); }
 
-const service::ShardedSnapshotStore* ReplicaService::store() const {
-  // The pointer is stable for the life of a layout; a rebuild swaps it.
-  // Downstream replicas syncing from this one read the store through the
-  // fronting server, which calls this per fetch — a stale pointer across
-  // a rebuild window is the same torn-cut hazard export_cut() already
-  // handles, because the old store object stays alive via shared_ptr in
-  // any in-flight view.
-  std::lock_guard<std::mutex> lock(store_mutex_);
-  return store_.get();
+std::shared_ptr<const service::ShardedSnapshotStore> ReplicaService::store()
+    const {
+  // An owning copy, not store_.get(): a layout-changing install swaps
+  // store_ under the mutex, and if this replica's copy was the last
+  // reference the store would be destroyed while a downstream fetch is
+  // still streaming export_cut() data out of it. The shared_ptr pins the
+  // displaced store until every in-flight transfer finishes.
+  util::MutexLock lock(store_mutex_);
+  return store_;
 }
 
 // --- ReplicaQueryBackend ----------------------------------------------------

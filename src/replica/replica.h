@@ -51,10 +51,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -66,6 +64,7 @@
 #include "service/query_backend.h"
 #include "service/replication.h"
 #include "service/store.h"
+#include "util/mutex.h"
 
 namespace fpss::replica {
 
@@ -115,12 +114,12 @@ class ReplicaService final : public net::Backend {
 
   /// Blocks until a snapshot is being served (first sync or checkpoint
   /// load) or `timeout_ms` elapses; true when ready.
-  bool wait_until_ready(int timeout_ms) const;
+  bool wait_until_ready(int timeout_ms) const FPSS_EXCLUDES(store_mutex_);
 
   /// Blocks until the served version exceeds `version` or `timeout_ms`
   /// elapses; returns the served version either way.
-  std::uint64_t wait_for_version_beyond(std::uint64_t version,
-                                        int timeout_ms) const;
+  std::uint64_t wait_for_version_beyond(std::uint64_t version, int timeout_ms)
+      const FPSS_EXCLUDES(store_mutex_);
 
   /// Stops the sync loop and closes the upstream connections. Idempotent;
   /// the destructor calls it. Reads keep working on the last synced state.
@@ -155,10 +154,13 @@ class ReplicaService final : public net::Backend {
   /// No local updater to drain; returns the served version.
   std::uint64_t drain() override;
   /// The replica's own store — what lets a downstream replica sync from
-  /// this one.
-  const service::ShardedSnapshotStore* store() const override;
-  std::uint64_t wait_for_publish_beyond(std::uint64_t count,
-                                        int timeout_ms) const override;
+  /// this one. An *owning* copy: a concurrent layout-changing install may
+  /// swap store_ and drop the last internal reference, so handing out the
+  /// raw pointer would let the store die under the caller.
+  std::shared_ptr<const service::ShardedSnapshotStore> store() const override
+      FPSS_EXCLUDES(store_mutex_);
+  std::uint64_t wait_for_publish_beyond(std::uint64_t count, int timeout_ms)
+      const override FPSS_EXCLUDES(store_mutex_);
 
  private:
   /// One sync: fetch (full or dirty-only), reassemble, publish under a
@@ -188,21 +190,26 @@ class ReplicaService final : public net::Backend {
   /// The served store plus the negotiation state from the last final
   /// chunk. The store pointer itself is swapped on layout changes, so
   /// readers copy it under the mutex (the store's own lock then provides
-  /// the usual RCU cut).
-  mutable std::mutex store_mutex_;
-  std::shared_ptr<service::ShardedSnapshotStore> store_;
-  std::vector<std::uint64_t> synced_versions_;  ///< echoed in the next fetch
-  std::shared_ptr<const service::RouteSnapshot> adopt_donor_;
+  /// the usual RCU cut). Independent of upstream_mutex_/forward_mutex_ —
+  /// no replica path nests two of the three.
+  mutable util::Mutex store_mutex_;
+  std::shared_ptr<service::ShardedSnapshotStore> store_
+      FPSS_GUARDED_BY(store_mutex_);
+  /// Echoed in the next fetch.
+  std::vector<std::uint64_t> synced_versions_ FPSS_GUARDED_BY(store_mutex_);
+  std::shared_ptr<const service::RouteSnapshot> adopt_donor_
+      FPSS_GUARDED_BY(store_mutex_);
 
-  mutable std::condition_variable ready_cv_;  ///< store_mutex_; publishes
-  std::uint64_t installs_ = 0;  ///< replica-local install tally (store_mutex_)
-  /// Upstream publish count at the last completed sync (store_mutex_) —
-  /// what publish_count()/wait_for_publish_beyond report.
-  std::uint64_t synced_publish_count_ = 0;
+  mutable util::CondVar ready_cv_;  ///< store_mutex_; signaled per install
+  /// Replica-local install tally.
+  std::uint64_t installs_ FPSS_GUARDED_BY(store_mutex_) = 0;
+  /// Upstream publish count at the last completed sync — what
+  /// publish_count()/wait_for_publish_beyond report.
+  std::uint64_t synced_publish_count_ FPSS_GUARDED_BY(store_mutex_) = 0;
 
   // Shared reconnect cursor into upstreams_.
-  mutable std::mutex upstream_mutex_;
-  std::size_t upstream_index_ = 0;
+  mutable util::Mutex upstream_mutex_;
+  std::size_t upstream_index_ FPSS_GUARDED_BY(upstream_mutex_) = 0;
 
   // Upstream connections: sync-thread-only, re-created per failover cycle.
   std::unique_ptr<net::RouteClient> fetch_;
@@ -210,9 +217,9 @@ class ReplicaService final : public net::Backend {
 
   // Forwarding path: forward_mutex_ serializes the relay; the in-flight
   // gate counts waiters + the holder and rejects the excess unblocked.
-  std::mutex forward_mutex_;
-  std::unique_ptr<net::RouteClient> forward_;
-  std::size_t forward_upstream_index_ = 0;  ///< forward_mutex_
+  util::Mutex forward_mutex_;
+  std::unique_ptr<net::RouteClient> forward_ FPSS_GUARDED_BY(forward_mutex_);
+  std::size_t forward_upstream_index_ FPSS_GUARDED_BY(forward_mutex_) = 0;
   std::atomic<std::size_t> forward_inflight_{0};
 
   /// Chain depth: upstream's advertised hop + 1 once connected; a replica

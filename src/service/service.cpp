@@ -79,7 +79,7 @@ RouteService::RouteService(const graph::Graph& g,
 
 RouteService::~RouteService() {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
     stop_ = true;
   }
   queue_cv_.notify_all();
@@ -92,10 +92,10 @@ void RouteService::updater_loop() {
   for (;;) {
     std::vector<Delta> batch;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
+      util::MutexLock lock(queue_mutex_);
       updater_busy_ = false;
       publish_cv_.notify_all();  // drain(): queue empty and nothing in flight
-      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      while (!stop_ && queue_.empty()) queue_cv_.wait(lock);
       if (stop_) return;  // shutdown discards unapplied deltas
       batch.swap(queue_);
       updater_busy_ = true;
@@ -194,7 +194,7 @@ void RouteService::publish_current() {
   PipelineStats stats;
   std::shared_ptr<const RouteSnapshot> snap;
   {
-    std::lock_guard<std::mutex> lock(ledger_mutex_);
+    util::MutexLock lock(ledger_mutex_);
     snap = PublishPipeline::run(store_, last_published_, warm_base_, session_,
                                 version, dirty, &ledger_, pool, &stats);
   }
@@ -236,7 +236,7 @@ void RouteService::publish_current() {
   {
     // Notify under the queue mutex so a waiter cannot check the publish
     // count and block between our publish and our notify.
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
   }
   publish_cv_.notify_all();
 }
@@ -411,14 +411,14 @@ void RouteService::charge(NodeId i, NodeId j, std::uint64_t packets) {
   // cannot be settled in exact arithmetic, so it is not charged.
   if (snap->pair_payment(i, j).is_infinite()) return;
   {
-    std::lock_guard<std::mutex> lock(ledger_mutex_);
+    util::MutexLock lock(ledger_mutex_);
     ledger_.record_packets(p, snap->price_fn(), packets);
   }
   charges_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void RouteService::settle() {
-  std::lock_guard<std::mutex> lock(ledger_mutex_);
+  util::MutexLock lock(ledger_mutex_);
   ledger_.settle();
 }
 
@@ -435,7 +435,7 @@ std::size_t RouteService::submit(const std::vector<Delta>& deltas) {
     if (delta_in_range(delta)) accepted.push_back(delta);
   if (accepted.empty()) return 0;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
     queue_.insert(queue_.end(), accepted.begin(), accepted.end());
   }
   queue_cv_.notify_one();
@@ -443,21 +443,24 @@ std::size_t RouteService::submit(const std::vector<Delta>& deltas) {
 }
 
 void RouteService::wait_for_publishes(std::uint64_t count) const {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  publish_cv_.wait(lock, [&] { return store_.publish_count() >= count; });
+  util::MutexLock lock(queue_mutex_);
+  while (store_.publish_count() < count) publish_cv_.wait(lock);
 }
 
 std::uint64_t RouteService::wait_for_publish_beyond(std::uint64_t count,
                                                     int timeout_ms) const {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  publish_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                       [&] { return store_.publish_count() > count; });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  util::MutexLock lock(queue_mutex_);
+  while (store_.publish_count() <= count)
+    if (publish_cv_.wait_until(lock, deadline) == std::cv_status::timeout)
+      break;
   return store_.publish_count();
 }
 
 std::uint64_t RouteService::drain() {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  publish_cv_.wait(lock, [&] { return queue_.empty() && !updater_busy_; });
+  util::MutexLock lock(queue_mutex_);
+  while (!queue_.empty() || updater_busy_) publish_cv_.wait(lock);
   return store_.version();
 }
 

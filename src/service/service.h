@@ -50,10 +50,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -65,6 +63,7 @@
 #include "service/protocol.h"
 #include "service/snapshot.h"
 #include "service/store.h"
+#include "util/mutex.h"
 #include "util/table.h"
 
 namespace fpss::service {
@@ -217,10 +216,11 @@ class RouteService {
   /// snapshot's prices (Sect. 6.4 counter semantics). Totals reach readers
   /// with the next publish (submit Delta::republish() to force one).
   /// No-op when i cannot currently reach j.
-  void charge(NodeId i, NodeId j, std::uint64_t packets);
+  void charge(NodeId i, NodeId j, std::uint64_t packets)
+      FPSS_EXCLUDES(ledger_mutex_);
 
   /// Flushes owed counters into settled accounts (periodic submission).
-  void settle();
+  void settle() FPSS_EXCLUDES(ledger_mutex_);
 
   // --- update side ---------------------------------------------------------
 
@@ -231,7 +231,8 @@ class RouteService {
   /// drained burst (last-writer-wins per node/link) into one
   /// reconvergence.
   std::size_t submit(Delta delta);
-  std::size_t submit(const std::vector<Delta>& deltas);
+  std::size_t submit(const std::vector<Delta>& deltas)
+      FPSS_EXCLUDES(queue_mutex_);
 
   std::uint64_t publish_count() const { return store_.publish_count(); }
   /// Composite version of the currently served state (the newest
@@ -241,14 +242,15 @@ class RouteService {
 
   /// Blocks until at least `count` publishes have happened (use
   /// publish_count() + 1 before a submit to await its effect).
-  void wait_for_publishes(std::uint64_t count) const;
+  void wait_for_publishes(std::uint64_t count) const
+      FPSS_EXCLUDES(queue_mutex_);
 
   /// Bounded-wait variant for push loops: blocks until publish_count()
   /// exceeds `count` or `timeout_ms` elapses, and returns the current
   /// publish count either way. A subscription pusher polls this in slices
   /// so it can also observe connection teardown between publishes.
-  std::uint64_t wait_for_publish_beyond(std::uint64_t count,
-                                        int timeout_ms) const;
+  std::uint64_t wait_for_publish_beyond(std::uint64_t count, int timeout_ms)
+      const FPSS_EXCLUDES(queue_mutex_);
 
   /// The sharded publication store — the replication fetch path reads one
   /// export_cut() from it per kSnapshotFetch.
@@ -256,7 +258,7 @@ class RouteService {
 
   /// Blocks until the delta queue is empty and everything submitted so far
   /// has been published; returns the served version.
-  std::uint64_t drain();
+  std::uint64_t drain() FPSS_EXCLUDES(queue_mutex_);
 
  private:
   void updater_loop();
@@ -265,7 +267,7 @@ class RouteService {
   std::size_t apply_coalesced(const std::vector<Delta>& batch);
   bool delta_in_range(const Delta& delta) const;
   /// Builds a snapshot from the (converged) session and publishes it.
-  void publish_current();
+  void publish_current() FPSS_EXCLUDES(ledger_mutex_, queue_mutex_);
   void count_batch(std::uint64_t queries, std::uint64_t ns) const;
   void note_staleness(std::uint64_t age_ns) const;
 
@@ -299,15 +301,21 @@ class RouteService {
   /// Non-null iff config_.checkpoint names a directory. Updater-only.
   std::unique_ptr<CheckpointWriter> checkpoint_;
 
-  mutable std::mutex ledger_mutex_;
-  payments::Ledger ledger_;
+  /// Held across PublishPipeline::run (the ledger totals are embedded into
+  /// the snapshot mid-export), so charge()/settle() serialize against the
+  /// embed, never against readers. Never nested with queue_mutex_.
+  mutable util::Mutex ledger_mutex_;
+  payments::Ledger ledger_ FPSS_GUARDED_BY(ledger_mutex_);
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;   ///< wakes the updater
-  mutable std::condition_variable publish_cv_;  ///< wakes drain()/waiters
-  std::vector<Delta> queue_;
-  bool stop_ = false;
-  bool updater_busy_ = false;
+  /// Lock order: queue_mutex_ before store_.mutex_ — the publish waiters
+  /// call store_.publish_count() while holding queue_mutex_. The reverse
+  /// nesting never happens (the store calls nothing of ours).
+  mutable util::Mutex queue_mutex_;
+  util::CondVar queue_cv_;           ///< wakes the updater
+  mutable util::CondVar publish_cv_;  ///< wakes drain()/waiters
+  std::vector<Delta> queue_ FPSS_GUARDED_BY(queue_mutex_);
+  bool stop_ FPSS_GUARDED_BY(queue_mutex_) = false;
+  bool updater_busy_ FPSS_GUARDED_BY(queue_mutex_) = false;
 
   // Read-side counters: relaxed atomics, written from any reader thread.
   mutable std::atomic<std::uint64_t> queries_{0};

@@ -495,18 +495,13 @@ SnapshotSaveResult save_snapshot(const RouteSnapshot& snapshot,
   return result;
 }
 
-SnapshotLoadResult load_snapshot(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return load_fail("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string bytes = buffer.str();
-
+SnapshotLoadResult load_snapshot_bytes(std::string_view bytes) {
   constexpr std::size_t kHeaderSize = sizeof(kMagic) + 3 * 8;
   if (bytes.size() < kHeaderSize) return load_fail("file too short");
   if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
     return load_fail("bad magic (not an fpss-snap file)");
-  Reader header{bytes, sizeof(kMagic)};
+  const std::string image(bytes);
+  Reader header{image, sizeof(kMagic)};
   const std::uint64_t format = header.u64();
   if (format != kFormatVersion)
     return load_fail("unsupported format version " + std::to_string(format));
@@ -514,7 +509,15 @@ SnapshotLoadResult load_snapshot(const std::string& path) {
   const std::uint64_t stored_checksum = header.u64();
   if (bytes.size() - kHeaderSize != payload_size)
     return load_fail("payload length mismatch");
-  return SnapshotCodec::parse(bytes.substr(kHeaderSize), stored_checksum);
+  return SnapshotCodec::parse(image.substr(kHeaderSize), stored_checksum);
+}
+
+SnapshotLoadResult load_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return load_fail("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return load_snapshot_bytes(buffer.str());
 }
 
 }  // namespace fpss::service

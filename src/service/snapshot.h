@@ -34,6 +34,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/path.h"
@@ -237,5 +238,11 @@ SnapshotSaveResult save_snapshot(const RouteSnapshot& snapshot,
 /// Reads and validates a saved snapshot: magic/version/length checks,
 /// structural bounds on every array, and the checksum must reproduce.
 SnapshotLoadResult load_snapshot(const std::string& path);
+
+/// The in-memory half of load_snapshot(): validates a complete fpss-snap
+/// image already in memory. This is the attack surface a hostile file (or
+/// fuzz input) exercises — everything after the read(2) — so the fuzz
+/// harness drives exactly this function.
+SnapshotLoadResult load_snapshot_bytes(std::string_view bytes);
 
 }  // namespace fpss::service

@@ -13,7 +13,7 @@ std::shared_ptr<const RouteSnapshot> SnapshotStore::publish(
   const std::uint64_t version = snapshot->version();
   std::shared_ptr<const RouteSnapshot> previous;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     previous = std::exchange(current_, std::move(snapshot));
     ++publishes_;
   }
@@ -41,7 +41,7 @@ ShardedSnapshotStore::ShardedSnapshotStore(std::size_t node_count,
 ShardedSnapshotStore::View ShardedSnapshotStore::acquire() const {
   View view;
   view.shard_size = shard_size_;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   view.newest = newest_;
   view.shards = shards_;
   return view;
@@ -59,7 +59,7 @@ std::size_t ShardedSnapshotStore::publish(
   std::vector<std::shared_ptr<const RouteSnapshot>> displaced;
   displaced.reserve(shard_count_ + 1);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     FPSS_EXPECTS(!fence_open_);  // direct publish may not cross a fence
     FPSS_ASSERT(newest_ == nullptr || newest_->version() <= version);
     for (std::size_t s = 0; s < shard_count_; ++s) {
@@ -80,7 +80,7 @@ std::size_t ShardedSnapshotStore::publish_all(
 }
 
 void ShardedSnapshotStore::fence_begin(std::uint64_t version) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   FPSS_EXPECTS(!fence_open_);
   FPSS_EXPECTS(newest_ == nullptr || newest_->version() <= version);
   fence_open_ = true;
@@ -94,7 +94,7 @@ void ShardedSnapshotStore::publish_shard(
   FPSS_EXPECTS(shard < shard_count_);
   std::shared_ptr<const RouteSnapshot> displaced;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     FPSS_EXPECTS(fence_open_);
     FPSS_EXPECTS(snapshot->version() == fence_version_);
     displaced = std::exchange(shards_[shard], std::move(snapshot));
@@ -109,7 +109,7 @@ std::size_t ShardedSnapshotStore::fence_end(
   std::vector<std::shared_ptr<const RouteSnapshot>> displaced;
   displaced.reserve(shard_count_ + 1);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     FPSS_EXPECTS(fence_open_);
     FPSS_EXPECTS(merged->version() == fence_version_);
     for (std::size_t s = 0; s < shard_count_; ++s) {
@@ -128,7 +128,7 @@ std::size_t ShardedSnapshotStore::fence_end(
 ShardedSnapshotStore::ExportCut ShardedSnapshotStore::export_cut() const {
   ExportCut cut;
   cut.shard_versions.assign(shard_count_, 0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   cut.newest = newest_;
   const std::uint64_t ceiling =
       newest_ == nullptr ? 0 : newest_->version();
@@ -140,7 +140,7 @@ ShardedSnapshotStore::ExportCut ShardedSnapshotStore::export_cut() const {
 
 std::vector<std::uint64_t> ShardedSnapshotStore::shard_versions() const {
   std::vector<std::uint64_t> versions(shard_count_, 0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (std::size_t s = 0; s < shard_count_; ++s)
     if (shards_[s] != nullptr) versions[s] = shards_[s]->version();
   return versions;

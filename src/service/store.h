@@ -24,10 +24,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "service/snapshot.h"
+#include "util/mutex.h"
 #include "util/types.h"
 
 namespace fpss::service {
@@ -37,8 +37,8 @@ class SnapshotStore {
   /// The latest published snapshot (null until the first publish). The
   /// returned reference keeps that snapshot alive for as long as the
   /// caller holds it, regardless of later publishes.
-  std::shared_ptr<const RouteSnapshot> current() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<const RouteSnapshot> current() const FPSS_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return current_;
   }
 
@@ -46,11 +46,11 @@ class SnapshotStore {
   /// (null on the first publish). Versions must be non-decreasing — an
   /// updater must never publish a stale epoch over a newer one.
   std::shared_ptr<const RouteSnapshot> publish(
-      std::shared_ptr<const RouteSnapshot> snapshot);
+      std::shared_ptr<const RouteSnapshot> snapshot) FPSS_EXCLUDES(mutex_);
 
   /// Number of publishes so far.
-  std::uint64_t publish_count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t publish_count() const FPSS_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return publishes_;
   }
 
@@ -61,9 +61,9 @@ class SnapshotStore {
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::shared_ptr<const RouteSnapshot> current_;
-  std::uint64_t publishes_ = 0;
+  mutable util::Mutex mutex_;
+  std::shared_ptr<const RouteSnapshot> current_ FPSS_GUARDED_BY(mutex_);
+  std::uint64_t publishes_ FPSS_GUARDED_BY(mutex_) = 0;
 };
 
 /// The k-shard publication point: destinations are partitioned into k
@@ -114,12 +114,12 @@ class ShardedSnapshotStore {
     }
   };
 
-  View acquire() const;
+  View acquire() const FPSS_EXCLUDES(mutex_);
 
   /// The newest published snapshot (null until the first publish) — the
   /// full-image read used for persistence and version reporting.
-  std::shared_ptr<const RouteSnapshot> newest() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<const RouteSnapshot> newest() const FPSS_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return newest_;
   }
 
@@ -132,10 +132,12 @@ class ShardedSnapshotStore {
   /// above) — RouteService guarantees it by flagging every shard dirty on
   /// a full rebuild.
   std::size_t publish(std::shared_ptr<const RouteSnapshot> snapshot,
-                      const std::vector<bool>& shard_dirty);
+                      const std::vector<bool>& shard_dirty)
+      FPSS_EXCLUDES(mutex_);
 
   /// Full publish: every shard flagged dirty.
-  std::size_t publish_all(std::shared_ptr<const RouteSnapshot> snapshot);
+  std::size_t publish_all(std::shared_ptr<const RouteSnapshot> snapshot)
+      FPSS_EXCLUDES(mutex_);
 
   /// Epoch fence: the out-of-order publication window used by the staged
   /// publish pipeline. Between fence_begin(v) and fence_end(), export tasks
@@ -159,19 +161,21 @@ class ShardedSnapshotStore {
   /// Ownership: one fence at a time, begun and ended by the updater;
   /// publish_shard may be called from any thread while the fence is open.
   /// A fence counts as one publish (tallied at fence_end).
-  void fence_begin(std::uint64_t version);
+  void fence_begin(std::uint64_t version) FPSS_EXCLUDES(mutex_);
   /// Installs `snapshot` (an epoch-`version` intermediate whose shard
   /// `shard` rows are final) into that slot. Requires an open fence and
   /// snapshot->version() == the fence's version.
   void publish_shard(std::size_t shard,
-                     std::shared_ptr<const RouteSnapshot> snapshot);
+                     std::shared_ptr<const RouteSnapshot> snapshot)
+      FPSS_EXCLUDES(mutex_);
   /// Closes the fence; returns the number of distinct shard slots swapped
   /// across the whole fence (publish_shard landings + never-published slots
   /// filled here).
-  std::size_t fence_end(std::shared_ptr<const RouteSnapshot> merged);
+  std::size_t fence_end(std::shared_ptr<const RouteSnapshot> merged)
+      FPSS_EXCLUDES(mutex_);
 
-  std::uint64_t publish_count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t publish_count() const FPSS_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return publishes_;
   }
 
@@ -183,7 +187,7 @@ class ShardedSnapshotStore {
 
   /// Per-shard snapshot versions (0 for never-published slots): how far
   /// behind `version()` each shard's last-changed publish is. Diagnostics.
-  std::vector<std::uint64_t> shard_versions() const;
+  std::vector<std::uint64_t> shard_versions() const FPSS_EXCLUDES(mutex_);
 
   /// One replication cut: `newest` plus the per-shard versions, read under
   /// a single lock so they describe the same instant. Slot versions are
@@ -195,18 +199,25 @@ class ShardedSnapshotStore {
     std::shared_ptr<const RouteSnapshot> newest;  ///< null before 1st publish
     std::vector<std::uint64_t> shard_versions;
   };
-  ExportCut export_cut() const;
+  ExportCut export_cut() const FPSS_EXCLUDES(mutex_);
 
  private:
   const std::size_t shard_count_;
   const std::size_t shard_size_;
-  mutable std::mutex mutex_;
-  std::shared_ptr<const RouteSnapshot> newest_;
-  std::vector<std::shared_ptr<const RouteSnapshot>> shards_;
-  std::uint64_t publishes_ = 0;
-  bool fence_open_ = false;
-  std::uint64_t fence_version_ = 0;
-  std::vector<bool> fence_touched_;  ///< slots landed during the open fence
+  mutable util::Mutex mutex_;
+  std::shared_ptr<const RouteSnapshot> newest_ FPSS_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<const RouteSnapshot>> shards_
+      FPSS_GUARDED_BY(mutex_);
+  std::uint64_t publishes_ FPSS_GUARDED_BY(mutex_) = 0;
+  // The fence bookkeeping is mutex_-guarded like everything else; the fence
+  // *protocol* (one open fence, begun/ended by the updater, landings from
+  // pool workers) is a cross-thread handoff outside the analysis' lock-based
+  // model and stays runtime-asserted (FPSS_EXPECTS) + TSan-verified. See
+  // DESIGN.md §14.
+  bool fence_open_ FPSS_GUARDED_BY(mutex_) = false;
+  std::uint64_t fence_version_ FPSS_GUARDED_BY(mutex_) = 0;
+  /// Slots landed during the open fence.
+  std::vector<bool> fence_touched_ FPSS_GUARDED_BY(mutex_);
 };
 
 }  // namespace fpss::service

@@ -1,0 +1,96 @@
+// Annotated mutex/condvar wrappers: std::mutex and
+// std::condition_variable with Clang Thread Safety capabilities attached,
+// so fields can be FPSS_GUARDED_BY a lock the analysis understands.
+//
+// Every mutex in the repo is a util::Mutex and every critical section a
+// util::MutexLock — the analysis only tracks capabilities it can see, so a
+// raw std::lock_guard<std::mutex> would be a hole in the proof. The
+// static-analysis CI job greps for exactly that (see
+// scripts/run_clang_tidy.sh and ISSUE/DESIGN.md §14).
+//
+// Zero-cost by construction: Mutex is layout-identical to std::mutex,
+// MutexLock to std::unique_lock, and every method is a one-line inline
+// forward. The annotations are attributes — no codegen, no Release-mode
+// difference (bench_baseline.sh asserts the build options stay off for
+// benches anyway).
+//
+// Condition-variable discipline: CondVar::wait takes the MutexLock, which
+// the analysis treats as "still held across the call" — true on entry and
+// on return, which is the only contract callers may rely on. Predicates
+// are therefore written as explicit `while (!pred) cv.wait(lock);` loops
+// in the owning function (where the analysis can see the lock is held)
+// rather than as lambdas, which Clang analyzes as separate unannotated
+// functions.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace fpss::util {
+
+class FPSS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FPSS_ACQUIRE() { m_.lock(); }
+  void unlock() FPSS_RELEASE() { m_.unlock(); }
+  bool try_lock() FPSS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex m_;
+};
+
+/// RAII critical section over a util::Mutex — the std::lock_guard /
+/// std::unique_lock replacement the analysis can follow.
+class FPSS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FPSS_ACQUIRE(mu) : lock_(mu.m_) {}
+  ~MutexLock() FPSS_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to util::MutexLock critical sections. wait()
+/// atomically releases and reacquires the lock; from the analysis' point
+/// of view the capability is held across the call, so guarded state read
+/// in the caller's wait loop stays provably locked.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fpss::util

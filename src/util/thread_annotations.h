@@ -1,0 +1,74 @@
+// Clang Thread Safety Analysis attribute macros — the compile-time half of
+// the repo's race defense.
+//
+// The dynamic half (the TSan CI job) only sees the interleavings the tests
+// happen to produce; these annotations instead turn every locking contract
+// into a per-compile proof obligation. A field tagged FPSS_GUARDED_BY(mu)
+// may only be touched while `mu` is held; a method tagged
+// FPSS_REQUIRES(mu) may only be called with `mu` held; violations are
+// -Wthread-safety diagnostics, promoted to errors by the FPSS_THREAD_SAFETY
+// build (see the CI static-analysis job and
+// scripts/check_negative_compile.sh, which proves the promotion works).
+//
+// The macros expand to Clang's capability attributes when the compiler
+// supports them and to nothing otherwise (GCC builds are unchanged — the
+// attributes never affect codegen, so an annotated Release build is
+// bit-for-bit the unannotated one). Vocabulary follows the Clang
+// documentation (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//
+//   FPSS_CAPABILITY        on a class: instances are lockable capabilities
+//   FPSS_SCOPED_CAPABILITY on an RAII class that acquires in its ctor
+//   FPSS_GUARDED_BY(mu)    on a field: reads and writes need mu
+//   FPSS_PT_GUARDED_BY(mu) on a pointer field: the *pointee* needs mu
+//   FPSS_REQUIRES(mu)      on a function: caller must hold mu
+//   FPSS_ACQUIRE(mu)       on a function: acquires mu, returns holding it
+//   FPSS_RELEASE(mu)       on a function: caller holds mu, returns without
+//   FPSS_TRY_ACQUIRE(b,mu) on a function: acquires mu iff it returns b
+//   FPSS_EXCLUDES(mu)      on a function: caller must NOT hold mu
+//                          (non-reentrancy; deadlock documentation)
+//   FPSS_ACQUIRED_BEFORE / FPSS_ACQUIRED_AFTER   static lock ordering
+//   FPSS_ASSERT_CAPABILITY on a function: asserts mu is held at runtime
+//   FPSS_RETURN_CAPABILITY on a getter that returns a reference to mu
+//   FPSS_NO_THREAD_SAFETY_ANALYSIS  opt a function out (used only where a
+//                          cross-thread handoff protocol is provably safe
+//                          but outside the analysis' lock-based model —
+//                          each use carries a comment saying why)
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define FPSS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef FPSS_THREAD_ANNOTATION
+#define FPSS_THREAD_ANNOTATION(x)  // no-op: GCC and pre-capability Clang
+#endif
+
+#define FPSS_CAPABILITY(x) FPSS_THREAD_ANNOTATION(capability(x))
+#define FPSS_SCOPED_CAPABILITY FPSS_THREAD_ANNOTATION(scoped_lockable)
+#define FPSS_GUARDED_BY(x) FPSS_THREAD_ANNOTATION(guarded_by(x))
+#define FPSS_PT_GUARDED_BY(x) FPSS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define FPSS_ACQUIRED_BEFORE(...) \
+  FPSS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define FPSS_ACQUIRED_AFTER(...) \
+  FPSS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define FPSS_REQUIRES(...) \
+  FPSS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FPSS_REQUIRES_SHARED(...) \
+  FPSS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define FPSS_ACQUIRE(...) \
+  FPSS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FPSS_ACQUIRE_SHARED(...) \
+  FPSS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define FPSS_RELEASE(...) \
+  FPSS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FPSS_RELEASE_SHARED(...) \
+  FPSS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define FPSS_TRY_ACQUIRE(...) \
+  FPSS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define FPSS_EXCLUDES(...) FPSS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define FPSS_ASSERT_CAPABILITY(x) \
+  FPSS_THREAD_ANNOTATION(assert_capability(x))
+#define FPSS_RETURN_CAPABILITY(x) FPSS_THREAD_ANNOTATION(lock_returned(x))
+#define FPSS_NO_THREAD_SAFETY_ANALYSIS \
+  FPSS_THREAD_ANNOTATION(no_thread_safety_analysis)

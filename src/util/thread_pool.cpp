@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -26,22 +26,28 @@ unsigned ThreadPool::hardware_threads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
-void ThreadPool::run_stride(unsigned worker) const {
-  for (std::size_t i = worker; i < count_; i += width()) (*fn_)(i);
+void ThreadPool::run_stride(unsigned worker,
+                            const std::function<void(std::size_t)>& fn,
+                            std::size_t count) const {
+  for (std::size_t i = worker; i < count; i += width()) fn(i);
 }
 
 void ThreadPool::worker_loop(unsigned worker) {
   std::uint64_t seen = 0;
   for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      MutexLock lock(mutex_);
+      while (!stop_ && epoch_ == seen) work_cv_.wait(lock);
       if (stop_) return;
       seen = epoch_;
+      fn = fn_;
+      count = count_;
     }
-    run_stride(worker);
+    run_stride(worker, *fn, count);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--outstanding_ == 0) done_cv_.notify_one();
     }
   }
@@ -55,7 +61,7 @@ void ThreadPool::parallel_for(std::size_t count,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     FPSS_ASSERT(outstanding_ == 0);  // one job at a time
     fn_ = &fn;
     count_ = count;
@@ -63,9 +69,9 @@ void ThreadPool::parallel_for(std::size_t count,
     ++epoch_;
   }
   work_cv_.notify_all();
-  run_stride(0);  // the owner is worker 0
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  run_stride(0, fn, count);  // the owner is worker 0
+  MutexLock lock(mutex_);
+  while (outstanding_ != 0) done_cv_.wait(lock);
   fn_ = nullptr;
   count_ = 0;
 }

@@ -19,13 +19,13 @@
 // must not call back into the pool that is running it.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace fpss::util {
 
@@ -53,18 +53,26 @@ class ThreadPool {
 
  private:
   void worker_loop(unsigned worker);
-  void run_stride(unsigned worker) const;
+  /// Runs worker `worker`'s stride of job (fn, count). The job is passed by
+  /// value-of-pointer, copied out under mutex_ by the caller, so the run
+  /// itself touches no guarded state (the epoch handshake provides the
+  /// happens-before edge; the analysis sees only unshared parameters).
+  void run_stride(unsigned worker, const std::function<void(std::size_t)>& fn,
+                  std::size_t count) const;
 
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< owner -> workers: new job / stop
-  std::condition_variable done_cv_;  ///< workers -> owner: job finished
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t count_ = 0;
-  std::uint64_t epoch_ = 0;   ///< bumped per job so workers run each job once
-  unsigned outstanding_ = 0;  ///< helpers that have not finished the job
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar work_cv_;  ///< owner -> workers: new job / stop
+  CondVar done_cv_;  ///< workers -> owner: job finished
+  const std::function<void(std::size_t)>* fn_ FPSS_GUARDED_BY(mutex_) =
+      nullptr;
+  std::size_t count_ FPSS_GUARDED_BY(mutex_) = 0;
+  /// Bumped per job so workers run each job once.
+  std::uint64_t epoch_ FPSS_GUARDED_BY(mutex_) = 0;
+  /// Helpers that have not finished the job.
+  unsigned outstanding_ FPSS_GUARDED_BY(mutex_) = 0;
+  bool stop_ FPSS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace fpss::util

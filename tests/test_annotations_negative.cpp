@@ -1,0 +1,50 @@
+// Negative-compile fixture for the thread-safety annotation layer.
+//
+// This TU is NOT part of the normal test build. It is compiled twice by
+// scripts/check_negative_compile.sh under Clang with
+// -Werror=thread-safety:
+//
+//   1. with -DFPSS_SEED_VIOLATION: the guarded field is touched without
+//      its mutex — the build MUST fail. If it compiles, the annotation
+//      macros have silently degraded to no-ops under a compiler that
+//      should support them, and the whole compile-time race-detection
+//      layer is inert.
+//   2. without the define: the properly locked version MUST compile
+//      clean, proving the wrappers themselves carry no false positives.
+//
+// Keep the violation minimal: one GUARDED_BY field, one unlocked write.
+// The point is to test the *machinery*, not to enumerate violation
+// shapes — Clang's own test suite does that.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Account {
+  fpss::util::Mutex mu;
+  int balance FPSS_GUARDED_BY(mu) = 0;
+
+  void deposit(int amount) {
+#if defined(FPSS_SEED_VIOLATION)
+    // Unlocked write to a guarded field: -Werror=thread-safety must
+    // reject this line.
+    balance += amount;
+#else
+    fpss::util::MutexLock lock(mu);
+    balance += amount;
+#endif
+  }
+
+  int read() {
+    fpss::util::MutexLock lock(mu);
+    return balance;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.read() == 1 ? 0 : 1;
+}

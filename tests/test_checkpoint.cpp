@@ -320,5 +320,49 @@ TEST(Checkpoint, RouteServiceCheckpointsEveryPublishAndRecovers) {
   EXPECT_EQ(loaded.snapshot->node_cost(2), Cost{44});
 }
 
+// --- fuzz-derived regressions ----------------------------------------------
+
+// Hand-minimized malformed fpss-snap images, pinned as regressions so the
+// loader rejections the fuzz harness (fuzz/fuzz_snapshot.cpp) relies on
+// cannot silently regress. Each is the smallest image reaching its branch.
+TEST(Checkpoint, HandMinimizedMalformedSnapshotsAreRejected) {
+  const auto u64le = [](std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  };
+  const std::string magic = "FPSSSNP1";
+
+  // 1. Shorter than the 32-byte header: just the magic.
+  {
+    const auto r = service::load_snapshot_bytes(magic);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("short"), std::string::npos);
+  }
+
+  // 2. Valid magic, stale format version (v3): a complete 32-byte header
+  //    declaring an empty payload.
+  {
+    std::string image = magic;
+    u64le(image, 3);  // format
+    u64le(image, 0);  // payload size
+    u64le(image, 0);  // checksum
+    const auto r = service::load_snapshot_bytes(image);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("format"), std::string::npos);
+  }
+
+  // 3. Header lies about the payload length (declares 1 byte, carries 0):
+  //    rejected on the arithmetic check before any payload parse.
+  {
+    std::string image = magic;
+    u64le(image, 4);  // format
+    u64le(image, 1);  // payload size (lie)
+    u64le(image, 0);  // checksum
+    const auto r = service::load_snapshot_bytes(image);
+    ASSERT_FALSE(r.ok());
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
 }  // namespace
 }  // namespace fpss

@@ -936,5 +936,50 @@ TEST(RouteServiceCoalesce, StalenessGaugeTracksServedAge) {
             svc.snapshot()->published_at_ns());
 }
 
+// --- fuzz-derived regressions ----------------------------------------------
+
+// Hand-minimized malformed frame headers, pinned as regressions so the
+// rejection behaviour the fuzz harness (fuzz/fuzz_wire.cpp) relies on
+// cannot silently regress. Each input is the smallest byte string that
+// reaches its rejection branch.
+TEST(Wire, HandMinimizedMalformedHeadersAreRejected) {
+  using namespace fpss::net;
+  const WireLimits limits;
+
+  // 1. Correct length, wrong magic: the first gate. 20 zero bytes.
+  {
+    const std::string zeros(kFrameHeaderBytes, '\0');
+    const HeaderResult r = decode_frame_header(zeros, limits);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("magic"), std::string::npos);
+  }
+
+  // 2. Valid magic + version but a payload length one past the limit:
+  //    must be rejected as kOversized *before* any payload allocation.
+  {
+    std::string header = encode_frame(FrameType::kHello, "");
+    header.resize(kFrameHeaderBytes);
+    const std::uint32_t lying = limits.max_payload_bytes + 1;
+    std::memcpy(&header[8], &lying, sizeof(lying));  // payload_bytes field
+    const HeaderResult r = decode_frame_header(header, limits);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status, WireStatus::kOversized);
+  }
+
+  // 3. Valid header whose checksum does not match the payload: the frame
+  //    gate's second step. Flip one payload bit after encoding.
+  {
+    std::string frame = encode_frame(FrameType::kHello,
+                                     encode_hello(Hello{}));
+    ASSERT_GT(frame.size(), kFrameHeaderBytes);
+    frame.back() = static_cast<char>(frame.back() ^ 0x01);
+    const HeaderResult r =
+        decode_frame_header(frame.substr(0, kFrameHeaderBytes), limits);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(
+        payload_checksum_ok(r.header, frame.substr(kFrameHeaderBytes)));
+  }
+}
+
 }  // namespace
 }  // namespace fpss

@@ -414,7 +414,7 @@ TEST(ReplicaE2E, BitIdenticalAcrossRandomizedDeltaBurstsOnTwoFamilies) {
 
       // Bit-identical content and bit-identical answers.
       const auto primary_snap = primary.snapshot();
-      const auto* replica_store = replica.store();
+      const auto replica_store = replica.store();
       ASSERT_NE(replica_store, nullptr);
       const auto replica_snap = replica_store->newest();
       ASSERT_NE(replica_snap, nullptr);
@@ -615,7 +615,7 @@ TEST(ReplicaTsan, ReadersNeverObserveATornViewDuringSyncChurn) {
     readers.emplace_back([&, r] {
       util::Rng rng(700 + r);
       while (!stop.load(std::memory_order_relaxed)) {
-        const auto* store = replica.store();
+        const auto store = replica.store();
         if (store == nullptr) continue;
         const auto view = store->acquire();
         if (view.empty()) continue;
@@ -645,6 +645,55 @@ TEST(ReplicaTsan, ReadersNeverObserveATornViewDuringSyncChurn) {
   EXPECT_EQ(torn.load(), 0u);
   EXPECT_EQ(replica.store()->newest()->checksum(),
             primary.snapshot()->checksum());
+}
+
+// --- fuzz-derived regressions ----------------------------------------------
+
+// Hand-minimized malformed chunk streams, pinned as regressions so the
+// Assembler rejections the fuzz harness (fuzz/fuzz_replication.cpp) relies
+// on cannot silently regress. Each input is the smallest byte string that
+// reaches its rejection branch; all three must poison the assembly.
+TEST(ReplicationCodec, HandMinimizedMalformedChunksAreRejected) {
+  const auto append = [](std::string& out, std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i)
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  };
+
+  // 1. Empty payload: the 21-byte chunk header cannot even be read.
+  {
+    ReplicationCodec::Assembler assembler;
+    EXPECT_FALSE(assembler.feed(""));
+    EXPECT_NE(assembler.error().find("truncated"), std::string::npos);
+    EXPECT_FALSE(assembler.finish().ok());
+  }
+
+  // 2. Complete header declaring zero destinations: bad geometry, caught
+  //    before the stream header binds.
+  {
+    std::string chunk;
+    append(chunk, ReplicationCodec::kDataChunk, 1);
+    append(chunk, 1, 8);  // version
+    append(chunk, 0, 8);  // n = 0
+    append(chunk, 1, 4);  // shard_count
+    ReplicationCodec::Assembler assembler;
+    EXPECT_FALSE(assembler.feed(chunk));
+    EXPECT_NE(assembler.error().find("geometry"), std::string::npos);
+  }
+
+  // 3. Header-only chunk whose node count implies megabytes of blocks:
+  //    the pre-allocation bound must reject it from 21 bytes of input.
+  {
+    std::string chunk;
+    append(chunk, ReplicationCodec::kDataChunk, 1);
+    append(chunk, 1, 8);        // version
+    append(chunk, 1 << 20, 8);  // n: lies about a million destinations
+    append(chunk, 1, 4);        // shard_count
+    ReplicationCodec::Assembler assembler;
+    EXPECT_FALSE(assembler.feed(chunk));
+    EXPECT_NE(assembler.error().find("node count"), std::string::npos);
+    // Poisoned: even a later well-formed-looking feed stays rejected.
+    EXPECT_FALSE(assembler.feed(chunk));
+  }
 }
 
 }  // namespace
